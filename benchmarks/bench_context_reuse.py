@@ -1,0 +1,70 @@
+"""Ablation: Context reuse (paper §2.4 + §3 physical optimization).
+
+Two related queries (identity-theft statistics for 2001, then for 2024).
+With the ContextManager enabled, the second query's semantic program is
+run over the Context materialized by the first query instead of the full
+132-file lake, cutting marginal cost and simulated latency.
+"""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.core.program_tool import build_program_tool
+from repro.core.runtime import AnalyticsRuntime
+from repro.utils.formatting import format_table
+
+FIRST = (
+    "Find the files which report national identity theft statistics for "
+    "the year 2001 and extract the number of identity theft reports in "
+    "the year 2001."
+)
+SECOND = (
+    "Find the files which report national identity theft statistics for "
+    "the year 2024 and extract the number of identity theft reports in "
+    "the year 2024."
+)
+SEED = 515151
+
+
+def _run(legal_bundle, reuse: bool) -> dict:
+    runtime = AnalyticsRuntime.for_bundle(legal_bundle, seed=SEED, reuse_contexts=reuse)
+    context = runtime.make_context(legal_bundle)
+    tool = build_program_tool(context, runtime)
+    tool(FIRST)
+    first_cost = runtime.usage().cost_usd
+    first_time = runtime.elapsed_s
+    second = tool(SECOND)
+    return {
+        "reuse": reuse,
+        "first_cost": first_cost,
+        "second_cost": runtime.usage().cost_usd - first_cost,
+        "second_time": runtime.elapsed_s - first_time,
+        "second_records": len(second),
+        "cache_hits": sum(entry.hits for entry in runtime.context_manager.entries()),
+    }
+
+
+def bench_context_reuse(benchmark, legal_bundle, results_dir):
+    off, on = benchmark.pedantic(
+        lambda: (_run(legal_bundle, False), _run(legal_bundle, True)),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        ["off", f"{off['second_cost']:.4f}", f"{off['second_time']:.1f}", off["second_records"], off["cache_hits"]],
+        ["on", f"{on['second_cost']:.4f}", f"{on['second_time']:.1f}", on["second_records"], on["cache_hits"]],
+    ]
+    report = format_table(
+        ["Reuse", "2nd-query cost ($)", "2nd-query time (s)", "records", "cache hits"],
+        rows,
+        title="Context reuse ablation (second of two related queries)",
+    )
+    saving = 1 - on["second_cost"] / off["second_cost"]
+    report += f"\n\nmarginal cost saving from reuse: {saving * 100:.1f}%"
+    save_report(results_dir, "context_reuse", report)
+    benchmark.extra_info["measured"] = {"off": off, "on": on}
+
+    assert on["cache_hits"] >= 1, "reuse run must hit the context cache"
+    assert on["second_cost"] < 0.5 * off["second_cost"]
+    assert on["second_time"] < off["second_time"]

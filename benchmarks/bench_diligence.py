@@ -1,0 +1,79 @@
+"""Study: the Deep-Research shortcut trade-off (paper §1/§2.1).
+
+"An agent may generate a plan to read every file until it finds the file
+with identity thefts in 2024, and then give up on reading the dataset
+after the fourth or fifth file."  This bench sweeps the naive CodeAgent's
+diligence (how many candidate files it actually reads) on the Kramabench
+query and measures error/cost: errors fall as the agent reads more, cost
+climbs — the exact trade-off the agent's shortcut heuristics sit on.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import save_report
+
+from repro.agents.codeagent import CodeAgent
+from repro.agents.filetools import build_file_tools
+from repro.agents.policies.deep_research import KramabenchCodeAgentPolicy
+from repro.bench.metrics import percent_error
+from repro.data.datasets import kramabench as kb
+from repro.llm.oracle import SemanticOracle
+from repro.llm.simulated import SimulatedLLM
+from repro.utils.formatting import format_table
+from repro.utils.seeding import derive_seed
+
+SEED = 141414
+N_TRIALS = 6
+CANDIDATE_COUNTS = (2, 6, 16, 40)
+
+
+def _run(bundle, n_candidates: int) -> dict:
+    truth = bundle.ground_truth["ratio"]
+    errors, costs, ground_truth_hits = [], [], 0
+    for trial in range(N_TRIALS):
+        seed = derive_seed(SEED, n_candidates, trial)
+        llm = SimulatedLLM(oracle=SemanticOracle(bundle.registry), seed=seed)
+        agent = CodeAgent(
+            llm,
+            build_file_tools(bundle.corpus),
+            KramabenchCodeAgentPolicy(n_candidates=n_candidates, batch_size=4),
+            seed=seed,
+            max_steps=24,
+        )
+        result = agent.run(kb.QUERY_RATIO)
+        answer = result.answer if isinstance(result.answer, dict) else {}
+        errors.append(percent_error(answer.get("ratio"), truth))
+        costs.append(result.cost_usd)
+        if answer.get("source") == bundle.ground_truth["ground_truth_file"]:
+            ground_truth_hits += 1
+    return {
+        "err": statistics.mean(errors),
+        "cost": statistics.mean(costs),
+        "gt_hits": ground_truth_hits,
+    }
+
+
+def bench_diligence(benchmark, legal_bundle, results_dir):
+    results = benchmark.pedantic(
+        lambda: {n: _run(legal_bundle, n) for n in CANDIDATE_COUNTS},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [n, f"{r['err']:.2f}%", f"{r['cost']:.4f}", f"{r['gt_hits']}/{N_TRIALS}"]
+        for n, r in results.items()
+    ]
+    report = format_table(
+        ["Files read", "Avg pct. err.", "Cost ($)", "Found ground truth"],
+        rows,
+        title="Naive CodeAgent diligence sweep on Kramabench legal-easy-3",
+    )
+    save_report(results_dir, "diligence", report)
+    benchmark.extra_info["measured"] = {str(k): v for k, v in results.items()}
+
+    lowest, highest = CANDIDATE_COUNTS[0], CANDIDATE_COUNTS[-1]
+    assert results[highest]["err"] < results[lowest]["err"]
+    assert results[highest]["cost"] > results[lowest]["cost"]
+    assert results[highest]["gt_hits"] > results[lowest]["gt_hits"]

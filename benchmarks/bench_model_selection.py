@@ -1,0 +1,84 @@
+"""Ablation: the quality/cost frontier across model tiers & policies.
+
+Runs the Enron relevant-email filter as a single-operator program pinned to
+each chat model, plus the three optimizer policies, and reports the
+frontier.  This is the §3 physical optimization ("allow the query
+optimizer to select the model") made measurable.
+"""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.bench.metrics import set_metrics
+from repro.data.datasets import enron as en
+from repro.llm.models import completion_models_by_cost
+from repro.llm.oracle import SemanticOracle
+from repro.llm.simulated import SimulatedLLM
+from repro.sem.config import QueryProcessorConfig
+from repro.sem.dataset import Dataset
+from repro.sem.optimizer.policies import Balanced, MaxQuality, MinCost
+from repro.utils.formatting import format_table
+
+SEED = 717171
+
+
+def _run_pinned(bundle, model: str) -> dict:
+    llm = SimulatedLLM(oracle=SemanticOracle(bundle.registry), seed=SEED)
+    dataset = Dataset.from_source(bundle.source()).sem_filter(
+        en.FILTER_RELEVANT, model=model
+    )
+    result = dataset.run(QueryProcessorConfig(llm=llm, optimize=False, seed=SEED))
+    metrics = set_metrics(
+        bundle.ground_truth["relevant_filenames"],
+        [record.get("filename") for record in result.records],
+    )
+    return {"f1": metrics.f1, "cost": llm.tracker.total().cost_usd}
+
+
+def _run_policy(bundle, policy) -> dict:
+    llm = SimulatedLLM(oracle=SemanticOracle(bundle.registry), seed=SEED)
+    dataset = Dataset.from_source(bundle.source()).sem_filter(en.FILTER_RELEVANT)
+    result, report = dataset.run_with_report(
+        QueryProcessorConfig(llm=llm, policy=policy, seed=SEED)
+    )
+    metrics = set_metrics(
+        bundle.ground_truth["relevant_filenames"],
+        [record.get("filename") for record in result.records],
+    )
+    chosen = next(iter(report.chosen_models.values()), "?")
+    return {"f1": metrics.f1, "cost": llm.tracker.total().cost_usd, "model": chosen}
+
+
+def bench_model_selection(benchmark, enron_bundle, results_dir):
+    def run_all():
+        pinned = {
+            card.name: _run_pinned(enron_bundle, card.name)
+            for card in completion_models_by_cost()
+        }
+        policies = {
+            "policy:max-quality": _run_policy(enron_bundle, MaxQuality()),
+            "policy:balanced(0.95)": _run_policy(enron_bundle, Balanced(0.95)),
+            "policy:min-cost": _run_policy(enron_bundle, MinCost()),
+        }
+        return pinned, policies
+
+    pinned, policies = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [name, f"{r['f1'] * 100:.2f}%", f"{r['cost']:.3f}", r.get("model", "-")]
+        for name, r in {**pinned, **policies}.items()
+    ]
+    report = format_table(
+        ["Model / policy", "F1", "Cost ($)", "Chosen"],
+        rows,
+        title="Model-selection frontier on the Enron relevant-email filter",
+    )
+    save_report(results_dir, "model_selection", report)
+    benchmark.extra_info["measured"] = {"pinned": pinned, "policies": policies}
+
+    names = [card.name for card in completion_models_by_cost()]
+    cheapest, champion = names[0], names[-1]
+    assert pinned[champion]["f1"] >= pinned[cheapest]["f1"]
+    assert pinned[cheapest]["cost"] < pinned[champion]["cost"]
+    assert policies["policy:min-cost"]["cost"] <= policies["policy:max-quality"]["cost"]
+    assert policies["policy:max-quality"]["f1"] >= pinned[cheapest]["f1"]

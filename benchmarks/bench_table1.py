@@ -1,0 +1,68 @@
+"""Table 1: Kramabench ``legal-easy-3`` — Pct. Err. / Cost / Time.
+
+Paper numbers (3-trial averages):
+
+    | System     | Pct. Err. | Cost ($) | Time (s) |
+    | Sem. Ops   | 17.00%    | 1.66     | 215.2    |
+    | CodeAgent  | 27.56%    | 0.03     | 77.0     |
+    | PZ compute | 0.02%     | 1.17     | 583.0    |
+
+We reproduce the *shape*: the handcrafted semantic-operator program lands
+in the tens-of-percent error band (errant second ratios), the naive
+CodeAgent is cheapest/fastest but worst, and ``compute`` is near-exact at
+a cost between the two, paying extra wall-clock for its agent iterations.
+"""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.bench.harness import render_report, run_trials
+from repro.bench.systems import (
+    kramabench_codeagent_system,
+    kramabench_compute_system,
+    kramabench_semops_system,
+)
+
+N_TRIALS = 3
+BASE_SEED = 20260706
+
+PAPER_ROWS = {
+    "Sem. Ops": ["17.00%", "1.66", "215.2"],
+    "CodeAgent": ["27.56%", "0.03", "77.0"],
+    "PZ compute": ["0.02%", "1.17", "583.0"],
+}
+
+
+def _run_all(legal_bundle):
+    return [
+        run_trials("Sem. Ops", kramabench_semops_system(legal_bundle), N_TRIALS, BASE_SEED),
+        run_trials("CodeAgent", kramabench_codeagent_system(legal_bundle), N_TRIALS, BASE_SEED),
+        run_trials("PZ compute", kramabench_compute_system(legal_bundle), N_TRIALS, BASE_SEED),
+    ]
+
+
+def bench_table1(benchmark, legal_bundle, results_dir):
+    summaries = benchmark.pedantic(
+        _run_all, args=(legal_bundle,), rounds=1, iterations=1
+    )
+    report = render_report(
+        "Table 1: Kramabench legal-easy-3 (avg of 3 trials)",
+        summaries,
+        metric_columns=[("Pct. Err.", "pct_err", lambda v: f"{v:.2f}%")],
+        paper_rows=PAPER_ROWS,
+    )
+    save_report(results_dir, "table1", report)
+
+    semops, codeagent, compute_op = summaries
+    benchmark.extra_info["measured"] = {
+        s.name: {"pct_err": s.quality["pct_err"], "cost": s.cost_usd, "time": s.time_s}
+        for s in summaries
+    }
+
+    # Shape assertions (who wins, and by what kind of margin).
+    assert compute_op.quality["pct_err"] < 2.0, "compute should be near-exact"
+    assert compute_op.quality["pct_err"] < semops.quality["pct_err"]
+    assert semops.quality["pct_err"] < codeagent.quality["pct_err"]
+    assert codeagent.cost_usd < 0.25 * semops.cost_usd, "CodeAgent must be far cheaper"
+    assert codeagent.time_s < semops.time_s < compute_op.time_s

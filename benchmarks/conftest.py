@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+Dataset bundles are generated once per session (they are deterministic),
+and every benchmark writes its rendered report into ``benchmarks/results``
+so paper-vs-measured tables survive the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.data.datasets import (
+    generate_enron_corpus,
+    generate_legal_corpus,
+    generate_realestate_corpus,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def legal_bundle():
+    return generate_legal_corpus()
+
+
+@pytest.fixture(scope="session")
+def enron_bundle():
+    return generate_enron_corpus()
+
+
+@pytest.fixture(scope="session")
+def realestate_bundle():
+    return generate_realestate_corpus()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_report(results_dir: Path, name: str, report: str) -> None:
+    (results_dir / f"{name}.txt").write_text(report + "\n", encoding="utf-8")
+    print("\n" + report)

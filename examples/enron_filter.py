@@ -1,0 +1,62 @@
+"""The paper's Figure 1 (right): Deep Research vs. optimized compute.
+
+Runs the Enron document-processing query two ways — an open-Deep-Research
+CodeAgent (keyword shortcuts, manual verification, low recall) and our
+prototype's ``compute`` operator (one optimized semantic-operator
+program, near-perfect recall) — and prints the precision/recall contrast
+with each system's cost and simulated runtime.
+
+Run:  python examples/enron_filter.py
+"""
+
+from repro.agents import CodeAgent
+from repro.agents.filetools import build_file_tools
+from repro.agents.policies import EnronCodeAgentPolicy
+from repro.bench.metrics import set_metrics
+from repro.core import AnalyticsRuntime
+from repro.data.datasets import generate_enron_corpus
+from repro.data.datasets.enron import QUERY_RELEVANT
+from repro.llm import SemanticOracle, SimulatedLLM
+
+
+def main() -> None:
+    bundle = generate_enron_corpus(seed=11)
+    gold = bundle.ground_truth["relevant_filenames"]
+    print(f"Corpus: {len(bundle.records())} emails, {len(gold)} relevant")
+    print(f"Query: {QUERY_RELEVANT}\n")
+
+    # --- Open Deep Research baseline -----------------------------------
+    llm = SimulatedLLM(oracle=SemanticOracle(bundle.registry), seed=3)
+    agent = CodeAgent(
+        llm, build_file_tools(bundle.corpus), EnronCodeAgentPolicy(), seed=3
+    )
+    baseline = agent.run(QUERY_RELEVANT)
+    baseline_metrics = set_metrics(gold, baseline.answer or [])
+    print("Open Deep Research CodeAgent:")
+    print(f"  F1={baseline_metrics.f1:.3f}  recall={baseline_metrics.recall:.3f}  "
+          f"precision={baseline_metrics.precision:.3f}")
+    print(f"  cost=${baseline.cost_usd:.3f}  time={baseline.time_s:.0f}s  "
+          f"steps={baseline.steps_used}")
+    print("  (keyword grep + manual reading: high precision, low recall)\n")
+
+    # --- Our prototype ---------------------------------------------------
+    runtime = AnalyticsRuntime.for_bundle(bundle, seed=3)
+    context = runtime.make_context(bundle)
+    result = runtime.compute(context, QUERY_RELEVANT)
+    returned = [row.get("filename") for row in (result.answer or [])]
+    compute_metrics = set_metrics(gold, returned)
+    print("PZ compute (optimized semantic-operator program):")
+    print(f"  F1={compute_metrics.f1:.3f}  recall={compute_metrics.recall:.3f}  "
+          f"precision={compute_metrics.precision:.3f}")
+    print(f"  cost=${result.cost_usd:.3f}  time={result.time_s:.0f}s")
+    if runtime.last_program_result is not None:
+        print("  program operator stats:")
+        for stats in runtime.last_program_result.operator_stats:
+            print(f"    {stats.label}: {stats.records_in} -> {stats.records_out}")
+    print()
+    print(f"F1 improvement: {compute_metrics.f1 / max(1e-9, baseline_metrics.f1):.2f}x "
+          f"(paper reports up to 1.95x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro: a runtime for AI-driven analytics (CIDR 2026 reproduction).
+
+Reproduction of Russo & Kraska, *Deep Research is the New Analytics
+System: Towards Building the Runtime for AI-Driven Analytics* (CIDR 2026).
+
+The library combines three execution paradigms over unstructured data:
+
+- **semantic operators** (:mod:`repro.sem`): declarative AI-powered
+  filters/maps/joins with cost-based optimization;
+- **Deep Research agents** (:mod:`repro.agents`): CodeAgents that plan,
+  write sandboxed Python, and use tools;
+- **SQL** (:mod:`repro.sql`): an in-memory engine for structured tables
+  materialized from unstructured data.
+
+The paper's contribution lives in :mod:`repro.core`: the :class:`Context`
+abstraction, the agent-backed ``search``/``compute`` operators with their
+optimized-semantic-program tool, and the :class:`ContextManager` for
+materialized-Context reuse.
+
+Because this reproduction runs offline, all LLM calls go through a
+deterministic simulated service (:mod:`repro.llm`); see DESIGN.md for the
+substitution argument.
+
+Quickstart::
+
+    from repro import AnalyticsRuntime
+    from repro.data.datasets import generate_enron_corpus
+
+    bundle = generate_enron_corpus()
+    runtime = AnalyticsRuntime.for_bundle(bundle, seed=0)
+    context = runtime.make_context(bundle)
+    result = runtime.compute(context, "Return all emails which ...")
+"""
+
+from repro.core.context import Context
+from repro.core.context_manager import ContextManager
+from repro.core.operators import compute, search
+from repro.core.runtime import AnalyticsRuntime
+from repro.data.records import DataRecord
+from repro.data.schemas import Field, Schema
+from repro.llm.simulated import SimulatedLLM
+from repro.sem.config import QueryProcessorConfig
+from repro.sem.dataset import Dataset
+from repro.sql.database import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticsRuntime",
+    "Context",
+    "ContextManager",
+    "DataRecord",
+    "Database",
+    "Dataset",
+    "Field",
+    "QueryProcessorConfig",
+    "Schema",
+    "SimulatedLLM",
+    "__version__",
+    "compute",
+    "search",
+]

@@ -1,0 +1,31 @@
+"""Standard file tools for data-lake agents (``list_files``/``read_file``).
+
+These are the exact tools the paper equips its baseline CodeAgents with.
+Reading a file costs no LLM tokens by itself — the cost materializes when
+the agent prints file contents into an observation, which then rides along
+in subsequent step prompts.
+"""
+
+from __future__ import annotations
+
+from repro.agents.tools import Tool, ToolRegistry
+from repro.data.corpus import FileCorpus
+
+
+def build_file_tools(corpus: FileCorpus) -> ToolRegistry:
+    """Tool registry with ``list_files()`` and ``read_file(name)``."""
+
+    def list_files() -> list[str]:
+        """List the names of all files in the data lake."""
+        return corpus.list_files()
+
+    def read_file(filename: str) -> str:
+        """Read the full text contents of one file."""
+        return corpus.read_file(filename)
+
+    return ToolRegistry(
+        [
+            Tool("list_files", "List the names of all files in the data lake.", list_files),
+            Tool("read_file", "Read the full text contents of one file.", read_file),
+        ]
+    )

@@ -1,0 +1,57 @@
+"""Policy base classes.
+
+A policy decides, at each step, what Python code the agent runs next.  In
+the paper an LLM plays this role; offline we use **scripted policies** that
+encode the behaviour patterns the paper reports — keyword shortcuts,
+premature termination, redundant semantic-tool chains, and (for our
+prototype's operators) program synthesis — with seeded noise so trials
+vary the way three real runs do.
+
+This is a faithful substitution because the paper's claims are about the
+*behavioural* differences between agent archetypes, not about any
+particular model's prose: what matters is that the naive agent greps and
+under-reads, that CodeAgent+ spends on unoptimized full scans, and that
+the compute operator delegates to optimized semantic-operator programs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.agents.tools import ToolRegistry
+from repro.agents.trace import AgentTrace
+
+if TYPE_CHECKING:
+    from repro.utils.seeding import SeededRng
+
+
+class AgentPolicy(abc.ABC):
+    """Decides the next code block for an agent episode."""
+
+    def reset(self, task: str, rng: "SeededRng") -> None:
+        """Called once at the start of each episode."""
+        self.rng = rng
+
+    @abc.abstractmethod
+    def next_code(self, task: str, trace: AgentTrace, tools: ToolRegistry) -> str | None:
+        """Return the next Python code block, or None to give up."""
+
+
+class ScriptedPolicy(AgentPolicy):
+    """A policy driven by an internal step counter.
+
+    Subclasses implement ``step_<n>`` methods; the default ``next_code``
+    dispatches to them in order and gives up when the sequence runs out.
+    """
+
+    def reset(self, task: str, rng: "SeededRng") -> None:
+        super().reset(task, rng)
+        self._step = 0
+
+    def next_code(self, task: str, trace: AgentTrace, tools: ToolRegistry) -> str | None:
+        method = getattr(self, f"step_{self._step}", None)
+        self._step += 1
+        if method is None:
+            return None
+        return method(task, trace, tools)

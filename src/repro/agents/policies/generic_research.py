@@ -1,0 +1,129 @@
+"""A generic keyword-research policy for arbitrary file corpora.
+
+The Kramabench/Enron policies in :mod:`.deep_research` are scripted to
+their workloads (as the paper's case studies are); this policy is the
+corpus-agnostic member of the family, usable as a naive Deep-Research
+baseline on any :class:`~repro.data.corpus.FileCorpus`:
+
+1. grep every file for the task's salient keywords (free Python);
+2. read a bounded number of hits (diligence);
+3. return the hits it verified, or — for question-shaped tasks — the best
+   snippet it found.
+
+It inherits the failure modes the paper attributes to this agent family:
+purely lexical candidate generation (misses paraphrases) and bounded
+reading (recall decays with corpus size).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.agents.policies.base import AgentPolicy
+from repro.agents.policies.deep_research import read_batch_code, split_file_sections
+from repro.agents.tools import ToolRegistry
+from repro.agents.trace import AgentTrace
+from repro.utils.text import STOPWORDS, extract_keywords
+
+#: Verbs/fillers that carry no search signal in analytics tasks.
+_TASK_NOISE = frozenset(
+    """
+    return find list show give compute calculate extract all every which
+    that contain contains containing mention mentions mentioning file files
+    record records email emails listing listings document documents year
+    number
+    """.split()
+)
+
+_QUESTION_RE = re.compile(r"^\s*(what|which|who|where|when|how)\b", re.IGNORECASE)
+
+
+def task_keywords(task: str, limit: int = 6) -> list[str]:
+    """Salient search keywords for ``task`` (content words, noise removed)."""
+    keywords = [
+        keyword
+        for keyword in extract_keywords(task, limit=24)
+        if keyword not in _TASK_NOISE and keyword not in STOPWORDS
+    ]
+    return keywords[:limit]
+
+
+class GenericResearchPolicy(AgentPolicy):
+    """Grep-read-verify over any file corpus."""
+
+    def __init__(
+        self,
+        diligence: int = 20,
+        batch_size: int = 10,
+        min_keyword_hits: int = 1,
+    ) -> None:
+        self.diligence = diligence
+        self.batch_size = batch_size
+        self.min_keyword_hits = min_keyword_hits
+
+    def reset(self, task, rng):
+        super().reset(task, rng)
+        self.state = "grep"
+        self.keywords = task_keywords(task)
+        self.is_question = bool(_QUESTION_RE.match(task))
+        self.included: list[str] = []
+        self.best_snippet: tuple[int, str, str] | None = None
+        self.to_read: list[str] = []
+        self.read_cursor = 0
+
+    def next_code(self, task: str, trace: AgentTrace, tools: ToolRegistry) -> str | None:
+        if self.state == "grep":
+            self.state = "select"
+            pattern = "|".join(re.escape(keyword) for keyword in self.keywords) or "."
+            return (
+                "import json, re\n"
+                f"pattern = re.compile({pattern!r}, re.IGNORECASE)\n"
+                "hits = [f for f in list_files() if pattern.search(read_file(f))]\n"
+                "print(json.dumps(hits))\n"
+            )
+        if self.state == "select":
+            hits = json.loads(trace.last_observation())
+            self.rng.shuffle(hits)
+            self.to_read = hits[: self.diligence]
+            self.state = "reading"
+        if self.state == "reading":
+            self._verify_from(trace)
+            if self.read_cursor < len(self.to_read):
+                batch = self.to_read[self.read_cursor : self.read_cursor + self.batch_size]
+                self.read_cursor += len(batch)
+                return read_batch_code(batch, max_chars=700)
+            self.state = "final"
+            return self._final_code()
+        return None
+
+    def _verify_from(self, trace: AgentTrace) -> None:
+        if not trace.steps:
+            return
+        sections = split_file_sections(trace.steps[-1].observation)
+        for filename, text in sections.items():
+            lowered = text.lower()
+            hits = sum(1 for keyword in self.keywords if keyword in lowered)
+            if hits >= self.min_keyword_hits:
+                self.included.append(filename)
+                if self.is_question:
+                    snippet_line = next(
+                        (
+                            line.strip()
+                            for line in text.splitlines()
+                            if any(keyword in line.lower() for keyword in self.keywords)
+                        ),
+                        text[:160],
+                    )
+                    candidate = (hits, filename, snippet_line)
+                    if self.best_snippet is None or candidate[0] > self.best_snippet[0]:
+                        self.best_snippet = candidate
+
+    def _final_code(self) -> str:
+        if self.is_question and self.best_snippet is not None:
+            _, filename, snippet_line = self.best_snippet
+            return (
+                f"final_answer({{'source': {filename!r}, "
+                f"'snippet': {snippet_line!r}}})\n"
+            )
+        return f"final_answer({json.dumps(sorted(set(self.included)))})\n"

@@ -1,0 +1,218 @@
+"""Sandboxed Python interpreter for CodeAgent steps.
+
+Code written by agents executes here with:
+
+- **AST validation**: only a safe subset of Python parses through
+  (no attribute access to underscored names, no class definitions, imports
+  restricted to an allowlist of stdlib modules);
+- **restricted builtins**: a fixed allowlist, no ``open``/``eval``/
+  ``__import__``;
+- **a step budget**: a trace-based line counter aborts runaway loops;
+- **captured stdout**: ``print`` output becomes the agent's observation.
+
+The namespace persists across steps of one agent episode, as in SmolAgents'
+CodeAgent, so step 2 can use variables defined in step 1.
+"""
+
+from __future__ import annotations
+
+import ast
+import collections
+import contextlib
+import csv
+import io
+import json
+import math
+import re
+import statistics
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import SandboxSecurityError, SandboxTimeoutError
+
+#: Modules agent code may import.
+ALLOWED_MODULES = {
+    "re": re,
+    "json": json,
+    "math": math,
+    "csv": csv,
+    "io": io,
+    "statistics": statistics,
+    "collections": collections,
+}
+
+_ALLOWED_BUILTINS = {
+    "print": print,
+    "len": len,
+    "range": range,
+    "enumerate": enumerate,
+    "sorted": sorted,
+    "min": min,
+    "max": max,
+    "sum": sum,
+    "abs": abs,
+    "round": round,
+    "int": int,
+    "float": float,
+    "str": str,
+    "bool": bool,
+    "list": list,
+    "dict": dict,
+    "set": set,
+    "tuple": tuple,
+    "zip": zip,
+    "map": map,
+    "filter": filter,
+    "any": any,
+    "all": all,
+    "repr": repr,
+    "reversed": reversed,
+    "isinstance": isinstance,
+    "Exception": Exception,
+    "ValueError": ValueError,
+    "KeyError": KeyError,
+    "TypeError": TypeError,
+    "ZeroDivisionError": ZeroDivisionError,
+}
+# __import__ is appended at module bottom once _safe_import exists.
+
+def _safe_import(name, globals=None, locals=None, fromlist=(), level=0):  # noqa: A002
+    """Import hook restricted to the allowlist (AST validation backstop)."""
+    root = name.split(".")[0]
+    if root not in ALLOWED_MODULES:
+        raise SandboxSecurityError(
+            f"import of {root!r} is not allowed; allowed: {sorted(ALLOWED_MODULES)}"
+        )
+    return ALLOWED_MODULES[root]
+
+
+_FORBIDDEN_NODES = (
+    ast.ClassDef,
+    ast.AsyncFunctionDef,
+    ast.AsyncFor,
+    ast.AsyncWith,
+    ast.Await,
+    ast.Global,
+    ast.Nonlocal,
+)
+
+
+class FinalAnswerSignal(Exception):
+    """Raised by the injected ``final_answer`` tool to end an episode."""
+
+    def __init__(self, value: Any) -> None:
+        super().__init__("final answer")
+        self.value = value
+
+
+@dataclass
+class SandboxResult:
+    """Outcome of executing one code block."""
+
+    stdout: str
+    error: str | None = None
+    final_answer: Any = None
+    finished: bool = False
+
+
+def validate_code(code: str) -> ast.Module:
+    """Parse and security-check ``code``; raises on violations."""
+    try:
+        tree = ast.parse(code)
+    except SyntaxError as exc:
+        raise SandboxSecurityError(f"syntax error in agent code: {exc}") from exc
+    for node in ast.walk(tree):
+        if isinstance(node, _FORBIDDEN_NODES):
+            raise SandboxSecurityError(
+                f"forbidden construct in agent code: {type(node).__name__}"
+            )
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            module = node.module if isinstance(node, ast.ImportFrom) else None
+            names = [module] if module else [alias.name for alias in node.names]
+            for name in names:
+                root = (name or "").split(".")[0]
+                if root not in ALLOWED_MODULES:
+                    raise SandboxSecurityError(
+                        f"import of {root!r} is not allowed; "
+                        f"allowed modules: {sorted(ALLOWED_MODULES)}"
+                    )
+        if isinstance(node, ast.Attribute) and node.attr.startswith("_"):
+            raise SandboxSecurityError(
+                f"access to underscored attribute {node.attr!r} is not allowed"
+            )
+        if isinstance(node, ast.Name) and node.id.startswith("__"):
+            raise SandboxSecurityError(
+                f"use of dunder name {node.id!r} is not allowed"
+            )
+    return tree
+
+
+class Sandbox:
+    """Executes validated agent code with a persistent namespace."""
+
+    def __init__(self, tools: dict[str, Callable] | None = None, max_lines: int = 200_000) -> None:
+        self.max_lines = max_lines
+        self.namespace: dict[str, Any] = {}
+        self.namespace.update(ALLOWED_MODULES)
+        if tools:
+            self.namespace.update(tools)
+        self.namespace["final_answer"] = _final_answer
+
+    def execute(self, code: str) -> SandboxResult:
+        """Run ``code``; never raises — failures land in ``result.error``."""
+        try:
+            tree = validate_code(code)
+            # Some constructs parse but fail at compile time (e.g. a bare
+            # starred expression), so compilation stays inside the guard.
+            compiled = compile(tree, filename="<agent>", mode="exec")
+        except SandboxSecurityError as exc:
+            return SandboxResult(stdout="", error=str(exc))
+        except (SyntaxError, ValueError) as exc:
+            return SandboxResult(stdout="", error=f"syntax error in agent code: {exc}")
+        globals_dict = self.namespace
+        globals_dict["__builtins__"] = dict(_ALLOWED_BUILTINS)
+
+        buffer = io.StringIO()
+        counter = {"lines": 0}
+
+        def tracer(frame, event, arg):  # noqa: ANN001 - trace protocol
+            # Only meter the agent's own code: tools and library calls may
+            # legitimately do heavy work (index builds, semantic programs).
+            if frame.f_code.co_filename != "<agent>":
+                return None
+            if event == "line":
+                counter["lines"] += 1
+                if counter["lines"] > self.max_lines:
+                    raise SandboxTimeoutError(
+                        f"agent code exceeded the step budget of {self.max_lines} lines"
+                    )
+            return tracer
+
+        old_trace = sys.gettrace()
+        try:
+            with contextlib.redirect_stdout(buffer):
+                sys.settrace(tracer)
+                try:
+                    exec(compiled, globals_dict)  # noqa: S102 - sandboxed
+                finally:
+                    sys.settrace(old_trace)
+        except FinalAnswerSignal as signal:
+            return SandboxResult(
+                stdout=buffer.getvalue(), final_answer=signal.value, finished=True
+            )
+        except SandboxTimeoutError as exc:
+            return SandboxResult(stdout=buffer.getvalue(), error=str(exc))
+        except Exception as exc:  # agent code may raise anything
+            return SandboxResult(
+                stdout=buffer.getvalue(),
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        return SandboxResult(stdout=buffer.getvalue())
+
+
+def _final_answer(value: Any) -> None:
+    raise FinalAnswerSignal(value)
+
+
+_ALLOWED_BUILTINS["__import__"] = _safe_import

@@ -1,0 +1,88 @@
+"""Unoptimized semantic-operator tools (the ``CodeAgent+`` baseline).
+
+The paper's second baseline equips a CodeAgent with tools for applying
+semantic filters and maps.  Crucially these tools are *unoptimized*: every
+invocation scans the full record set with the champion model — no filter
+reordering, no pushdown, no model selection.  The inefficiency the paper
+measures (e.g. running a second filter over records the first already
+rejected, or mapping records that will later be filtered away) is the
+agent's, not the tools'.
+"""
+
+from __future__ import annotations
+
+from repro.agents.tools import Tool, ToolRegistry
+from repro.data.records import DataRecord
+from repro.llm.models import DEFAULT_MODEL
+from repro.llm.simulated import SimulatedLLM
+
+
+def build_semantic_tools(
+    records: list[DataRecord],
+    llm: SimulatedLLM,
+    model: str = DEFAULT_MODEL,
+    key_field: str = "filename",
+    tag: str = "codeagent-plus",
+) -> ToolRegistry:
+    """Tool registry with ``sem_filter`` and ``sem_map`` over ``records``.
+
+    ``sem_filter(instruction)`` returns the keys (``key_field`` values) of
+    records satisfying the predicate; ``sem_map(instruction)`` returns a
+    ``{key: extracted_value}`` mapping over **all** records.
+    """
+    by_key = {record[key_field]: record for record in records}
+
+    def sem_filter(instruction: str) -> list[str]:
+        """Apply a natural-language filter to every record; returns matching keys."""
+        matches = []
+        for record in records:
+            judgment = llm.judge_filter(
+                instruction, record, model=model, tag=f"{tag}:sem_filter"
+            )
+            if judgment.answer:
+                matches.append(record[key_field])
+        return matches
+
+    def sem_map(instruction: str) -> dict[str, object]:
+        """Apply a natural-language extraction to every record; returns {key: value}."""
+        output = {}
+        for record in records:
+            extraction = llm.extract(
+                instruction, record, model=model, tag=f"{tag}:sem_map"
+            )
+            output[record[key_field]] = extraction.value
+        return output
+
+    def sem_filter_subset(instruction: str, keys: list[str]) -> list[str]:
+        """Apply a natural-language filter only to the records named by ``keys``."""
+        matches = []
+        for key in keys:
+            record = by_key.get(key)
+            if record is None:
+                continue
+            judgment = llm.judge_filter(
+                instruction, record, model=model, tag=f"{tag}:sem_filter"
+            )
+            if judgment.answer:
+                matches.append(key)
+        return matches
+
+    return ToolRegistry(
+        [
+            Tool(
+                "sem_filter",
+                "Apply a natural-language filter to every record; returns matching keys.",
+                sem_filter,
+            ),
+            Tool(
+                "sem_map",
+                "Apply a natural-language extraction to every record; returns {key: value}.",
+                sem_map,
+            ),
+            Tool(
+                "sem_filter_subset",
+                "Apply a natural-language filter to the records named by keys.",
+                sem_filter_subset,
+            ),
+        ]
+    )

@@ -1,0 +1,94 @@
+"""Tools: named callables exposed to agents.
+
+Tools are plain Python functions with a name and a description; the agent
+injects them into the sandbox namespace so generated code can call them
+directly (the SmolAgents convention).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ToolError
+
+
+@dataclass
+class Tool:
+    """A callable exposed to agent code."""
+
+    name: str
+    description: str
+    fn: Callable[..., Any]
+    #: Number of invocations in the current episode (reset per run).
+    calls: int = field(default=0, compare=False)
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        self.calls += 1
+        try:
+            return self.fn(*args, **kwargs)
+        except ToolError:
+            raise
+        except Exception as exc:
+            raise ToolError(f"tool {self.name!r} failed: {exc}") from exc
+
+    def signature(self) -> str:
+        try:
+            return f"{self.name}{inspect.signature(self.fn)}"
+        except (TypeError, ValueError):
+            return f"{self.name}(...)"
+
+
+def tool_from_function(fn: Callable[..., Any], name: str | None = None, description: str | None = None) -> Tool:
+    """Wrap ``fn`` as a tool, defaulting name/description from the function."""
+    return Tool(
+        name=name or fn.__name__,
+        description=description or (fn.__doc__ or "").strip().split("\n")[0],
+        fn=fn,
+    )
+
+
+class ToolRegistry:
+    """An ordered collection of tools with unique names."""
+
+    def __init__(self, tools: list[Tool] | None = None) -> None:
+        self._tools: dict[str, Tool] = {}
+        for tool in tools or []:
+            self.add(tool)
+
+    def add(self, tool: Tool) -> None:
+        if tool.name in self._tools:
+            raise ToolError(f"duplicate tool name {tool.name!r}")
+        self._tools[tool.name] = tool
+
+    def get(self, name: str) -> Tool:
+        try:
+            return self._tools[name]
+        except KeyError:
+            raise ToolError(
+                f"no tool named {name!r}; available: {sorted(self._tools)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tools
+
+    def names(self) -> list[str]:
+        return list(self._tools)
+
+    def as_namespace(self) -> dict[str, Callable]:
+        """Mapping injected into the sandbox."""
+        return dict(self._tools)
+
+    def describe(self) -> str:
+        lines = []
+        for tool in self._tools.values():
+            lines.append(f"- {tool.signature()}: {tool.description}")
+        return "\n".join(lines)
+
+    def reset_counters(self) -> None:
+        for tool in self._tools.values():
+            tool.calls = 0
+
+    def __len__(self) -> int:
+        return len(self._tools)

@@ -1,0 +1,14 @@
+"""Benchmark harness: metrics, trial running, and report formatting."""
+
+from repro.bench.harness import SystemSummary, TrialOutcome, run_trials, summarize
+from repro.bench.metrics import SetMetrics, percent_error, set_metrics
+
+__all__ = [
+    "SetMetrics",
+    "SystemSummary",
+    "TrialOutcome",
+    "percent_error",
+    "run_trials",
+    "set_metrics",
+    "summarize",
+]

@@ -1,0 +1,140 @@
+"""Command-line interface: reproduce the paper's results from a shell.
+
+Usage::
+
+    python -m repro table1            # reproduce Table 1
+    python -m repro table2            # reproduce Table 2
+    python -m repro demo              # run the Figure 1/2 walkthrough
+    python -m repro query "<NL query>" --dataset legal
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import render_report, run_trials
+from repro.bench.systems import (
+    enron_codeagent_plus_system,
+    enron_codeagent_system,
+    enron_compute_system,
+    kramabench_codeagent_system,
+    kramabench_compute_system,
+    kramabench_semops_system,
+)
+from repro.core.runtime import AnalyticsRuntime
+from repro.data.datasets import (
+    generate_enron_corpus,
+    generate_legal_corpus,
+    generate_realestate_corpus,
+)
+
+_DATASETS = {
+    "legal": generate_legal_corpus,
+    "enron": generate_enron_corpus,
+    "realestate": generate_realestate_corpus,
+}
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    bundle = generate_legal_corpus()
+    summaries = [
+        run_trials("Sem. Ops", kramabench_semops_system(bundle), args.trials, args.seed),
+        run_trials("CodeAgent", kramabench_codeagent_system(bundle), args.trials, args.seed),
+        run_trials("PZ compute", kramabench_compute_system(bundle), args.trials, args.seed),
+    ]
+    print(
+        render_report(
+            f"Table 1: Kramabench legal-easy-3 (avg of {args.trials} trials)",
+            summaries,
+            metric_columns=[("Pct. Err.", "pct_err", lambda v: f"{v:.2f}%")],
+        )
+    )
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    bundle = generate_enron_corpus()
+    summaries = [
+        run_trials("CodeAgent", enron_codeagent_system(bundle), args.trials, args.seed),
+        run_trials("CodeAgent+", enron_codeagent_plus_system(bundle), args.trials, args.seed),
+        run_trials("PZ compute", enron_compute_system(bundle), args.trials, args.seed),
+    ]
+    print(
+        render_report(
+            f"Table 2: Enron firsthand-transaction filter (avg of {args.trials} trials)",
+            summaries,
+            metric_columns=[
+                ("F1", "f1", lambda v: f"{v * 100:.2f}%"),
+                ("Recall", "recall", lambda v: f"{v * 100:.2f}%"),
+                ("Prec.", "precision", lambda v: f"{v * 100:.2f}%"),
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.data.datasets.kramabench import QUERY_RATIO
+
+    bundle = generate_legal_corpus()
+    runtime = AnalyticsRuntime.for_bundle(bundle, seed=args.seed)
+    context = runtime.make_context(bundle, build_index=True)
+    print(f"Context: {context.name} ({len(context)} files)")
+    found = runtime.search(context, "information on identity theft reports")
+    print(f"search found: {found.findings.get('relevant_items')}")
+    result = runtime.compute(found.output_context, QUERY_RATIO)
+    print(f"compute answer: {result.answer}")
+    print(f"cost=${result.cost_usd:.2f}  simulated time={result.time_s:.0f}s")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    generator = _DATASETS.get(args.dataset)
+    if generator is None:
+        print(f"unknown dataset {args.dataset!r}; known: {sorted(_DATASETS)}", file=sys.stderr)
+        return 2
+    bundle = generator()
+    runtime = AnalyticsRuntime.for_bundle(bundle, seed=args.seed)
+    context = runtime.make_context(bundle)
+    result = runtime.compute(context, args.query)
+    print(f"answer: {result.answer}")
+    print(f"cost=${result.cost_usd:.4f}  simulated time={result.time_s:.1f}s  "
+          f"agent steps={result.agent.steps_used}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Deep Research is the New Analytics System' (CIDR 2026).",
+    )
+    parser.add_argument("--seed", type=int, default=20260706, help="base seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="reproduce Table 1")
+    table1.add_argument("--trials", type=int, default=3)
+    table1.set_defaults(fn=_cmd_table1)
+
+    table2 = sub.add_parser("table2", help="reproduce Table 2")
+    table2.add_argument("--trials", type=int, default=3)
+    table2.set_defaults(fn=_cmd_table2)
+
+    demo = sub.add_parser("demo", help="run the Figure 1/2 walkthrough")
+    demo.set_defaults(fn=_cmd_demo)
+
+    query = sub.add_parser("query", help="run compute() on a built-in dataset")
+    query.add_argument("query")
+    query.add_argument("--dataset", default="legal", choices=sorted(_DATASETS))
+    query.set_defaults(fn=_cmd_query)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

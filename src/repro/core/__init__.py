@@ -1,0 +1,39 @@
+"""The paper's contribution: Context, search/compute, ContextManager.
+
+This package extends the semantic-operator substrate (:mod:`repro.sem`)
+with the three mechanisms the paper proposes:
+
+1. :class:`~repro.core.context.Context` — a Dataset with dynamic access
+   methods (point lookups, vector search), custom tools, and a natural-
+   language description.
+2. :func:`~repro.core.operators.search` and
+   :func:`~repro.core.operators.compute` — semantic operators physically
+   implemented with CodeAgents that hold a tool for writing and executing
+   *optimized* semantic-operator programs.
+3. :class:`~repro.core.context_manager.ContextManager` — an embedding
+   index over materialized Contexts enabling materialized-view-style reuse
+   across queries.
+
+The :class:`~repro.core.runtime.AnalyticsRuntime` facade wires everything
+together (including the SQL engine for structured materialization).
+"""
+
+from repro.core.context import Context, KeyIndex, VectorIndex
+from repro.core.context_manager import ContextManager
+from repro.core.operators import ComputeResult, SearchResult, compute, search
+from repro.core.runtime import AnalyticsRuntime
+from repro.core.synthesis import ProgramSpec, synthesize_program
+
+__all__ = [
+    "AnalyticsRuntime",
+    "ComputeResult",
+    "Context",
+    "ContextManager",
+    "KeyIndex",
+    "ProgramSpec",
+    "SearchResult",
+    "VectorIndex",
+    "compute",
+    "search",
+    "synthesize_program",
+]

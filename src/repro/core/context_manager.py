@@ -1,0 +1,103 @@
+"""Context management & maintenance (paper Section 2.4).
+
+The ContextManager embeds and caches the descriptions of materialized
+Contexts.  When a new ``compute``/``search`` instruction arrives, the
+optimizer asks for a previously materialized Context whose description is
+similar to the instruction — the materialized-view reuse the paper frames
+as its (experimental) physical optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.context import Context
+from repro.llm.embeddings import cosine_similarity
+from repro.llm.simulated import SimulatedLLM
+
+
+@dataclass
+class CachedContext:
+    """One materialized Context plus its description embedding."""
+
+    context: Context
+    #: The instruction whose execution materialized this Context.
+    instruction: str
+    embedding: np.ndarray
+    #: How many times reuse served this entry.
+    hits: int = 0
+
+
+class ContextManager:
+    """Embeds and indexes materialized Contexts for cross-query reuse."""
+
+    #: Cosine similarity a cached description must reach to be reused.
+    DEFAULT_THRESHOLD = 0.60
+
+    def __init__(self, llm: SimulatedLLM, threshold: float = DEFAULT_THRESHOLD) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        self.llm = llm
+        self.threshold = threshold
+        self._entries: list[CachedContext] = []
+
+    def register(self, context: Context, instruction: str) -> CachedContext:
+        """Index a freshly materialized Context under its instruction."""
+        text = f"{instruction}\n{context.desc}"
+        entry = CachedContext(
+            context=context,
+            instruction=instruction,
+            embedding=self.llm.embed(text, tag="context-manager"),
+        )
+        self._entries.append(entry)
+        return entry
+
+    def find_similar(
+        self, instruction: str, threshold: float | None = None
+    ) -> tuple[CachedContext | None, float]:
+        """Best cached Context for ``instruction`` (None below threshold)."""
+        if not self._entries:
+            return None, 0.0
+        floor = self.threshold if threshold is None else threshold
+        query = self.llm.embed(instruction, tag="context-manager")
+        best: CachedContext | None = None
+        best_score = -1.0
+        for entry in self._entries:
+            score = cosine_similarity(query, entry.embedding)
+            if score > best_score:
+                best, best_score = entry, score
+        if best is not None and best_score >= floor:
+            best.hits += 1
+            return best, best_score
+        return None, max(0.0, best_score)
+
+    def entries(self) -> list[CachedContext]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def invalidate(self, base: Context | str) -> int:
+        """Drop cached Contexts derived from ``base`` (maintenance, §2.4).
+
+        When the records behind a Context change, every materialized view
+        built on top of it is stale; callers pass the refreshed Context (or
+        its name) and all entries whose lineage includes it are evicted.
+        Returns the number of evicted entries.
+        """
+        base_name = base if isinstance(base, str) else base.name
+        kept = []
+        evicted = 0
+        for entry in self._entries:
+            lineage_names = {ancestor.name for ancestor in entry.context.lineage()}
+            if base_name in lineage_names:
+                evicted += 1
+            else:
+                kept.append(entry)
+        self._entries = kept
+        return evicted

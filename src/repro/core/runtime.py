@@ -1,0 +1,213 @@
+"""The AnalyticsRuntime facade.
+
+Wires together everything a user needs for AI-driven analytics over a data
+lake: the (simulated) LLM service, Contexts, the compute/search operators,
+the ContextManager, the semantic-operator optimizer configuration, and the
+SQL engine for structured materialization.
+
+Typical use::
+
+    runtime = AnalyticsRuntime.for_bundle(bundle, seed=7)
+    ctx = runtime.make_context(bundle)
+    found = runtime.search(ctx, "information on identity thefts")
+    result = runtime.compute(found.output_context, QUERY_RATIO)
+    runtime.materialize_rows("answers", [{"ratio": result.answer["ratio"]}])
+    runtime.sql("SELECT * FROM answers")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.context import Context
+from repro.core.context_manager import ContextManager
+from repro.core.operators import ComputeResult, SearchResult, compute, search
+from repro.data.datasets.base import DatasetBundle
+from repro.data.records import DataRecord
+from repro.data.schemas import Schema
+from repro.llm.models import DEFAULT_MODEL, completion_models_by_cost
+from repro.llm.oracle import IntentRegistry, SemanticOracle
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.usage import Usage
+from repro.sem.config import QueryProcessorConfig
+from repro.sem.optimizer.policies import Balanced, OptimizationPolicy
+from repro.sql.database import Database
+from repro.sql.executor import ResultSet
+
+
+class AnalyticsRuntime:
+    """One user-facing runtime instance (paper's envisioned system)."""
+
+    def __init__(
+        self,
+        llm: SimulatedLLM | None = None,
+        registry: IntentRegistry | None = None,
+        seed: int = 0,
+        policy: OptimizationPolicy | None = None,
+        sample_size: int = 16,
+        parallelism: int = 1,
+        champion_model: str = DEFAULT_MODEL,
+        reuse_contexts: bool = False,
+        context_threshold: float = ContextManager.DEFAULT_THRESHOLD,
+    ) -> None:
+        self.llm = llm or SimulatedLLM(
+            oracle=SemanticOracle(registry or IntentRegistry()), seed=seed
+        )
+        self.seed = seed
+        self.policy = policy or Balanced(quality_floor=0.95)
+        self.sample_size = sample_size
+        self.parallelism = parallelism
+        self.champion_model = champion_model
+        self.reuse_contexts = reuse_contexts
+        self.context_manager = ContextManager(self.llm, threshold=context_threshold)
+        self.db = Database()
+        #: Execution result of the most recent optimized program (debugging).
+        self.last_program_result = None
+        #: Whole-query answer cache: (root context name, embedding, result).
+        self._answers: list[tuple[str, Any, ComputeResult]] = []
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_bundle(cls, bundle: DatasetBundle, **kwargs: Any) -> "AnalyticsRuntime":
+        """Runtime whose oracle understands ``bundle``'s intents."""
+        return cls(registry=bundle.registry, **kwargs)
+
+    def make_context(
+        self,
+        bundle_or_records: DatasetBundle | Sequence[DataRecord],
+        schema: Schema | None = None,
+        desc: str | None = None,
+        name: str | None = None,
+        build_index: bool = False,
+    ) -> Context:
+        """Create a Context from a dataset bundle or a record list."""
+        if isinstance(bundle_or_records, DatasetBundle):
+            bundle = bundle_or_records
+            context = Context(
+                records=bundle.records(),
+                schema=bundle.schema,
+                desc=desc or bundle.description,
+                name=name or bundle.name,
+            )
+        else:
+            if schema is None or desc is None:
+                raise ValueError("records-based contexts require schema and desc")
+            context = Context(
+                records=list(bundle_or_records), schema=schema, desc=desc, name=name
+            )
+        if build_index:
+            context.index(llm=self.llm)
+        return context
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+
+    def compute(self, context: Context, instruction: str, **kwargs: Any) -> ComputeResult:
+        return compute(context, instruction, self, **kwargs)
+
+    def search(self, context: Context, instruction: str, **kwargs: Any) -> SearchResult:
+        return search(context, instruction, self, **kwargs)
+
+    def answer(
+        self,
+        context: Context,
+        instruction: str,
+        similarity_floor: float = 0.92,
+        **kwargs: Any,
+    ) -> ComputeResult:
+        """Compute with whole-query answer caching.
+
+        If a near-identical instruction (embedding similarity >=
+        ``similarity_floor``) was already answered against the same base
+        Context, the cached result is returned at zero marginal LLM cost —
+        the coarsest form of the paper's reuse-past-work vision.  Answers
+        are evicted by :meth:`clear_answers` or when the base Context is
+        invalidated in the ContextManager.
+        """
+        import dataclasses
+
+        root_name = context.lineage()[-1].name
+        query_vec = self.llm.embed(instruction, tag="answer-cache")
+        from repro.llm.embeddings import cosine_similarity
+
+        for cached_root, cached_vec, cached_result in self._answers:
+            if cached_root != root_name:
+                continue
+            if cosine_similarity(query_vec, cached_vec) >= similarity_floor:
+                return dataclasses.replace(cached_result, reused=True, cost_usd=0.0, time_s=0.0)
+
+        result = compute(context, instruction, self, **kwargs)
+        self._answers.append((root_name, query_vec, result))
+        return result
+
+    def clear_answers(self) -> None:
+        self._answers.clear()
+
+    # ------------------------------------------------------------------
+    # Optimizer configuration for semantic programs
+    # ------------------------------------------------------------------
+
+    def program_config(self, tag: str = "program") -> QueryProcessorConfig:
+        return QueryProcessorConfig(
+            llm=self.llm,
+            policy=self.policy,
+            sample_size=self.sample_size,
+            champion_model=self.champion_model,
+            parallelism=self.parallelism,
+            seed=self.seed,
+            tag=tag,
+        )
+
+    def cheapest_model(self) -> str:
+        return completion_models_by_cost()[0].name
+
+    # ------------------------------------------------------------------
+    # SQL materialization
+    # ------------------------------------------------------------------
+
+    def materialize_rows(
+        self, table_name: str, rows: list[dict], replace: bool = True
+    ):
+        """Materialize dictionaries into a SQL table for future queries."""
+        return self.db.create_table_from_rows(table_name, rows, replace=replace)
+
+    def materialize_records(
+        self,
+        table_name: str,
+        records: Sequence[DataRecord],
+        fields: Sequence[str] | None = None,
+        replace: bool = True,
+    ):
+        """Materialize records (optionally projected) into a SQL table."""
+        rows = []
+        for record in records:
+            if fields is None:
+                rows.append(dict(record.fields))
+            else:
+                rows.append({name: record.get(name) for name in fields})
+        return self.db.create_table_from_rows(table_name, rows, replace=replace)
+
+    def sql(self, query: str) -> ResultSet:
+        """Run SQL against materialized tables."""
+        return self.db.execute(query)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def usage(self) -> Usage:
+        return self.llm.tracker.total()
+
+    def usage_report(self) -> str:
+        """Render a spend breakdown (per model, per pipeline stage)."""
+        return self.llm.tracker.render_report(
+            title=f"LLM usage (simulated) — elapsed {self.elapsed_s:.1f}s"
+        )
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.llm.clock.elapsed

@@ -1,0 +1,15 @@
+"""Data substrate: records, schemas, sources, and synthetic corpora."""
+
+from repro.data.corpus import FileCorpus
+from repro.data.records import DataRecord
+from repro.data.schemas import Field, Schema
+from repro.data.sources import DataSource, MemorySource
+
+__all__ = [
+    "DataRecord",
+    "DataSource",
+    "Field",
+    "FileCorpus",
+    "MemorySource",
+    "Schema",
+]

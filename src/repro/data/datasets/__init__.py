@@ -1,0 +1,19 @@
+"""Synthetic dataset generators.
+
+Each generator returns a :class:`~repro.data.datasets.base.DatasetBundle`:
+the corpus (files and/or records), the intent registry the simulated LLM
+needs to judge natural-language tasks on it, a description suitable for a
+Context, and the ground truth the benchmarks score against.
+"""
+
+from repro.data.datasets.base import DatasetBundle
+from repro.data.datasets.enron import generate_enron_corpus
+from repro.data.datasets.kramabench import generate_legal_corpus
+from repro.data.datasets.realestate import generate_realestate_corpus
+
+__all__ = [
+    "DatasetBundle",
+    "generate_enron_corpus",
+    "generate_legal_corpus",
+    "generate_realestate_corpus",
+]

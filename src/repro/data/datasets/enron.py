@@ -1,0 +1,506 @@
+"""Synthetic Enron email workload (250 emails, two NL predicates).
+
+The paper's second evaluation query filters a 250-email subset of the Enron
+corpus for emails "which contain firsthand discussion of one or more
+specific business transactions", additionally extracting sender, subject,
+and a summary.  This generator reproduces the statistical structure of that
+task with fictional employees and the classic Enron deal codenames:
+
+- **39 positives**: employees discussing a named deal firsthand.  Three are
+  deliberately terse/allusive (difficulty 1.0) so a strong model misses
+  about one per trial — the source of the paper's 97.44% recall.
+- **45 forwarded news items** that mention deal names but are third-party
+  content — keyword search cannot distinguish them, which is why the naive
+  CodeAgent's precision survives only through manual reading while its
+  recall collapses.
+- **30 firsthand business emails** about other topics.
+- **12 lexical red herrings** ("raptor" birds, "condor" trips) that punish
+  keyword filters and cheap models.
+- **124 unrelated emails** (ops, HR, personal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.corpus import FileCorpus
+from repro.data.datasets.base import DatasetBundle
+from repro.data.records import DataRecord
+from repro.data.schemas import EMAIL_SCHEMA
+from repro.llm.oracle import DIFFICULTY_PREFIX, IntentRegistry
+from repro.utils.seeding import SeededRng
+
+# ---------------------------------------------------------------------------
+# Intents and canonical instruction strings
+# ---------------------------------------------------------------------------
+
+INTENT_MENTIONS = "enron.mentions_transaction"
+INTENT_FIRSTHAND = "enron.firsthand_discussion"
+INTENT_RELEVANT = "enron.relevant"
+INTENT_SENDER = "enron.sender"
+INTENT_SUBJECT = "enron.subject"
+INTENT_SUMMARY = "enron.summary"
+
+#: The evaluation query, phrased as in the paper / Palimpzest demo.
+QUERY_RELEVANT = (
+    "Return all emails which contain firsthand discussion of one or more "
+    "specific business transactions (e.g., Raptor, Condor, Death Star, "
+    "Chewco), and extract the sender, subject, and a summary of each email."
+)
+
+FILTER_MENTIONS = (
+    "The email mentions one or more of the specific business transactions "
+    "(Raptor, Condor, Death Star, Chewco, JEDI, Talon)."
+)
+FILTER_FIRSTHAND = (
+    "The email contains firsthand discussion of the business transactions, "
+    "not forwarded news or third-party reports."
+)
+FILTER_RELEVANT = (
+    "The email contains firsthand discussion of one or more specific "
+    "business transactions (e.g., Raptor, Condor, Death Star, Chewco)."
+)
+MAP_SENDER = "Extract the sender of the email."
+MAP_SUBJECT = "Extract the subject of the email."
+MAP_SUMMARY = "Write a one-sentence summary of the email."
+
+DEALS = ["Raptor", "Condor", "Death Star", "Chewco", "JEDI", "Talon"]
+
+_FIRST_NAMES = [
+    "alice", "ben", "carla", "david", "elena", "frank", "grace", "henry",
+    "irene", "jack", "karen", "louis", "maria", "nathan", "olivia", "paul",
+    "rachel", "sam", "tina", "victor",
+]
+_LAST_NAMES = [
+    "mercer", "caldwell", "rhodes", "delgado", "foster", "whitman",
+    "okafor", "lindqvist", "barnes", "sutton", "alvarez", "kessler",
+    "monroe", "tran", "pierce", "hobbs", "navarro", "ellison", "grady",
+    "voss",
+]
+
+
+def build_intent_registry() -> IntentRegistry:
+    """Register every Enron-workload intent the oracle must resolve."""
+    registry = IntentRegistry()
+    registry.register(
+        INTENT_MENTIONS,
+        ["mentions", "business", "transactions"],
+        "email mentions a named business transaction",
+    )
+    registry.register(
+        INTENT_FIRSTHAND,
+        ["firsthand", "discussion", "business", "transactions"],
+        "email discusses the transactions firsthand (not forwarded)",
+    )
+    registry.register(
+        INTENT_RELEVANT,
+        ["firsthand", "discussion", "specific", "business", "transactions"],
+        "email contains firsthand discussion of a specific transaction",
+    )
+    registry.register(INTENT_SENDER, ["sender"], "the email's sender address")
+    registry.register(INTENT_SUBJECT, ["subject"], "the email's subject line")
+    registry.register(INTENT_SUMMARY, ["summary"], "a one-sentence summary")
+    return registry
+
+
+# ---------------------------------------------------------------------------
+# Email construction
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _EmailSpec:
+    sender: str
+    subject: str
+    body: str
+    mentions: bool
+    firsthand_deal: bool
+    relevant: bool
+    mentions_difficulty: float
+    firsthand_difficulty: float
+    relevant_difficulty: float
+    summary: str
+
+
+def _person(rng: SeededRng) -> str:
+    first = rng.choice(_FIRST_NAMES)
+    last = rng.choice(_LAST_NAMES)
+    return f"{first}.{last}@enron.com"
+
+
+_FILLER_PARAGRAPHS = [
+    "As a heads-up, the floor move scheduled for next month may shuffle a "
+    "few of the desks on the east side; facilities will send seat "
+    "assignments once the plan is final, so no need to pack anything yet.",
+    "Reminder that the updated travel policy kicked in on the first of the "
+    "month: itineraries booked outside the portal need a VP signature, and "
+    "the expense system will bounce anything without a cost center code.",
+    "If you have not completed the annual compliance training, please "
+    "carve out the forty minutes before the deadline on Friday; the system "
+    "locks badge access for anyone who misses it, which is a headache to "
+    "undo.",
+    "The cafeteria is piloting extended hours through the end of the "
+    "quarter, so the grill line now runs until seven for anyone staying "
+    "late on the trading floor.",
+    "For those asking about the parking situation: the south garage "
+    "reopens Monday, and the temporary passes for the overflow lot will "
+    "stop working at the end of the week.",
+    "Quick logistical note: conference room bookings now go through the "
+    "shared calendar rather than the front desk, and recurring holds older "
+    "than ninety days were cleared over the weekend.",
+]
+
+
+def _pad_body(body: str, rng: SeededRng) -> str:
+    """Append generic office context so emails carry realistic token counts.
+
+    Real Enron emails run hundreds of tokens; padding keeps the simulated
+    per-email LLM cost in a realistic range without touching the content
+    that determines any annotation.
+    """
+    n_paragraphs = rng.randint(2, 3)
+    chosen = rng.sample(_FILLER_PARAGRAPHS, n_paragraphs)
+    return body + "\n" + "\n\n".join(chosen) + "\n"
+
+
+_POSITIVE_TOPICS = [
+    ("hedge positions", "finalize the hedge positions before the quarter closes"),
+    ("counterparty terms", "renegotiate the counterparty collateral terms"),
+    ("SPE structure", "review the special purpose entity structure with legal"),
+    ("mark-to-market", "walk through the mark-to-market assumptions"),
+    ("funding schedule", "confirm the funding schedule with treasury"),
+    ("board materials", "prepare the transaction overview for the board"),
+    ("rating agency", "brief the rating agency on the restructuring"),
+    ("unwind plan", "draft the unwind plan for the vehicles"),
+]
+
+
+def _positive_email(rng: SeededRng, deal: str, hard: bool) -> _EmailSpec:
+    sender = _person(rng)
+    topic, action = rng.choice(_POSITIVE_TOPICS)
+    if hard:
+        # Terse, allusive: the deal is referenced obliquely ("the vehicle",
+        # codename once in a quoted fragment).  Hard even for strong models.
+        subject = f"re: {topic}"
+        body = (
+            f"Quick follow-up from this morning -- we still need to {action}.\n"
+            f"The {deal.lower()} numbers Rick circulated look stale; let's use\n"
+            f"the desk's latest run instead. Keep this off the wider list for\n"
+            f"now. I'll grab ten minutes with you before the close.\n"
+        )
+        summary = (
+            f"A terse firsthand note about {topic} on the {deal} "
+            f"transaction: the sender asks to replace stale numbers with "
+            f"the desk's latest run and to keep the discussion off the "
+            f"wider distribution list until they can meet before the close."
+        )
+        firsthand_difficulty = 1.0
+        mentions_difficulty = 0.6
+    else:
+        subject = f"{deal} {topic}"
+        body = (
+            f"Team,\n\n"
+            f"Following up on yesterday's call about the {deal} transaction.\n"
+            f"We need to {action} by Friday. Accounting flagged two open\n"
+            f"items on the {deal} book: the collateral true-up and the\n"
+            f"quarterly valuation memo. I've asked the desk to send the\n"
+            f"latest positions so we can close both out.\n\n"
+            f"Please send comments on the draft term sheet by end of day\n"
+            f"Thursday. We'll review open issues at the {topic} meeting.\n\n"
+            f"Thanks,\n{sender.split('@')[0].split('.')[0].title()}\n"
+        )
+        summary = (
+            f"Firsthand discussion of the {deal} transaction in which the "
+            f"sender asks the team to {action}, flags two open accounting "
+            f"items on the {deal} book (a collateral true-up and a "
+            f"quarterly valuation memo), and requests comments on the "
+            f"draft term sheet by Thursday."
+        )
+        firsthand_difficulty = rng.uniform(0.1, 0.3)
+        mentions_difficulty = 0.1
+    return _EmailSpec(
+        sender=sender,
+        subject=subject,
+        body=body,
+        mentions=True,
+        firsthand_deal=True,
+        relevant=True,
+        mentions_difficulty=mentions_difficulty,
+        firsthand_difficulty=firsthand_difficulty,
+        relevant_difficulty=firsthand_difficulty,
+        summary=summary,
+    )
+
+
+_NEWS_OUTLETS = [
+    "The Wall Street Journal", "Houston Chronicle", "Reuters", "Bloomberg",
+    "New York Times", "Financial Times",
+]
+
+
+def _forwarded_news_email(rng: SeededRng, deal: str) -> _EmailSpec:
+    sender = _person(rng)
+    outlet = rng.choice(_NEWS_OUTLETS)
+    subject = f"FW: {outlet} piece on {deal}"
+    body = (
+        f"fyi -- saw this in today's paper.\n\n"
+        f"---------- Forwarded message ----------\n"
+        f"{outlet} reports that analysts continue to raise questions about\n"
+        f"the company's {deal} vehicles and related-party structures. The\n"
+        f"article cites unnamed sources familiar with the partnerships and\n"
+        f"notes that the company declined to comment on the {deal}\n"
+        f"transactions beyond its public filings. Industry observers said\n"
+        f"the disclosures in recent quarterly reports leave open questions\n"
+        f"about how the hedges perform if the stock declines further.\n"
+    )
+    return _EmailSpec(
+        sender=sender,
+        subject=subject,
+        body=body,
+        mentions=True,
+        firsthand_deal=False,
+        relevant=False,
+        mentions_difficulty=0.1,
+        # Distinguishing forwarded coverage from firsthand discussion takes
+        # actual reading; cheap models err on these at a visible rate.
+        firsthand_difficulty=rng.uniform(0.3, 0.55),
+        relevant_difficulty=rng.uniform(0.3, 0.55),
+        summary=(
+            f"A forwarded {outlet} news article (not firsthand discussion) "
+            f"in which analysts raise questions about the company's {deal} "
+            f"vehicles and related-party structures, citing unnamed sources "
+            f"and noting the company declined to comment beyond its filings."
+        ),
+    )
+
+
+_BUSINESS_TOPICS = [
+    ("gas desk staffing", "coverage for the west desk over the holidays"),
+    ("Q3 expense report", "travel expenses from the Houston offsite"),
+    ("performance reviews", "the PRC meeting schedule for next month"),
+    ("pipeline capacity", "firm transport on the northern pipeline"),
+    ("power scheduling", "day-ahead schedules for the west region"),
+    ("new hire onboarding", "badge access and systems for the new analyst"),
+]
+
+
+def _business_email(rng: SeededRng) -> _EmailSpec:
+    sender = _person(rng)
+    topic, detail = rng.choice(_BUSINESS_TOPICS)
+    subject = topic
+    body = (
+        f"Hi all,\n\n"
+        f"Quick note on {topic}: we need to sort out {detail} before the\n"
+        f"end of the week. I've put a hold on calendars for Thursday at 2pm\n"
+        f"to walk through the details. Let me know if that conflicts with\n"
+        f"anything on your side.\n\n"
+        f"Also, a reminder that status updates are due to the group by\n"
+        f"Wednesday noon so we can consolidate before the staff meeting.\n\n"
+        f"Best,\n{sender.split('@')[0].split('.')[0].title()}\n"
+    )
+    return _EmailSpec(
+        sender=sender,
+        subject=subject,
+        body=body,
+        mentions=False,
+        firsthand_deal=False,
+        relevant=False,
+        mentions_difficulty=0.1,
+        firsthand_difficulty=0.15,
+        relevant_difficulty=0.15,
+        summary=(
+            f"An internal business email about {topic}: the sender wants to "
+            f"sort out {detail} this week, has placed a Thursday 2pm hold "
+            f"on calendars, and reminds the group that status updates are "
+            f"due by Wednesday noon."
+        ),
+    )
+
+
+_RED_HERRINGS = [
+    (
+        "weekend birding trip",
+        "We spotted a peregrine falcon and two raptors near the ridge trail. "
+        "The condor sanctuary is supposed to be spectacular in the spring if "
+        "anyone wants to join the next trip.",
+        "Personal email about a birdwatching trip (raptor/condor as birds).",
+    ),
+    (
+        "softball team name",
+        "Votes so far: Raptors 6, Mustangs 4, Comets 2. If the Raptors win "
+        "the vote we still need someone to order jerseys before the league "
+        "deadline.",
+        "Office softball team naming thread using the word Raptors.",
+    ),
+    (
+        "movie night",
+        "We're doing the original trilogy, so yes, the Death Star blows up "
+        "twice. Pizza at seven, movie at seven thirty. RSVP so we know how "
+        "many chairs to steal from the break room.",
+        "Movie night invitation mentioning the Death Star (the film one).",
+    ),
+    (
+        "kids dinosaur museum",
+        "The new raptor exhibit was a hit -- highly recommend it for anyone "
+        "with kids under ten. Tickets are cheaper on weekday afternoons.",
+        "Personal note about a dinosaur museum raptor exhibit.",
+    ),
+]
+
+
+def _red_herring_email(rng: SeededRng) -> _EmailSpec:
+    sender = _person(rng)
+    subject, body_core, summary = rng.choice(_RED_HERRINGS)
+    body = f"Hey,\n\n{body_core}\n\nCheers,\n{sender.split('@')[0].split('.')[0].title()}\n"
+    return _EmailSpec(
+        sender=sender,
+        subject=subject,
+        body=body,
+        mentions=False,
+        firsthand_deal=False,
+        relevant=False,
+        mentions_difficulty=0.55,
+        firsthand_difficulty=0.2,
+        relevant_difficulty=0.3,
+        summary=summary,
+    )
+
+
+_UNRELATED_TOPICS = [
+    ("lunch on friday", "Anyone up for the taco place on Friday? Around noon."),
+    ("parking garage closure", "Level 3 of the garage is closed Tuesday for resurfacing."),
+    ("fantasy football", "Waiver wire closes Wednesday; league dues are overdue for three of you."),
+    ("IT maintenance window", "Email and shared drives will be unavailable Saturday 10pm to 2am."),
+    ("charity 5k", "The downtown 5k is in three weeks; the team signup sheet is by the kitchen."),
+    ("conference registration", "Early-bird registration for the energy markets conference ends Friday."),
+    ("office supplies", "The supply room is being reorganized; submit orders through the new form."),
+    ("holiday party", "The holiday party is booked for the 14th at the museum; plus-ones welcome."),
+    ("book club", "Next month's pick is the one about the LBO wave; meeting moved to the 3rd."),
+    ("gym membership", "The corporate gym discount renews this month; bring your badge to sign up."),
+]
+
+
+def _unrelated_email(rng: SeededRng) -> _EmailSpec:
+    sender = _person(rng)
+    subject, body_core = rng.choice(_UNRELATED_TOPICS)
+    filler = (
+        "Forwarding to the whole floor since a few people asked. "
+        "Details below; reply to me directly with questions.\n\n"
+    )
+    body = f"All,\n\n{filler}{body_core}\n\nThanks,\n{sender.split('@')[0].split('.')[0].title()}\n"
+    return _EmailSpec(
+        sender=sender,
+        subject=subject,
+        body=body,
+        mentions=False,
+        firsthand_deal=False,
+        relevant=False,
+        mentions_difficulty=0.05,
+        firsthand_difficulty=0.1,
+        relevant_difficulty=0.1,
+        summary=f"Unrelated office email about {subject}.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Public entry point
+# ---------------------------------------------------------------------------
+
+N_POSITIVE = 39
+N_HARD_POSITIVE = 3
+N_FORWARDED = 45
+N_BUSINESS = 30
+N_RED_HERRING = 12
+N_TOTAL = 250
+
+
+def generate_enron_corpus(seed: int = 11) -> DatasetBundle:
+    """Generate the 250-email corpus with gold labels.
+
+    Category sizes are fixed; the seed controls senders, deal assignments,
+    orderings, and per-email difficulty draws.
+    """
+    rng = SeededRng(seed).child("enron")
+    specs: list[_EmailSpec] = []
+    for index in range(N_POSITIVE):
+        deal = DEALS[index % len(DEALS)]
+        hard = index < N_HARD_POSITIVE
+        specs.append(_positive_email(rng.child("pos", index), deal, hard))
+    for index in range(N_FORWARDED):
+        deal = DEALS[index % len(DEALS)]
+        specs.append(_forwarded_news_email(rng.child("news", index), deal))
+    for index in range(N_BUSINESS):
+        specs.append(_business_email(rng.child("biz", index)))
+    for index in range(N_RED_HERRING):
+        specs.append(_red_herring_email(rng.child("herring", index)))
+    n_unrelated = N_TOTAL - len(specs)
+    for index in range(n_unrelated):
+        specs.append(_unrelated_email(rng.child("misc", index)))
+
+    order = list(range(len(specs)))
+    rng.child("shuffle").shuffle(order)
+
+    corpus = FileCorpus("enron")
+    records: list[DataRecord] = []
+    relevant_filenames: list[str] = []
+    for position, spec_index in enumerate(order):
+        spec = specs[spec_index]
+        filename = f"email_{position:03d}.txt"
+        body = _pad_body(spec.body, rng.child("pad", position))
+        rendered = (
+            f"From: {spec.sender}\n"
+            f"Subject: {spec.subject}\n\n"
+            f"{body}"
+        )
+        annotations = {
+            INTENT_MENTIONS: spec.mentions,
+            DIFFICULTY_PREFIX + INTENT_MENTIONS: spec.mentions_difficulty,
+            INTENT_FIRSTHAND: spec.firsthand_deal,
+            DIFFICULTY_PREFIX + INTENT_FIRSTHAND: spec.firsthand_difficulty,
+            INTENT_RELEVANT: spec.relevant,
+            DIFFICULTY_PREFIX + INTENT_RELEVANT: spec.relevant_difficulty,
+            INTENT_SENDER: spec.sender,
+            DIFFICULTY_PREFIX + INTENT_SENDER: 0.05,
+            INTENT_SUBJECT: spec.subject,
+            DIFFICULTY_PREFIX + INTENT_SUBJECT: 0.05,
+            INTENT_SUMMARY: spec.summary,
+            # Free-form summarization is the hardest extraction: cheap
+            # tiers degrade visibly while sender/subject stay trivial.
+            DIFFICULTY_PREFIX + INTENT_SUMMARY: 0.6,
+        }
+        corpus.add(filename, rendered, annotations)
+        records.append(
+            DataRecord(
+                fields={
+                    "filename": filename,
+                    "sender": spec.sender,
+                    "subject": spec.subject,
+                    "body": body,
+                },
+                uid=f"enron:{filename}",
+                annotations=annotations,
+                source_id="enron",
+            )
+        )
+        if spec.relevant:
+            relevant_filenames.append(filename)
+
+    description = (
+        "A subset of 250 emails from a corporate mail archive (Enron-style). "
+        "Emails include internal business discussion, forwarded news "
+        "articles, and personal mail. Some emails discuss specific named "
+        "business transactions (Raptor, Condor, Death Star, Chewco, JEDI, "
+        "Talon) firsthand."
+    )
+    return DatasetBundle(
+        name="enron",
+        corpus=corpus,
+        schema=EMAIL_SCHEMA,
+        registry=build_intent_registry(),
+        description=description,
+        ground_truth={
+            "relevant_filenames": sorted(relevant_filenames),
+            "n_relevant": len(relevant_filenames),
+        },
+        record_list=records,
+    )

@@ -1,0 +1,704 @@
+"""Synthetic Kramabench legal workload (132 files of consumer-report stats).
+
+The paper's first evaluation query (``legal-easy-3``) runs over 132 CSV and
+HTML files of FTC Consumer Sentinel statistics and asks for the ratio of
+identity-theft reports in 2024 vs 2001.  The ground truth lives in a single
+CSV; everything else is a distractor.  This generator reproduces that
+needle-in-haystack structure:
+
+- **1 ground-truth file** with national fraud / identity-theft / other
+  counts for every year 2001-2024.
+- **4 ambiguous near-misses** (a partial-year trends overview, a
+  military-consumer subset covering both years, a hotline-call series
+  covering both years, and an age-group breakdown).  These carry high
+  difficulty so that semantic filters sometimes admit them — the source of
+  the paper's "errant file returned by one of its semantic filters" — and
+  they contain plausible wrong numbers, the source of the naive
+  CodeAgent's spurious ratios.
+- **50 state-level files** (the paper notes most files are state-level and
+  ignorable for this query).
+- **24 fraud-subcategory files, 20 scam-type files, 10 annual-review HTML
+  reports, 23 misc consumer-protection files** rounding out the lake.
+
+Every file carries hidden annotations keyed by the intents registered in
+:func:`build_intent_registry`, which is how the simulated LLM judges
+natural-language filters and extractions over the corpus.
+"""
+
+from __future__ import annotations
+
+from repro.data.corpus import FileCorpus
+from repro.data.datasets.base import DatasetBundle
+from repro.data.schemas import TEXT_FILE_SCHEMA
+from repro.data.tabular import render_csv, render_html_report
+from repro.llm.oracle import DIFFICULTY_PREFIX, IntentRegistry
+from repro.llm.simulated import DISTRACTOR_PREFIX
+from repro.utils.seeding import SeededRng
+
+# ---------------------------------------------------------------------------
+# Intents and canonical instruction strings
+# ---------------------------------------------------------------------------
+
+INTENT_MENTIONS_IT = "legal.mentions_identity_theft"
+INTENT_STATS_BOTH = "legal.identity_theft_stats_2001_2024"
+INTENT_STATE_LEVEL = "legal.state_level_identity_theft"
+INTENT_NATIONAL_2001 = "legal.has_national_identity_theft_2001"
+INTENT_NATIONAL_2024 = "legal.has_national_identity_theft_2024"
+INTENT_IT_2001_VALUE = "legal.identity_theft_2001"
+INTENT_IT_2024_VALUE = "legal.identity_theft_2024"
+INTENT_RATIO_VALUE = "legal.identity_theft_ratio"
+
+#: The evaluation query (Kramabench ``legal-easy-3``).
+QUERY_RATIO = (
+    "Compute the ratio between the number of identity theft reports in the "
+    "year 2024 and the number of identity theft reports in the year 2001."
+)
+
+#: A second, state-level query (Kramabench-style) used to demonstrate the
+#: compute operator's generality beyond the paper's single example.
+QUERY_TOP_STATE = (
+    "Which state had the most identity theft reports in the year 2024?"
+)
+
+FILTER_STATE_LEVEL = (
+    "The file reports state level identity theft statistics."
+)
+
+#: Filters/maps used by the handcrafted semantic-operator program (Table 1).
+FILTER_MENTIONS = "The file mentions identity theft."
+FILTER_STATS_BOTH = (
+    "The file contains the number of identity theft reports for both the "
+    "years 2001 and 2024."
+)
+MAP_RATIO = (
+    "Compute the ratio of identity theft report counts for 2024 versus 2001 "
+    "from this file."
+)
+
+#: Filters/extractions used by the compute operator's generated programs.
+FILTER_NATIONAL_2001 = (
+    "The file reports national identity theft statistics for the year 2001."
+)
+FILTER_NATIONAL_2024 = (
+    "The file reports national identity theft statistics for the year 2024."
+)
+EXTRACT_IT_2001 = "Extract the number of identity theft reports in the year 2001."
+EXTRACT_IT_2024 = "Extract the number of identity theft reports in the year 2024."
+
+#: Ground-truth national identity-theft report counts (endpoints pinned).
+IT_2001 = 86_250
+IT_2024 = 1_135_291
+TRUE_RATIO = IT_2024 / IT_2001
+
+_STATES = [
+    "alabama", "alaska", "arizona", "arkansas", "california", "colorado",
+    "connecticut", "delaware", "florida", "georgia", "hawaii", "idaho",
+    "illinois", "indiana", "iowa", "kansas", "kentucky", "louisiana",
+    "maine", "maryland", "massachusetts", "michigan", "minnesota",
+    "mississippi", "missouri", "montana", "nebraska", "nevada",
+    "new_hampshire", "new_jersey", "new_mexico", "new_york",
+    "north_carolina", "north_dakota", "ohio", "oklahoma", "oregon",
+    "pennsylvania", "rhode_island", "south_carolina", "south_dakota",
+    "tennessee", "texas", "utah", "vermont", "virginia", "washington",
+    "west_virginia", "wisconsin", "wyoming",
+]
+
+_FRAUD_CATEGORIES = [
+    "Imposter Scams", "Online Shopping", "Prizes Sweepstakes and Lotteries",
+    "Internet Services", "Telephone and Mobile Services",
+    "Business and Job Opportunities", "Investment Related",
+    "Travel Vacations and Timeshares", "Foreign Money Offers",
+    "Health Care", "Debt Collection", "Auto Related",
+]
+
+_SCAM_TYPES = [
+    "Phishing", "Tech Support", "Romance", "Grandparent", "Lottery",
+    "Charity", "Rental", "Employment", "Cryptocurrency", "Gift Card",
+]
+
+
+def build_intent_registry() -> IntentRegistry:
+    """Register every legal-workload intent the oracle must resolve."""
+    registry = IntentRegistry()
+    registry.register(
+        INTENT_MENTIONS_IT,
+        ["identity", "theft"],
+        "file mentions identity theft",
+    )
+    registry.register(
+        INTENT_STATS_BOTH,
+        ["identity", "theft", "reports", "2001", "2024"],
+        "file has identity theft report counts for both 2001 and 2024",
+    )
+    registry.register(
+        INTENT_STATE_LEVEL,
+        ["state", "level", "identity", "theft"],
+        "file has state-level identity theft statistics",
+    )
+    registry.register(
+        INTENT_NATIONAL_2001,
+        ["national", "identity", "theft", "2001"],
+        "file has national identity theft statistics for 2001",
+    )
+    registry.register(
+        INTENT_NATIONAL_2024,
+        ["national", "identity", "theft", "2024"],
+        "file has national identity theft statistics for 2024",
+    )
+    registry.register(
+        INTENT_IT_2001_VALUE,
+        ["number", "identity", "theft", "2001"],
+        "the count of identity theft reports in 2001",
+    )
+    registry.register(
+        INTENT_IT_2024_VALUE,
+        ["number", "identity", "theft", "2024"],
+        "the count of identity theft reports in 2024",
+    )
+    registry.register(
+        INTENT_RATIO_VALUE,
+        ["ratio", "identity", "theft"],
+        "ratio of identity theft reports 2024 vs 2001",
+    )
+    return registry
+
+
+# ---------------------------------------------------------------------------
+# Numeric series
+# ---------------------------------------------------------------------------
+
+
+def _national_series(rng: SeededRng) -> dict[str, dict[int, int]]:
+    """National report counts per category and year, endpoints pinned."""
+    years = list(range(2001, 2025))
+
+    def series(start: int, end: int, stream: str) -> dict[int, int]:
+        child = rng.child("series", stream)
+        growth = (end / start) ** (1 / (len(years) - 1))
+        values = {}
+        level = float(start)
+        for year in years:
+            values[year] = int(round(level))
+            level *= growth * child.uniform(0.93, 1.07)
+        values[years[0]] = start
+        values[years[-1]] = end
+        return values
+
+    return {
+        "identity_theft": series(IT_2001, IT_2024, "identity-theft"),
+        "fraud": series(137_306, 2_790_345, "fraud"),
+        "other": series(58_119, 1_270_480, "other"),
+    }
+
+
+def _state_weights(rng: SeededRng) -> dict[str, float]:
+    child = rng.child("state-weights")
+    raw = {state: child.uniform(0.3, 9.0) for state in _STATES}
+    total = sum(raw.values())
+    return {state: weight / total for state, weight in raw.items()}
+
+
+# ---------------------------------------------------------------------------
+# Annotation helpers
+# ---------------------------------------------------------------------------
+
+
+def _ann(annotations: dict, key: str, value, difficulty: float) -> None:
+    annotations[key] = value
+    annotations[DIFFICULTY_PREFIX + key] = difficulty
+
+
+def _negative_defaults(annotations: dict, mentions: bool, difficulty: float = 0.1) -> None:
+    """Fill in the filter intents every file must be judgeable on."""
+    _ann(annotations, INTENT_MENTIONS_IT, mentions, difficulty)
+    annotations.setdefault(INTENT_STATS_BOTH, False)
+    annotations.setdefault(DIFFICULTY_PREFIX + INTENT_STATS_BOTH, difficulty)
+    annotations.setdefault(INTENT_NATIONAL_2001, False)
+    annotations.setdefault(DIFFICULTY_PREFIX + INTENT_NATIONAL_2001, difficulty)
+    annotations.setdefault(INTENT_NATIONAL_2024, False)
+    annotations.setdefault(DIFFICULTY_PREFIX + INTENT_NATIONAL_2024, difficulty)
+    annotations.setdefault(INTENT_STATE_LEVEL, False)
+    annotations.setdefault(DIFFICULTY_PREFIX + INTENT_STATE_LEVEL, difficulty)
+
+
+# ---------------------------------------------------------------------------
+# File builders
+# ---------------------------------------------------------------------------
+
+
+def _add_ground_truth(corpus: FileCorpus, national: dict[str, dict[int, int]]) -> None:
+    rows = [
+        [year, national["fraud"][year], national["identity_theft"][year], national["other"][year]]
+        for year in range(2001, 2025)
+    ]
+    contents = render_csv(
+        ["Year", "Fraud Reports", "Identity Theft Reports", "Other Reports"], rows
+    )
+    annotations: dict = {}
+    _ann(annotations, INTENT_MENTIONS_IT, True, 0.05)
+    _ann(annotations, INTENT_STATE_LEVEL, False, 0.2)
+    _ann(annotations, INTENT_STATS_BOTH, True, 0.1)
+    _ann(annotations, INTENT_NATIONAL_2001, True, 0.1)
+    _ann(annotations, INTENT_NATIONAL_2024, True, 0.1)
+    _ann(annotations, INTENT_IT_2001_VALUE, IT_2001, 0.1)
+    _ann(annotations, INTENT_IT_2024_VALUE, IT_2024, 0.1)
+    _ann(annotations, INTENT_RATIO_VALUE, round(TRUE_RATIO, 4), 0.15)
+    # A plausible extraction mistake on this file grabs the fraud column.
+    annotations[DISTRACTOR_PREFIX + INTENT_IT_2024_VALUE] = national["fraud"][2024]
+    annotations[DISTRACTOR_PREFIX + INTENT_IT_2001_VALUE] = national["fraud"][2001]
+    corpus.add(
+        "fraud_identity_theft_and_other_reports_2001_2024.csv", contents, annotations
+    )
+
+
+def _add_ambiguous_files(corpus: FileCorpus, national: dict[str, dict[int, int]]) -> None:
+    # 1. Partial-year national trends overview (HTML): Q1-Q3 2024 number and
+    #    an approximate 2001 figure in prose.  The classic errant file.
+    partial_2024 = int(national["identity_theft"][2024] * 0.74)
+    approx_2001 = 86_000
+    overview = render_html_report(
+        "Identity Theft Report Trends Overview (through Q3 2024)",
+        [
+            "The Consumer Sentinel Network tracks identity theft reports "
+            "filed by consumers nationwide.",
+            f"Through the first three quarters of 2024, consumers filed "
+            f"{partial_2024:,} identity theft reports nationally.",
+            f"For perspective, consumers filed roughly {approx_2001:,} "
+            f"identity theft reports in 2001, the first year of tracking.",
+            "Full-year 2024 figures will be published in the annual data "
+            "book early next year.",
+        ],
+        [(
+            ["Quarter", "Identity Theft Reports"],
+            [
+                ["2024 Q1", f"{int(partial_2024 * 0.32):,}"],
+                ["2024 Q2", f"{int(partial_2024 * 0.33):,}"],
+                ["2024 Q3", f"{partial_2024 - int(partial_2024 * 0.32) - int(partial_2024 * 0.33):,}"],
+            ],
+        )],
+    )
+    annotations: dict = {}
+    _ann(annotations, INTENT_MENTIONS_IT, True, 0.05)
+    _ann(annotations, INTENT_STATE_LEVEL, False, 0.2)
+    # Highly ambiguous: it *does* discuss both years, but the 2024 number is
+    # partial.  Difficulty 1.0 makes semantic filters admit it in a minority
+    # of trials, yielding the paper's occasional second ratio.
+    _ann(annotations, INTENT_STATS_BOTH, False, 1.0)
+    _ann(annotations, INTENT_NATIONAL_2001, True, 0.8)
+    _ann(annotations, INTENT_NATIONAL_2024, True, 0.6)
+    _ann(annotations, INTENT_IT_2001_VALUE, approx_2001, 0.3)
+    _ann(annotations, INTENT_IT_2024_VALUE, partial_2024, 0.3)
+    _ann(annotations, INTENT_RATIO_VALUE, round(partial_2024 / approx_2001, 4), 0.3)
+    corpus.add("identity_theft_report_trends_overview_2024.html", overview, annotations)
+
+    # 2. Military-consumer subset covering both years: right span, wrong scope.
+    mil_2001, mil_2024 = 1_205, 18_652
+    rows = []
+    level = float(mil_2001)
+    growth = (mil_2024 / mil_2001) ** (1 / 23)
+    for year in range(2001, 2025):
+        rows.append([year, int(round(level))])
+        level *= growth
+    rows[0][1] = mil_2001
+    rows[-1][1] = mil_2024
+    contents = render_csv(["Year", "Military Consumer Identity Theft Reports"], rows)
+    annotations = {}
+    _ann(annotations, INTENT_MENTIONS_IT, True, 0.05)
+    _ann(annotations, INTENT_STATE_LEVEL, False, 0.2)
+    _ann(annotations, INTENT_STATS_BOTH, False, 1.0)
+    _ann(annotations, INTENT_NATIONAL_2001, False, 0.7)
+    _ann(annotations, INTENT_NATIONAL_2024, False, 0.7)
+    _ann(annotations, INTENT_IT_2001_VALUE, mil_2001, 0.4)
+    _ann(annotations, INTENT_IT_2024_VALUE, mil_2024, 0.4)
+    _ann(annotations, INTENT_RATIO_VALUE, round(mil_2024 / mil_2001, 4), 0.4)
+    corpus.add("military_consumer_identity_theft_2001_2024.csv", contents, annotations)
+
+    # 3. Identity-theft hotline call volumes covering both years: the right
+    #    span and topic, but calls are not reports (ratio ~22 vs ~13.2).
+    hotline_2001, hotline_2024 = 3_927, 86_404
+    rows = []
+    level = float(hotline_2001)
+    growth = (hotline_2024 / hotline_2001) ** (1 / 23)
+    for year in range(2001, 2025):
+        rows.append([year, int(round(level))])
+        level *= growth
+    rows[0][1] = hotline_2001
+    rows[-1][1] = hotline_2024
+    contents = render_csv(["Year", "Identity Theft Hotline Calls"], rows)
+    annotations = {}
+    _ann(annotations, INTENT_MENTIONS_IT, True, 0.05)
+    _ann(annotations, INTENT_STATE_LEVEL, False, 0.2)
+    _ann(annotations, INTENT_STATS_BOTH, False, 1.0)
+    _ann(annotations, INTENT_NATIONAL_2001, False, 0.7)
+    _ann(annotations, INTENT_NATIONAL_2024, False, 0.7)
+    _ann(annotations, INTENT_IT_2001_VALUE, hotline_2001, 0.5)
+    _ann(annotations, INTENT_IT_2024_VALUE, hotline_2024, 0.5)
+    _ann(annotations, INTENT_RATIO_VALUE, round(hotline_2024 / hotline_2001, 4), 0.5)
+    corpus.add("identity_theft_hotline_calls_2001_2024.csv", contents, annotations)
+
+    # 4. Age-group breakdown of 2024 (no total row, no 2001 data).
+    buckets = [
+        ("19 and Under", 0.06), ("20-29", 0.23), ("30-39", 0.3636),
+        ("40-49", 0.17), ("50-59", 0.10), ("60-69", 0.05),
+        ("70 and Over", 0.0264),
+    ]
+    it_2024 = national["identity_theft"][2024]
+    bucket_rows = [[label, int(it_2024 * share)] for label, share in buckets]
+    largest_bucket = max(count for _, count in bucket_rows)
+    contents = render_csv(["Age Group", "Identity Theft Reports 2024"], bucket_rows)
+    annotations = {}
+    _ann(annotations, INTENT_MENTIONS_IT, True, 0.05)
+    _ann(annotations, INTENT_STATE_LEVEL, False, 0.2)
+    _ann(annotations, INTENT_STATS_BOTH, False, 0.4)
+    _ann(annotations, INTENT_NATIONAL_2001, False, 0.2)
+    _ann(annotations, INTENT_NATIONAL_2024, True, 0.5)
+    # Without a total row, the "2024 number" an LLM pulls is a bucket value.
+    _ann(annotations, INTENT_IT_2024_VALUE, largest_bucket, 0.8)
+    corpus.add("identity_theft_by_age_group_2024.csv", contents, annotations)
+
+
+def _add_state_files(
+    corpus: FileCorpus, national: dict[str, dict[int, int]], rng: SeededRng
+) -> None:
+    weights = _state_weights(rng)
+    for state in _STATES:
+        child = rng.child("state", state)
+        share = weights[state]
+        rows = []
+        for year in range(2020, 2025):
+            annual = int(national["identity_theft"][year] * share)
+            fraud = int(national["fraud"][year] * share * child.uniform(0.9, 1.1))
+            rows.append([year, annual, fraud])
+            for month in range(1, 13):
+                monthly = int(annual * child.uniform(0.06, 0.1))
+                rows.append([f"{year}-{month:02d}", monthly, int(fraud / 12)])
+        contents = render_csv(
+            ["Period", "Identity Theft Reports", "Fraud Reports"], rows
+        )
+        annotations: dict = {}
+        _negative_defaults(annotations, mentions=True, difficulty=0.25)
+        _ann(annotations, INTENT_STATE_LEVEL, True, 0.1)
+        state_2024 = int(national["identity_theft"][2024] * share)
+        _ann(annotations, INTENT_IT_2024_VALUE, state_2024, 0.3)
+        corpus.add(f"identity_theft_reports_{state}_2020_2024.csv", contents, annotations)
+
+
+def _add_category_files(
+    corpus: FileCorpus, national: dict[str, dict[int, int]], rng: SeededRng
+) -> None:
+    for year in range(2001, 2025):
+        child = rng.child("category", year)
+        total = national["fraud"][year]
+        shares = [child.uniform(0.4, 1.6) for _ in _FRAUD_CATEGORIES]
+        norm = sum(shares)
+        rows = []
+        for category, share in zip(_FRAUD_CATEGORIES, shares):
+            annual = int(total * share / norm)
+            rows.append([category, "FY", annual, f"${child.uniform(5, 600):.1f}M"])
+            for quarter in range(1, 5):
+                rows.append(
+                    [
+                        category,
+                        f"Q{quarter}",
+                        int(annual * child.uniform(0.2, 0.3)),
+                        f"${child.uniform(1, 150):.1f}M",
+                    ]
+                )
+        contents = render_csv(
+            [f"Fraud Subcategory ({year})", "Period", "Reports", "Losses"], rows
+        )
+        annotations: dict = {}
+        _negative_defaults(annotations, mentions=False, difficulty=0.1)
+        corpus.add(f"fraud_subcategory_reports_{year}.csv", contents, annotations)
+
+
+def _add_scam_type_files(corpus: FileCorpus, rng: SeededRng) -> None:
+    for year in range(2005, 2025):
+        child = rng.child("scam", year)
+        rows = []
+        for scam in _SCAM_TYPES:
+            annual = int(child.uniform(5_000, 400_000))
+            rows.append([scam, "FY", annual, f"${child.uniform(1, 900):.1f}M"])
+            for quarter in range(1, 5):
+                rows.append(
+                    [
+                        scam,
+                        f"Q{quarter}",
+                        int(annual * child.uniform(0.2, 0.3)),
+                        f"${child.uniform(0.5, 250):.1f}M",
+                    ]
+                )
+        contents = render_csv(
+            [f"Scam Type ({year})", "Period", "Reports", "Total Losses"], rows
+        )
+        annotations: dict = {}
+        _negative_defaults(annotations, mentions=False, difficulty=0.1)
+        corpus.add(f"top_scam_types_{year}.csv", contents, annotations)
+
+
+def _add_annual_reviews(
+    corpus: FileCorpus, national: dict[str, dict[int, int]], rng: SeededRng
+) -> None:
+    for year in range(2015, 2025):
+        child = rng.child("review", year)
+        it_count = national["identity_theft"][year]
+        fraud_count = national["fraud"][year]
+        other_count = national["other"][year]
+        category_rows = [
+            [category, f"{child.randint(20_000, 600_000):,}", f"${child.uniform(10, 900):.1f}M"]
+            for category in _FRAUD_CATEGORIES
+        ]
+        contents = render_html_report(
+            f"Consumer Sentinel Network Annual Review {year}",
+            [
+                f"In {year}, the Consumer Sentinel Network received "
+                f"{fraud_count + it_count + other_count:,} consumer reports.",
+                f"Identity theft was among the top report categories with "
+                f"{it_count:,} reports filed in {year}.",
+                "Reports are collected from federal, state, and local law "
+                "enforcement as well as private partners, including the "
+                "Better Business Bureaus and several payment processors.",
+                "Fraud losses are self-reported by consumers and are not "
+                "independently verified; median losses vary considerably "
+                "by contact method and by the age of the consumer filing "
+                "the report.",
+                "The tables below break the year's fraud reports into the "
+                "top subcategories tracked by the network. Rankings shift "
+                "from year to year as scam patterns evolve, but imposter "
+                "scams and online shopping complaints have remained near "
+                "the top of the list for most of the last decade.",
+            ],
+            [
+                (
+                    ["Report Category", f"{year} Reports"],
+                    [
+                        ["Fraud", f"{fraud_count:,}"],
+                        ["Identity Theft", f"{it_count:,}"],
+                        ["Other", f"{other_count:,}"],
+                    ],
+                ),
+                (
+                    ["Fraud Subcategory", "Reports", "Total Losses"],
+                    category_rows,
+                ),
+            ],
+        )
+        annotations: dict = {}
+        _negative_defaults(annotations, mentions=True, difficulty=0.3)
+        if year == 2024:
+            _ann(annotations, INTENT_NATIONAL_2024, True, 0.3)
+            _ann(annotations, INTENT_IT_2024_VALUE, it_count, 0.2)
+        corpus.add(f"consumer_sentinel_annual_review_{year}.html", contents, annotations)
+
+
+def _add_misc_files(corpus: FileCorpus, rng: SeededRng) -> None:
+    child = rng.child("misc")
+
+    def csv_file(name: str, headers: list[str], rows: list[list[object]], mentions: bool) -> None:
+        annotations: dict = {}
+        _negative_defaults(annotations, mentions=mentions, difficulty=0.15)
+        corpus.add(name, render_csv(headers, rows), annotations)
+
+    def html_file(name: str, title: str, paragraphs: list[str], mentions: bool, difficulty: float = 0.15) -> None:
+        annotations: dict = {}
+        _negative_defaults(annotations, mentions=mentions, difficulty=difficulty)
+        corpus.add(name, render_html_report(title, paragraphs, []), annotations)
+
+    for year in range(2021, 2025):
+        csv_file(
+            f"do_not_call_registry_complaints_{year}.csv",
+            ["Month", "Robocall Complaints", "Live Caller Complaints"],
+            [
+                [f"{year}-{month:02d}", child.randint(80_000, 400_000), child.randint(20_000, 90_000)]
+                for month in range(1, 13)
+            ],
+            mentions=False,
+        )
+    csv_file(
+        "robocall_complaints_by_state_2024.csv",
+        ["State", "Complaints"],
+        [[state.replace("_", " ").title(), child.randint(5_000, 300_000)] for state in _STATES],
+        mentions=False,
+    )
+    for year in range(2022, 2025):
+        csv_file(
+            f"fraud_losses_by_payment_method_{year}.csv",
+            ["Payment Method", "Reports", "Total Losses"],
+            [
+                [method, child.randint(10_000, 200_000), f"${child.uniform(20, 1500):.1f}M"]
+                for method in ["Bank Transfer", "Cryptocurrency", "Wire Transfer",
+                               "Credit Card", "Gift Card", "Payment App", "Check", "Cash"]
+            ],
+            mentions=False,
+        )
+    html_file(
+        "identity_theft_recovery_steps.html",
+        "Recovering from Identity Theft: A Step-by-Step Guide",
+        [
+            "If you are a victim of identity theft, report it and get a "
+            "recovery plan.",
+            "Place a fraud alert with the three credit bureaus and review "
+            "your credit reports.",
+            "Close any accounts opened in your name and dispute fraudulent "
+            "charges.",
+        ],
+        mentions=True,
+    )
+    html_file(
+        "what_is_identity_theft_faq.html",
+        "What Is Identity Theft? Frequently Asked Questions",
+        [
+            "Identity theft happens when someone uses your personal or "
+            "financial information without your permission.",
+            "Warning signs include bills for things you did not buy and "
+            "calls about debts that are not yours.",
+        ],
+        mentions=True,
+    )
+    html_file(
+        "credit_freeze_guide.html",
+        "Credit Freezes and Fraud Alerts",
+        [
+            "A credit freeze restricts access to your credit report, making "
+            "it harder for identity thieves to open accounts in your name.",
+            "Freezes are free and do not affect your credit score.",
+        ],
+        mentions=True,
+        difficulty=0.2,
+    )
+    html_file(
+        "consumer_sentinel_data_book_methodology.html",
+        "Consumer Sentinel Network Data Book: Methodology",
+        [
+            "The data book categorizes consumer reports into fraud, identity "
+            "theft, and other categories.",
+            "Report counts are unverified self-reports and may undercount "
+            "actual incidence.",
+        ],
+        mentions=True,
+        difficulty=0.3,
+    )
+    csv_file(
+        "fraud_reports_by_contact_method_2024.csv",
+        ["Contact Method", "Reports", "Median Loss"],
+        [
+            [method, child.randint(40_000, 500_000), f"${child.randint(100, 2000)}"]
+            for method in ["Phone Call", "Text", "Email", "Social Media",
+                           "Website or App", "Mail", "In Person"]
+        ],
+        mentions=False,
+    )
+    csv_file(
+        "fraud_reports_by_age_2024.csv",
+        ["Age Group", "Fraud Reports", "Median Loss"],
+        [
+            [group, child.randint(30_000, 400_000), f"${child.randint(200, 1800)}"]
+            for group in ["19 and Under", "20-29", "30-39", "40-49",
+                          "50-59", "60-69", "70-79", "80 and Over"]
+        ],
+        mentions=False,
+    )
+    csv_file(
+        "median_fraud_loss_by_year_2019_2024.csv",
+        ["Year", "Median Loss", "Total Losses"],
+        [
+            [year, f"${child.randint(300, 600)}", f"${child.uniform(1.5, 12.0):.1f}B"]
+            for year in range(2019, 2025)
+        ],
+        mentions=False,
+    )
+    for name, label in [
+        ("business_impersonation_reports_2024.csv", "Business Impersonation"),
+        ("romance_scam_reports_2020_2024.csv", "Romance Scam"),
+        ("investment_scam_losses_2024.csv", "Investment Scam"),
+        ("gift_card_fraud_2023.csv", "Gift Card Fraud"),
+        ("cryptocurrency_scam_reports_2021_2024.csv", "Cryptocurrency Scam"),
+        ("student_loan_scam_reports_2024.csv", "Student Loan Scam"),
+    ]:
+        csv_file(
+            name,
+            ["Quarter", f"{label} Reports", "Total Losses"],
+            [
+                [f"Q{quarter}", child.randint(2_000, 90_000), f"${child.uniform(5, 400):.1f}M"]
+                for quarter in range(1, 5)
+            ],
+            mentions=False,
+        )
+    html_file(
+        "tax_identity_theft_awareness.html",
+        "Tax Identity Theft Awareness Week",
+        [
+            "Tax identity theft happens when someone files a tax return "
+            "using your Social Security number to claim your refund.",
+            "File early and use IRS Identity Protection PINs.",
+        ],
+        mentions=True,
+    )
+    html_file(
+        "elder_fraud_report_2024.html",
+        "Protecting Older Consumers: 2024 Report",
+        [
+            "Older adults report losing more money per fraud incident than "
+            "younger consumers.",
+            "Tech support scams remain the most reported scam among "
+            "consumers over 70.",
+        ],
+        mentions=False,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Public entry point
+# ---------------------------------------------------------------------------
+
+
+def generate_legal_corpus(seed: int = 7) -> DatasetBundle:
+    """Generate the 132-file legal workload.
+
+    The corpus layout, numbers, and annotations are fully determined by
+    ``seed``; the ground-truth endpoints (86,250 reports in 2001 and
+    1,135,291 in 2024) are pinned regardless of seed.
+    """
+    rng = SeededRng(seed).child("kramabench-legal")
+    corpus = FileCorpus("kramabench-legal")
+    national = _national_series(rng)
+    weights = _state_weights(rng)
+    top_state = max(weights, key=lambda state: weights[state])
+
+    _add_ground_truth(corpus, national)
+    _add_ambiguous_files(corpus, national)
+    _add_state_files(corpus, national, rng)
+    _add_category_files(corpus, national, rng)
+    _add_scam_type_files(corpus, rng)
+    _add_annual_reviews(corpus, national, rng)
+    _add_misc_files(corpus, rng)
+
+    if len(corpus) != 132:
+        raise AssertionError(
+            f"legal corpus generator produced {len(corpus)} files, expected 132"
+        )
+
+    description = (
+        "A data lake of 132 CSV and HTML files from the FTC Consumer "
+        "Sentinel Network with statistics on fraud, identity theft, and "
+        "other consumer reports. Files include national year-over-year "
+        "series, state-level breakdowns, fraud subcategory tables, scam "
+        "type rankings, annual review reports, and consumer guidance pages."
+    )
+    return DatasetBundle(
+        name="kramabench-legal",
+        corpus=corpus,
+        schema=TEXT_FILE_SCHEMA,
+        registry=build_intent_registry(),
+        description=description,
+        ground_truth={
+            "identity_theft_2001": IT_2001,
+            "identity_theft_2024": IT_2024,
+            "ratio": TRUE_RATIO,
+            "ground_truth_file": "fraud_identity_theft_and_other_reports_2001_2024.csv",
+            "top_state_2024": top_state,
+            "top_state_2024_reports": int(
+                national["identity_theft"][2024] * weights[top_state]
+            ),
+        },
+    )

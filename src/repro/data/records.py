@@ -1,0 +1,127 @@
+"""The :class:`DataRecord` carried through semantic-operator plans.
+
+A record is a bag of named fields plus two pieces of machinery:
+
+- **annotations** — hidden ground truth written by the synthetic dataset
+  generators and read only by the simulated LLM's oracle.  Operator code
+  never inspects annotations; doing so would be cheating.
+- **lineage** — every derived record remembers its parents, so executors can
+  attribute outputs to source records (needed for precision/recall scoring
+  and for the paper's materialized-Context provenance).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable
+
+_UID_COUNTER = itertools.count()
+
+
+class DataRecord:
+    """A single row flowing through a plan."""
+
+    __slots__ = ("uid", "fields", "annotations", "source_id", "parent_uids")
+
+    def __init__(
+        self,
+        fields: dict[str, Any],
+        uid: str | None = None,
+        annotations: dict[str, Any] | None = None,
+        source_id: str = "",
+        parent_uids: tuple[str, ...] = (),
+    ) -> None:
+        self.uid = uid if uid is not None else f"rec-{next(_UID_COUNTER)}"
+        self.fields = dict(fields)
+        self.annotations = dict(annotations or {})
+        self.source_id = source_id
+        self.parent_uids = tuple(parent_uids)
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise KeyError(
+                f"record {self.uid} has no field {name!r}; "
+                f"fields: {sorted(self.fields)}"
+            ) from None
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.fields.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.fields
+
+    def field_names(self) -> list[str]:
+        return sorted(self.fields)
+
+    def derive(
+        self,
+        new_fields: dict[str, Any] | None = None,
+        drop: Iterable[str] = (),
+    ) -> "DataRecord":
+        """Create a child record with updated fields and lineage to ``self``.
+
+        Annotations are inherited so downstream semantic operators can still
+        be judged by the oracle after projections and maps.
+        """
+        fields = {
+            name: value for name, value in self.fields.items() if name not in set(drop)
+        }
+        if new_fields:
+            fields.update(new_fields)
+        return DataRecord(
+            fields=fields,
+            annotations=self.annotations,
+            source_id=self.source_id,
+            parent_uids=(self.uid,),
+        )
+
+    @staticmethod
+    def merge(left: "DataRecord", right: "DataRecord") -> "DataRecord":
+        """Join two records; right-hand fields win on name collisions."""
+        fields = dict(left.fields)
+        fields.update(right.fields)
+        annotations = dict(left.annotations)
+        annotations.update(right.annotations)
+        return DataRecord(
+            fields=fields,
+            annotations=annotations,
+            source_id=left.source_id or right.source_id,
+            parent_uids=(left.uid, right.uid),
+        )
+
+    def as_text(self) -> str:
+        """Render the record as text, as it would be placed in an LLM prompt."""
+        parts = []
+        for name in sorted(self.fields):
+            value = self.fields[name]
+            parts.append(f"{name}: {value}")
+        return "\n".join(parts)
+
+    def root_uids(self, resolver: "dict[str, DataRecord] | None" = None) -> tuple[str, ...]:
+        """Return source-record uids reachable through lineage.
+
+        When ``resolver`` (uid -> record) is provided, lineage is followed
+        transitively; otherwise direct parents (or self for source records)
+        are returned.
+        """
+        if not self.parent_uids:
+            return (self.uid,)
+        if resolver is None:
+            return self.parent_uids
+        roots: list[str] = []
+        for parent_uid in self.parent_uids:
+            parent = resolver.get(parent_uid)
+            if parent is None:
+                roots.append(parent_uid)
+            else:
+                roots.extend(parent.root_uids(resolver))
+        # Preserve order, drop duplicates.
+        seen: set[str] = set()
+        unique = [uid for uid in roots if not (uid in seen or seen.add(uid))]
+        return tuple(unique)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(f"{k}={v!r}" for k, v in list(sorted(self.fields.items()))[:3])
+        return f"DataRecord({self.uid}, {preview})"

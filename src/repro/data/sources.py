@@ -1,0 +1,95 @@
+"""Data sources: where plans get their records.
+
+A :class:`DataSource` yields :class:`DataRecord` objects and reports its
+cardinality when known; the optimizer uses cardinalities for cost estimates.
+"""
+
+from __future__ import annotations
+
+import abc
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.data.records import DataRecord
+from repro.data.schemas import TEXT_FILE_SCHEMA, Schema
+from repro.errors import DataSourceError
+
+
+class DataSource(abc.ABC):
+    """Abstract record source with a schema and optional cardinality."""
+
+    def __init__(self, source_id: str, schema: Schema) -> None:
+        self.source_id = source_id
+        self.schema = schema
+
+    @abc.abstractmethod
+    def iterate(self) -> Iterator[DataRecord]:
+        """Yield the source's records."""
+
+    def cardinality(self) -> int | None:
+        """Number of records, or None if unknown without scanning."""
+        return None
+
+    def __iter__(self) -> Iterator[DataRecord]:
+        return self.iterate()
+
+
+class MemorySource(DataSource):
+    """A source over an in-memory list of records."""
+
+    def __init__(
+        self,
+        records: Iterable[DataRecord],
+        schema: Schema,
+        source_id: str = "memory",
+    ) -> None:
+        super().__init__(source_id, schema)
+        self._records = list(records)
+        for record in self._records:
+            if not record.source_id:
+                record.source_id = source_id
+
+    def iterate(self) -> Iterator[DataRecord]:
+        return iter(self._records)
+
+    def cardinality(self) -> int:
+        return len(self._records)
+
+    def records(self) -> list[DataRecord]:
+        return list(self._records)
+
+
+class DirectorySource(DataSource):
+    """A source that wraps each file in a directory as one record.
+
+    Used when a corpus has been dumped to disk; the synthetic benchmarks
+    normally stay in memory via :class:`MemorySource`.
+    """
+
+    def __init__(self, root: str | Path, source_id: str | None = None) -> None:
+        self.root = Path(root)
+        if not self.root.is_dir():
+            raise DataSourceError(f"not a directory: {self.root}")
+        super().__init__(source_id or str(self.root), TEXT_FILE_SCHEMA)
+
+    def _paths(self) -> list[Path]:
+        return sorted(path for path in self.root.iterdir() if path.is_file())
+
+    def iterate(self) -> Iterator[DataRecord]:
+        for path in self._paths():
+            try:
+                contents = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                raise DataSourceError(f"cannot read {path}: {exc}") from exc
+            yield DataRecord(
+                fields={
+                    "filename": path.name,
+                    "contents": contents,
+                    "format": path.suffix.lstrip(".").lower() or "txt",
+                },
+                uid=f"file:{path.name}",
+                source_id=self.source_id,
+            )
+
+    def cardinality(self) -> int:
+        return len(self._paths())

@@ -1,0 +1,88 @@
+"""Exception hierarchy for the repro runtime.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when the runtime or an operator is misconfigured."""
+
+
+class SchemaError(ReproError):
+    """Raised for invalid schema definitions or schema mismatches."""
+
+
+class DataSourceError(ReproError):
+    """Raised when a data source cannot be read or parsed."""
+
+
+class LLMError(ReproError):
+    """Base class for errors from the (simulated) LLM service."""
+
+
+class UnknownModelError(LLMError):
+    """Raised when a request names a model absent from the catalog."""
+
+
+class BudgetExceededError(LLMError):
+    """Raised when a request would exceed the configured spend budget."""
+
+
+class SQLError(ReproError):
+    """Base class for SQL engine errors."""
+
+
+class SQLSyntaxError(SQLError):
+    """Raised by the lexer/parser on malformed SQL."""
+
+
+class SQLPlanError(SQLError):
+    """Raised by the planner for semantically invalid queries."""
+
+
+class SQLExecutionError(SQLError):
+    """Raised during query execution (e.g. type errors, missing tables)."""
+
+
+class PlanError(ReproError):
+    """Raised for invalid semantic-operator plans."""
+
+
+class OptimizationError(ReproError):
+    """Raised when the optimizer cannot produce a physical plan."""
+
+
+class ExecutionError(ReproError):
+    """Raised when executing a physical plan fails."""
+
+
+class SandboxError(ReproError):
+    """Base class for sandboxed-interpreter errors."""
+
+
+class SandboxSecurityError(SandboxError):
+    """Raised when submitted code uses a forbidden construct."""
+
+
+class SandboxTimeoutError(SandboxError):
+    """Raised when sandboxed code exceeds its step budget."""
+
+
+class AgentError(ReproError):
+    """Raised when an agent cannot complete its task."""
+
+
+class ToolError(ReproError):
+    """Raised when a tool invocation fails."""
+
+
+class ContextError(ReproError):
+    """Raised for invalid Context operations (bad index, missing tool...)."""

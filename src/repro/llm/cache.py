@@ -1,0 +1,53 @@
+"""Generation cache for the simulated LLM service.
+
+Mirrors the reuse-of-previous-results optimization the paper cites (SGLang
+[30]): repeated identical requests hit the cache and incur neither cost nor
+latency.  The semantic-operator executor relies on this when the optimizer's
+sampling phase re-executes operators on already-seen records.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.utils.hashing import stable_digest
+
+
+class GenerationCache:
+    """A bounded LRU cache keyed by (model, request payload)."""
+
+    def __init__(self, max_entries: int = 100_000) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(model: str, *payload: Any) -> str:
+        return stable_digest("gen-cache", model, *payload)
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """Return ``(hit, value)``; moves the entry to most-recently-used."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True, self._entries[key]
+        self.misses += 1
+        return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,91 @@
+"""Client-facing protocol for LLM services.
+
+The rest of the library programs against this protocol so a real API-backed
+client could be dropped in without touching operators, agents, or the
+optimizer.  :class:`repro.llm.simulated.SimulatedLLM` is the only
+implementation shipped (the sandbox has no network access).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.llm.oracle import AnnotatedRecord
+from repro.llm.usage import UsageEvent, UsageTracker
+from repro.utils.clock import VirtualClock
+
+
+@dataclass(frozen=True)
+class CompletionResult:
+    """Free-text completion plus its accounting record."""
+
+    text: str
+    event: UsageEvent
+
+
+@dataclass(frozen=True)
+class FilterJudgment:
+    """Boolean semantic judgment plus provenance."""
+
+    answer: bool
+    #: Whether the oracle resolved the instruction to a known intent.
+    resolved: bool
+    intent_key: str
+    event: UsageEvent
+
+
+@dataclass(frozen=True)
+class ExtractionResult:
+    """Value extracted for a natural-language instruction."""
+
+    value: Any
+    resolved: bool
+    intent_key: str
+    event: UsageEvent
+
+
+@runtime_checkable
+class LLMClient(Protocol):
+    """Minimal surface the library needs from an LLM service."""
+
+    tracker: UsageTracker
+    clock: VirtualClock
+
+    def complete(
+        self,
+        prompt: str,
+        model: str = ...,
+        max_output_tokens: int = ...,
+        tag: str = "",
+        expected_output: str | None = None,
+    ) -> CompletionResult: ...
+
+    def judge_filter(
+        self,
+        instruction: str,
+        record: AnnotatedRecord,
+        model: str = ...,
+        tag: str = "",
+    ) -> FilterJudgment: ...
+
+    def extract(
+        self,
+        instruction: str,
+        record: AnnotatedRecord,
+        model: str = ...,
+        tag: str = "",
+    ) -> ExtractionResult: ...
+
+    def classify(
+        self,
+        instruction: str,
+        options: list[str],
+        record: AnnotatedRecord,
+        model: str = ...,
+        tag: str = "",
+    ) -> ExtractionResult: ...
+
+    def embed(self, text: str, tag: str = "") -> np.ndarray: ...

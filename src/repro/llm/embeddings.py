@@ -1,0 +1,81 @@
+"""Deterministic text embeddings.
+
+Implements feature-hashed bag-of-tokens embeddings (the classic "hashing
+trick"): each token hashes to a dimension and a sign, weighted by
+``1 + log(count)``, then L2-normalized.  The result behaves like a real
+embedding model for the purposes of the paper's prototype — texts sharing
+vocabulary land near each other — while being exactly reproducible offline.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.hashing import stable_hash
+from repro.utils.text import STOPWORDS, tokenize
+
+DEFAULT_DIM = 256
+
+
+class EmbeddingModel:
+    """Feature-hashing embedding model with a fixed dimensionality."""
+
+    def __init__(self, dim: int = DEFAULT_DIM) -> None:
+        if dim < 8:
+            raise ValueError(f"embedding dim must be >= 8, got {dim}")
+        self.dim = dim
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed ``text`` into a unit-norm float32 vector.
+
+        Empty or all-stopword texts map to the zero vector.
+        """
+        vector = np.zeros(self.dim, dtype=np.float64)
+        counts: dict[str, int] = {}
+        for token in tokenize(text):
+            if token in STOPWORDS:
+                continue
+            counts[token] = counts.get(token, 0) + 1
+        for token, count in counts.items():
+            bucket = stable_hash("emb-bucket", token) % self.dim
+            sign = 1.0 if stable_hash("emb-sign", token) % 2 == 0 else -1.0
+            vector[bucket] += sign * (1.0 + math.log(count))
+        norm = float(np.linalg.norm(vector))
+        if norm > 0:
+            vector /= norm
+        return vector.astype(np.float32)
+
+    def embed_many(self, texts: list[str]) -> np.ndarray:
+        """Embed a batch of texts into an ``(n, dim)`` matrix."""
+        if not texts:
+            return np.zeros((0, self.dim), dtype=np.float32)
+        return np.stack([self.embed(text) for text in texts])
+
+
+def cosine_similarity(vec_a: np.ndarray, vec_b: np.ndarray) -> float:
+    """Cosine similarity; zero vectors yield 0.0 rather than NaN."""
+    norm_a = float(np.linalg.norm(vec_a))
+    norm_b = float(np.linalg.norm(vec_b))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return float(np.dot(vec_a, vec_b) / (norm_a * norm_b))
+
+
+def top_k_similar(
+    query: np.ndarray, matrix: np.ndarray, k: int
+) -> list[tuple[int, float]]:
+    """Return ``[(row_index, similarity)]`` for the ``k`` most similar rows."""
+    if matrix.shape[0] == 0 or k < 1:
+        return []
+    norms = np.linalg.norm(matrix, axis=1)
+    query_norm = float(np.linalg.norm(query))
+    if query_norm == 0.0:
+        return []
+    safe_norms = np.where(norms == 0.0, 1.0, norms)
+    sims = (matrix @ query) / (safe_norms * query_norm)
+    sims = np.where(norms == 0.0, 0.0, sims)
+    k = min(k, matrix.shape[0])
+    top = np.argsort(-sims, kind="stable")[:k]
+    return [(int(idx), float(sims[idx])) for idx in top]

@@ -1,0 +1,41 @@
+"""Paper-parity alias module: ``import repro.pz as pz``.
+
+The paper's Figure 2 writes programs in Palimpzest style::
+
+    import repro.pz as pz
+
+    ctx = pz.Context(records, schema, desc="...")
+    ctx2 = pz.search(ctx, "look for information on identity thefts",
+                     runtime=runtime)
+    out = pz.compute(ctx2.output_context,
+                     "compute the number of thefts in 2024",
+                     runtime=runtime)
+
+This module re-exports the runtime surface under the names the paper uses,
+so its listings run as written (modulo the explicit ``runtime`` argument —
+our runtime object carries what Palimpzest keeps in global state).
+"""
+
+from repro.core.context import Context
+from repro.core.operators import ComputeResult, SearchResult, compute, search
+from repro.core.runtime import AnalyticsRuntime
+from repro.data.schemas import Field, Schema
+from repro.sem.config import QueryProcessorConfig
+from repro.sem.dataset import Dataset
+from repro.sem.optimizer.policies import Balanced, MaxQuality, MinCost
+
+__all__ = [
+    "AnalyticsRuntime",
+    "Balanced",
+    "ComputeResult",
+    "Context",
+    "Dataset",
+    "Field",
+    "MaxQuality",
+    "MinCost",
+    "QueryProcessorConfig",
+    "Schema",
+    "SearchResult",
+    "compute",
+    "search",
+]

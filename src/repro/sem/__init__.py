@@ -1,0 +1,40 @@
+"""Semantic-operator framework (the Palimpzest-style substrate).
+
+Declarative, natural-language-specified AI operators over collections of
+records, with logical optimization (filter pushdown and reordering),
+cost-based physical optimization (sampling-driven model selection), and an
+iterator-semantics execution engine.
+
+Quick use::
+
+    from repro.sem import Dataset, QueryProcessorConfig
+
+    emails = Dataset.from_source(bundle.source())
+    relevant = emails.sem_filter("The email discusses project Alpha.")
+    result = relevant.run(QueryProcessorConfig(llm=llm))
+    for record in result.records:
+        ...
+"""
+
+from repro.sem.config import QueryProcessorConfig
+from repro.sem.dataset import Dataset
+from repro.sem.execution import ExecutionResult, OperatorStats
+from repro.sem.explain import explain_analyze
+from repro.sem.optimizer.policies import (
+    Balanced,
+    MaxQuality,
+    MinCost,
+    OptimizationPolicy,
+)
+
+__all__ = [
+    "Balanced",
+    "Dataset",
+    "ExecutionResult",
+    "MaxQuality",
+    "MinCost",
+    "OperatorStats",
+    "OptimizationPolicy",
+    "QueryProcessorConfig",
+    "explain_analyze",
+]

@@ -1,0 +1,65 @@
+"""Query-processor configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.llm.models import DEFAULT_MODEL, completion_models_by_cost
+from repro.llm.simulated import SimulatedLLM
+from repro.sem.optimizer.policies import MaxQuality, OptimizationPolicy
+
+
+@dataclass
+class QueryProcessorConfig:
+    """Everything a :meth:`Dataset.run` call needs.
+
+    Defaults mirror Palimpzest's: optimization on, champion model GPT-4o,
+    sequential (iterator-semantics) execution.
+    """
+
+    llm: SimulatedLLM
+    policy: OptimizationPolicy = field(default_factory=MaxQuality)
+    #: Master switch; False executes the naive plan with the champion model.
+    optimize: bool = True
+    #: Reorder commuting filters by sampled cost/selectivity.
+    reorder_filters: bool = True
+    #: Choose cheaper models per operator when quality allows.
+    select_models: bool = True
+    #: Records sampled per operator when profiling models.
+    sample_size: int = 12
+    #: Reference model for agreement-based quality estimation.
+    champion_model: str = DEFAULT_MODEL
+    #: Candidate models for selection (None = all chat models, by cost).
+    available_models: list[str] | None = None
+    #: Concurrent LLM calls per operator (1 = strict iterator semantics).
+    parallelism: int = 1
+    seed: int = 0
+    #: Tag prefix for usage events, so benchmarks can slice spend.
+    tag: str = "query"
+    #: Semantic-join physical implementation: "nested" judges every pair,
+    #: "blocked" pre-screens pairs by embedding similarity.
+    join_method: str = "nested"
+    #: Hard spend cap for this run (None = unlimited).  When set, the
+    #: engine stops between operators once the cap is reached and returns
+    #: the records produced so far, flagged as truncated.
+    max_cost_usd: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.sample_size < 1:
+            raise ConfigurationError(f"sample_size must be >= 1, got {self.sample_size}")
+        if self.parallelism < 1:
+            raise ConfigurationError(f"parallelism must be >= 1, got {self.parallelism}")
+        if self.join_method not in ("nested", "blocked"):
+            raise ConfigurationError(
+                f"join_method must be 'nested' or 'blocked', got {self.join_method!r}"
+            )
+        if self.max_cost_usd is not None and self.max_cost_usd <= 0:
+            raise ConfigurationError(
+                f"max_cost_usd must be positive, got {self.max_cost_usd}"
+            )
+
+    def candidate_models(self) -> list[str]:
+        if self.available_models is not None:
+            return list(self.available_models)
+        return [card.name for card in completion_models_by_cost()]

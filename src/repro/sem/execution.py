@@ -1,0 +1,120 @@
+"""Execution engine and statistics.
+
+The engine executes a list of bound physical operators leaves-first
+(iterator/batch semantics, as in Palimpzest) and measures, per operator:
+records in/out, LLM calls, dollars, and simulated seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.records import DataRecord
+from repro.sem.physical import ExecutionContext, PhysicalOperator
+
+
+@dataclass
+class OperatorStats:
+    """Measured behaviour of one physical operator in one execution."""
+
+    label: str
+    model: str | None
+    records_in: int
+    records_out: int
+    cost_usd: float
+    time_s: float
+    llm_calls: int
+    cached_calls: int
+
+    @property
+    def selectivity(self) -> float:
+        """Output/input ratio (1.0 when the operator saw no input)."""
+        if self.records_in == 0:
+            return 1.0
+        return self.records_out / self.records_in
+
+
+@dataclass
+class ExecutionResult:
+    """Output records plus the full accounting of how they were produced."""
+
+    records: list[DataRecord]
+    operator_stats: list[OperatorStats] = field(default_factory=list)
+    total_cost_usd: float = 0.0
+    total_time_s: float = 0.0
+    #: Extra spend attributed to the optimizer's sampling phase.
+    optimization_cost_usd: float = 0.0
+    optimization_time_s: float = 0.0
+    plan_explain: str = ""
+    #: True when a spend cap stopped execution before the plan completed;
+    #: ``records`` then holds the output of the last finished operator.
+    truncated: bool = False
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def field_values(self, name: str) -> list:
+        return [record.get(name) for record in self.records]
+
+    def summary(self) -> str:
+        lines = [
+            f"records: {len(self.records)}  cost: ${self.total_cost_usd:.4f}  "
+            f"time: {self.total_time_s:.1f}s"
+        ]
+        for stats in self.operator_stats:
+            lines.append(
+                f"  {stats.label}: {stats.records_in} -> {stats.records_out} "
+                f"(${stats.cost_usd:.4f}, {stats.time_s:.1f}s, "
+                f"{stats.llm_calls} calls, {stats.cached_calls} cached)"
+            )
+        return "\n".join(lines)
+
+
+class Engine:
+    """Executes a bound operator chain with per-operator accounting."""
+
+    def __init__(self, ctx: ExecutionContext, max_cost_usd: float | None = None) -> None:
+        self.ctx = ctx
+        self.max_cost_usd = max_cost_usd
+
+    def execute(self, operators: list[PhysicalOperator]) -> ExecutionResult:
+        llm = self.ctx.llm
+        records: list[DataRecord] = []
+        stats: list[OperatorStats] = []
+        run_start_cost = llm.tracker.total().cost_usd
+        run_start_time = llm.clock.elapsed
+        truncated = False
+
+        for operator in operators:
+            spent = llm.tracker.total().cost_usd - run_start_cost
+            if self.max_cost_usd is not None and spent >= self.max_cost_usd:
+                truncated = True
+                break
+            checkpoint = llm.tracker.checkpoint()
+            time_before = llm.clock.elapsed
+            n_in = len(records)
+            records = operator.execute(records, self.ctx)
+            usage = llm.tracker.since(checkpoint)
+            cached = sum(
+                1 for event in llm.tracker.events[checkpoint:] if event.cached
+            )
+            stats.append(
+                OperatorStats(
+                    label=operator.label(),
+                    model=operator.model,
+                    records_in=n_in,
+                    records_out=len(records),
+                    cost_usd=usage.cost_usd,
+                    time_s=llm.clock.elapsed - time_before,
+                    llm_calls=usage.calls,
+                    cached_calls=cached,
+                )
+            )
+
+        return ExecutionResult(
+            records=records,
+            operator_stats=stats,
+            total_cost_usd=llm.tracker.total().cost_usd - run_start_cost,
+            total_time_s=llm.clock.elapsed - run_start_time,
+            truncated=truncated,
+        )

@@ -1,0 +1,67 @@
+"""EXPLAIN ANALYZE for semantic-operator plans.
+
+Combines the optimizer's report (chosen models, sampled profiles, plan
+estimate) with the engine's measured statistics into the side-by-side
+rendering database users expect: per operator, estimated vs. actual rows
+and cost, so optimizer misestimates are visible at a glance.
+"""
+
+from __future__ import annotations
+
+from repro.sem.execution import ExecutionResult
+from repro.sem.optimizer.optimizer import OptimizationReport
+from repro.utils.formatting import format_table
+
+
+def explain_analyze(result: ExecutionResult, report: OptimizationReport) -> str:
+    """Render measured operator stats with the optimizer's expectations."""
+    rows = []
+    for stats in result.operator_stats:
+        base_label = stats.label.split(" [")[0]
+        profile = None
+        if base_label in report.profiles:
+            model_profiles = report.profiles[base_label]
+            chosen = report.chosen_models.get(base_label)
+            profile = model_profiles.get(chosen) if chosen else None
+            if profile is None and model_profiles:
+                profile = next(iter(model_profiles.values()))
+        est_out = (
+            f"{stats.records_in * profile.selectivity:.0f}"
+            if profile is not None and stats.records_in
+            else "-"
+        )
+        est_cost = (
+            f"{stats.records_in * profile.cost_per_record:.4f}"
+            if profile is not None
+            else "-"
+        )
+        rows.append(
+            [
+                stats.label,
+                stats.records_in,
+                est_out,
+                stats.records_out,
+                est_cost,
+                f"{stats.cost_usd:.4f}",
+                f"{stats.time_s:.1f}",
+                stats.llm_calls,
+            ]
+        )
+    table = format_table(
+        ["Operator", "In", "Est. out", "Out", "Est. $", "Actual $", "Time (s)", "Calls"],
+        rows,
+        title="EXPLAIN ANALYZE",
+    )
+    footer = (
+        f"\ntotals: ${result.total_cost_usd:.4f} in {result.total_time_s:.1f}s"
+        f" (+${report.sampling_cost_usd:.4f} optimizer sampling)"
+    )
+    if report.estimate is not None:
+        footer += (
+            f"\nplan estimate: ${report.estimate.cost_usd:.4f}, "
+            f"{report.estimate.time_s:.1f}s, "
+            f"{report.estimate.cardinality:.0f} rows out"
+        )
+    if result.truncated:
+        footer += "\nNOTE: execution truncated by the spend cap"
+    return table + footer

@@ -1,0 +1,268 @@
+"""Logical operators and plans.
+
+A logical plan is a tree of :class:`LogicalOperator` nodes (linear chains
+except for joins).  Plans are immutable: rewrites produce new trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from repro.data.schemas import Field as SchemaField
+from repro.data.sources import DataSource
+from repro.errors import PlanError
+
+
+@dataclass(frozen=True)
+class LogicalOperator:
+    """Base logical operator; ``child`` is None only for scans."""
+
+    child: "LogicalOperator | None"
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def with_child(self, child: "LogicalOperator | None") -> "LogicalOperator":
+        return replace(self, child=child)
+
+
+@dataclass(frozen=True)
+class ScanOp(LogicalOperator):
+    """Leaf: iterate a data source."""
+
+    source: DataSource = None  # type: ignore[assignment]
+
+    def label(self) -> str:
+        return f"Scan({self.source.source_id})"
+
+
+@dataclass(frozen=True)
+class SemFilterOp(LogicalOperator):
+    """Keep records satisfying a natural-language predicate."""
+
+    instruction: str = ""
+    #: Optional per-operator model override (None lets the optimizer pick).
+    model: str | None = None
+
+    def label(self) -> str:
+        return f"SemFilter({self.instruction[:40]!r})"
+
+
+@dataclass(frozen=True)
+class SemMapOp(LogicalOperator):
+    """Compute new fields from each record via NL instructions."""
+
+    #: (output field, extraction instruction) pairs.
+    outputs: tuple[tuple[SchemaField, str], ...] = ()
+    model: str | None = None
+
+    def label(self) -> str:
+        names = ", ".join(field_.name for field_, _ in self.outputs)
+        return f"SemMap({names})"
+
+
+@dataclass(frozen=True)
+class SemClassifyOp(LogicalOperator):
+    """Assign each record one of a fixed set of labels."""
+
+    output_field: str = "label"
+    options: tuple[str, ...] = ()
+    instruction: str = ""
+    model: str | None = None
+
+    def label(self) -> str:
+        return f"SemClassify({self.output_field})"
+
+
+@dataclass(frozen=True)
+class SemGroupByOp(LogicalOperator):
+    """Partition records into semantic groups (LOTUS-style group-by).
+
+    Each record is classified into one of ``groups``; the output has one
+    record per non-empty group with the group label, member count, and
+    (optionally) an LLM-written summary of the group's members.
+    """
+
+    groups: tuple[str, ...] = ()
+    instruction: str = ""
+    summarize: bool = False
+    model: str | None = None
+
+    def label(self) -> str:
+        return f"SemGroupBy({', '.join(self.groups)})"
+
+
+@dataclass(frozen=True)
+class SemJoinOp(LogicalOperator):
+    """Join two plans on a natural-language pair predicate."""
+
+    right: "LogicalOperator" = None  # type: ignore[assignment]
+    instruction: str = ""
+    model: str | None = None
+
+    def label(self) -> str:
+        return f"SemJoin({self.instruction[:40]!r})"
+
+
+@dataclass(frozen=True)
+class SemAggOp(LogicalOperator):
+    """Aggregate all records into a single synthesized answer."""
+
+    instruction: str = ""
+    output_field: str = "answer"
+    model: str | None = None
+
+    def label(self) -> str:
+        return f"SemAgg({self.output_field})"
+
+
+@dataclass(frozen=True)
+class SemTopKOp(LogicalOperator):
+    """Keep the k records most relevant to a natural-language query."""
+
+    query: str = ""
+    k: int = 10
+    #: "embedding" ranks by vector similarity; "llm" asks a model to rerank.
+    method: str = "embedding"
+    model: str | None = None
+
+    def label(self) -> str:
+        return f"SemTopK(k={self.k})"
+
+
+@dataclass(frozen=True)
+class PyFilterOp(LogicalOperator):
+    """Keep records passing a plain Python predicate (free to run)."""
+
+    fn: Callable[[Any], bool] = None  # type: ignore[assignment]
+    description: str = ""
+
+    def label(self) -> str:
+        return f"PyFilter({self.description or 'fn'})"
+
+
+@dataclass(frozen=True)
+class PyMapOp(LogicalOperator):
+    """Derive new fields with a plain Python function (free to run)."""
+
+    fn: Callable[[Any], dict] = None  # type: ignore[assignment]
+    description: str = ""
+
+    def label(self) -> str:
+        return f"PyMap({self.description or 'fn'})"
+
+
+@dataclass(frozen=True)
+class ProjectOp(LogicalOperator):
+    """Keep only the named fields."""
+
+    fields: tuple[str, ...] = ()
+
+    def label(self) -> str:
+        return f"Project({', '.join(self.fields)})"
+
+
+@dataclass(frozen=True)
+class LimitOp(LogicalOperator):
+    """Stop after n records."""
+
+    n: int = 0
+
+    def label(self) -> str:
+        return f"Limit({self.n})"
+
+
+@dataclass(frozen=True)
+class RetrieveOp(LogicalOperator):
+    """Access-path operator: top-k vector retrieval instead of a full scan.
+
+    Only valid directly above a scan whose source supports search (a
+    Context with a registered index); the optimizer and the Context layer
+    insert these.
+    """
+
+    query: str = ""
+    k: int = 10
+
+    def label(self) -> str:
+        return f"Retrieve(k={self.k}, {self.query[:30]!r})"
+
+
+@dataclass(frozen=True)
+class LogicalPlan:
+    """An immutable logical plan (a pointer to the root operator)."""
+
+    root: LogicalOperator
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    def operators(self) -> list[LogicalOperator]:
+        """All operators, leaves first (left-deep order)."""
+        ordered: list[LogicalOperator] = []
+
+        def visit(op: LogicalOperator | None) -> None:
+            if op is None:
+                return
+            visit(op.child)
+            if isinstance(op, SemJoinOp):
+                visit(op.right)
+            ordered.append(op)
+
+        visit(self.root)
+        return ordered
+
+    def source_ops(self) -> list[ScanOp]:
+        return [op for op in self.operators() if isinstance(op, ScanOp)]
+
+    def explain(self) -> str:
+        """Readable indented plan rendering (root at top)."""
+        lines: list[str] = []
+
+        def visit(op: LogicalOperator | None, depth: int) -> None:
+            if op is None:
+                return
+            lines.append("  " * depth + op.label())
+            if isinstance(op, SemJoinOp):
+                visit(op.child, depth + 1)
+                visit(op.right, depth + 1)
+            else:
+                visit(op.child, depth + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)
+
+    def replace_chain(self, new_chain: list[LogicalOperator]) -> "LogicalPlan":
+        """Rebuild a linear plan from a leaves-first operator list."""
+        if not new_chain:
+            raise PlanError("cannot build a plan from an empty chain")
+        current: LogicalOperator | None = None
+        for op in new_chain:
+            current = op.with_child(current)
+        return LogicalPlan(root=current, metadata=dict(self.metadata))
+
+    def is_linear(self) -> bool:
+        return not any(isinstance(op, SemJoinOp) for op in self.operators())
+
+
+def validate_plan(plan: LogicalPlan) -> None:
+    """Raise :class:`PlanError` on structurally invalid plans."""
+    ops = plan.operators()
+    if not ops:
+        raise PlanError("empty plan")
+    for op in ops:
+        if isinstance(op, ScanOp):
+            if op.child is not None:
+                raise PlanError("ScanOp must be a leaf")
+            if op.source is None:
+                raise PlanError("ScanOp requires a source")
+        elif isinstance(op, SemJoinOp):
+            if op.child is None or op.right is None:
+                raise PlanError("SemJoinOp requires two inputs")
+        elif op.child is None:
+            raise PlanError(f"{op.label()} is missing its input")
+        if isinstance(op, LimitOp) and op.n < 0:
+            raise PlanError(f"Limit must be >= 0, got {op.n}")
+        if isinstance(op, SemTopKOp) and op.k < 1:
+            raise PlanError(f"TopK requires k >= 1, got {op.k}")
+        if isinstance(op, RetrieveOp) and not isinstance(op.child, ScanOp):
+            raise PlanError("RetrieveOp must sit directly above a scan")

@@ -1,0 +1,289 @@
+"""The plan optimizer: rewrites + sampling + model selection + binding.
+
+For linear plans the optimizer:
+
+1. materializes the scan's records and draws a profiling sample;
+2. profiles every semantic operator across candidate models with the
+   successive-halving :class:`~repro.sem.optimizer.sampler.Sampler`;
+3. lets the configured policy choose each operator's physical model;
+4. reorders commuting filters by cost/selectivity rank and pushes free
+   Python filters first;
+5. binds logical operators to physical operators.
+
+Plans containing joins are bound without sampling (the champion model runs
+every semantic operator) — mirroring the prototype status of join
+optimization in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import OptimizationError
+from repro.sem import logical as L
+from repro.sem import physical as P
+
+if TYPE_CHECKING:
+    from repro.sem.config import QueryProcessorConfig
+from repro.sem.optimizer.cost_model import PlanEstimate, estimate_chain, filter_rank
+from repro.sem.optimizer.rules import (
+    merge_adjacent_limits,
+    prune_noop_projects,
+    push_py_filters,
+    reorder_filters,
+)
+from repro.sem.optimizer.sampler import OperatorProfile, Sampler
+from repro.utils.seeding import SeededRng
+
+_PROFILED_OPS = (L.SemFilterOp, L.SemMapOp, L.SemClassifyOp, L.SemGroupByOp)
+
+
+@dataclass
+class OptimizationReport:
+    """What the optimizer decided and what deciding cost."""
+
+    optimized: bool
+    chosen_models: dict[str, str] = field(default_factory=dict)
+    final_order: list[str] = field(default_factory=list)
+    sampling_cost_usd: float = 0.0
+    sampling_time_s: float = 0.0
+    profiles: dict[str, dict[str, OperatorProfile]] = field(default_factory=dict)
+    estimate: PlanEstimate | None = None
+    note: str = ""
+
+
+class Optimizer:
+    """Optimizes and binds a logical plan under a configuration."""
+
+    def __init__(self, config: "QueryProcessorConfig") -> None:
+        self.config = config
+
+    def optimize(self, plan: L.LogicalPlan) -> tuple[list[P.PhysicalOperator], OptimizationReport]:
+        L.validate_plan(plan)
+        if not self.config.optimize:
+            return self._bind_spine(plan.root, {}), OptimizationReport(
+                optimized=False, note="optimization disabled"
+            )
+        if not plan.is_linear():
+            return self._bind_spine(plan.root, {}), OptimizationReport(
+                optimized=False, note="join plans are bound without sampling"
+            )
+        return self._optimize_linear(plan)
+
+    # ------------------------------------------------------------------
+    # Linear-plan optimization
+    # ------------------------------------------------------------------
+
+    def _optimize_linear(
+        self, plan: L.LogicalPlan
+    ) -> tuple[list[P.PhysicalOperator], OptimizationReport]:
+        config = self.config
+        chain = plan.operators()
+        scans = [op for op in chain if isinstance(op, L.ScanOp)]
+        if len(scans) != 1:
+            raise OptimizationError(
+                f"linear plan must have exactly one scan, found {len(scans)}"
+            )
+        source_records = list(scans[0].source.iterate())
+
+        sampler = Sampler(config.llm, SeededRng(config.seed), tag=f"{config.tag}:optimize")
+        sample = sampler.sample_records(source_records, config.sample_size)
+        candidates = config.candidate_models()
+
+        checkpoint = config.llm.tracker.checkpoint()
+        time_before = config.llm.clock.elapsed
+
+        def candidate_models(op: L.LogicalOperator) -> list[str]:
+            # Profiling non-champion tiers only pays off if the policy may
+            # pick them; with model selection off (or a pinned model) the
+            # sampler just measures the champion's selectivity/cost.
+            if getattr(op, "model", None) is not None:
+                return [op.model]
+            if not config.select_models:
+                return [config.champion_model]
+            return candidates
+
+        profiles: dict[int, dict[str, OperatorProfile]] = {}
+        for op in chain:
+            if isinstance(op, L.SemFilterOp):
+                profiles[id(op)] = sampler.profile_filter(
+                    op.instruction, sample, candidate_models(op), config.champion_model
+                )
+            elif isinstance(op, L.SemMapOp):
+                profiles[id(op)] = sampler.profile_map(
+                    op.outputs, sample, candidate_models(op), config.champion_model
+                )
+            elif isinstance(op, L.SemClassifyOp):
+                profiles[id(op)] = sampler.profile_classify(
+                    op.instruction, list(op.options), sample,
+                    candidate_models(op), config.champion_model,
+                )
+            elif isinstance(op, L.SemGroupByOp):
+                profiles[id(op)] = sampler.profile_classify(
+                    op.instruction, list(op.groups), sample,
+                    candidate_models(op), config.champion_model,
+                )
+            elif isinstance(op, L.PyFilterOp):
+                profiles[id(op)] = {"python": _python_filter_profile(op, sample)}
+
+        sampling_usage = config.llm.tracker.since(checkpoint)
+        sampling_time = config.llm.clock.elapsed - time_before
+
+        chosen: dict[int, str] = {}
+        for op in chain:
+            if not isinstance(op, _PROFILED_OPS):
+                continue
+            if op.model is not None:
+                chosen[id(op)] = op.model
+            elif config.select_models:
+                chosen[id(op)] = config.policy.choose_model(
+                    profiles[id(op)], config.champion_model
+                )
+            else:
+                chosen[id(op)] = config.champion_model
+
+        new_chain = push_py_filters(chain)
+        if config.reorder_filters:
+            new_chain = reorder_filters(
+                new_chain, lambda _pos, op: self._rank(op, profiles, chosen)
+            )
+        new_chain = prune_noop_projects(new_chain)
+        new_chain = merge_adjacent_limits(new_chain)
+
+        chosen_profiles: dict[int, OperatorProfile] = {}
+        for position, op in enumerate(new_chain):
+            model = chosen.get(id(op))
+            op_profiles = profiles.get(id(op), {})
+            profile = op_profiles.get(model) if model else None
+            if profile is None and op_profiles:
+                profile = next(iter(op_profiles.values()))
+            if profile is not None:
+                chosen_profiles[position] = profile
+
+        report = OptimizationReport(
+            optimized=True,
+            chosen_models={op.label(): chosen[id(op)] for op in chain if id(op) in chosen},
+            final_order=[op.label() for op in new_chain],
+            sampling_cost_usd=sampling_usage.cost_usd,
+            sampling_time_s=sampling_time,
+            profiles={
+                op.label(): profiles[id(op)] for op in chain if id(op) in profiles
+            },
+            estimate=estimate_chain(
+                new_chain, chosen_profiles, input_cardinality=float(len(source_records))
+            ),
+        )
+        return self._bind_chain(new_chain, chosen), report
+
+    def _rank(
+        self,
+        op: L.LogicalOperator,
+        profiles: dict[int, dict[str, OperatorProfile]],
+        chosen: dict[int, str],
+    ) -> float:
+        op_profiles = profiles.get(id(op))
+        if not op_profiles:
+            return 0.0
+        model = chosen.get(id(op))
+        profile = op_profiles.get(model) if model else None
+        if profile is None:
+            profile = next(iter(op_profiles.values()))
+        return filter_rank(profile)
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+
+    def _bind_chain(
+        self, chain: list[L.LogicalOperator], chosen: dict[int, str]
+    ) -> list[P.PhysicalOperator]:
+        bound: list[P.PhysicalOperator] = []
+        for position, op in enumerate(chain):
+            bound.append(self._bind_one(op, chain, position, chosen))
+        return bound
+
+    def _bind_spine(
+        self, root: L.LogicalOperator, chosen: dict[int, str]
+    ) -> list[P.PhysicalOperator]:
+        """Bind the left spine of a (possibly join-bearing) plan.
+
+        Only ``child`` edges are followed; a join's right subtree is bound
+        recursively *inside* its :class:`~repro.sem.physical.PhysSemJoin`,
+        so the engine's linear walk never feeds left records into it.
+        """
+        spine: list[L.LogicalOperator] = []
+        node: L.LogicalOperator | None = root
+        while node is not None:
+            spine.append(node)
+            node = node.child
+        spine.reverse()
+        return self._bind_chain(spine, chosen)
+
+    def _bind_one(
+        self,
+        op: L.LogicalOperator,
+        chain: list[L.LogicalOperator],
+        position: int,
+        chosen: dict[int, str],
+    ) -> P.PhysicalOperator:
+        model = chosen.get(id(op)) or getattr(op, "model", None) or self.config.champion_model
+        if isinstance(op, L.ScanOp):
+            return P.PhysScan(op)
+        if isinstance(op, L.RetrieveOp):
+            source = None
+            if position > 0 and isinstance(chain[position - 1], L.ScanOp):
+                source = chain[position - 1].source
+            return P.PhysRetrieve(op, source=source)
+        if isinstance(op, L.SemFilterOp):
+            return P.PhysSemFilter(op, model)
+        if isinstance(op, L.SemMapOp):
+            return P.PhysSemMap(op, model)
+        if isinstance(op, L.SemClassifyOp):
+            return P.PhysSemClassify(op, model)
+        if isinstance(op, L.SemGroupByOp):
+            return P.PhysSemGroupBy(op, model)
+        if isinstance(op, L.SemJoinOp):
+            right_ops = self._bind_spine(op.right, chosen)
+            if getattr(self.config, "join_method", "nested") == "blocked":
+                return P.PhysSemJoinBlocked(op, right_ops, model)
+            return P.PhysSemJoin(op, right_ops, model)
+        if isinstance(op, L.SemAggOp):
+            return P.PhysSemAgg(op, model)
+        if isinstance(op, L.SemTopKOp):
+            return P.PhysSemTopK(op, model)
+        if isinstance(op, L.PyFilterOp):
+            return P.PhysPyFilter(op)
+        if isinstance(op, L.PyMapOp):
+            return P.PhysPyMap(op)
+        if isinstance(op, L.ProjectOp):
+            return P.PhysProject(op)
+        if isinstance(op, L.LimitOp):
+            return P.PhysLimit(op)
+        raise OptimizationError(f"no physical implementation for {op.label()}")
+
+
+def _python_filter_profile(op: L.PyFilterOp, sample: list) -> OperatorProfile:
+    """Selectivity of a free Python filter, measured by running it.
+
+    Filters that crash on raw source records (they may read fields created
+    upstream) fall back to the uninformative default of 0.5.
+    """
+    passed = 0
+    seen = 0
+    for record in sample:
+        try:
+            result = bool(op.fn(record))
+        except Exception:
+            continue
+        seen += 1
+        passed += int(result)
+    selectivity = passed / seen if seen else 0.5
+    return OperatorProfile(
+        model="python",
+        agreement=1.0,
+        selectivity=selectivity,
+        cost_per_record=0.0,
+        latency_per_record=0.0,
+        sample_size=seen,
+    )

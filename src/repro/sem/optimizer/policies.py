@@ -1,0 +1,81 @@
+"""Optimization policies: how to trade quality against cost.
+
+A policy picks the physical model for an operator given sampled profiles.
+Quality is measured as *agreement with the champion model* on the sample —
+the same reference-model trick LOTUS uses — because ground truth is not
+available to the optimizer.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sem.optimizer.sampler import OperatorProfile
+
+
+class OptimizationPolicy(abc.ABC):
+    """Strategy for choosing an operator's model from sampled profiles."""
+
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def choose_model(
+        self, profiles: dict[str, "OperatorProfile"], champion: str
+    ) -> str:
+        """Return the model to use; ``profiles`` maps model name to profile."""
+
+
+class MaxQuality(OptimizationPolicy):
+    """Always use the champion model (Palimpzest's default posture)."""
+
+    name = "max-quality"
+
+    def choose_model(self, profiles: dict[str, "OperatorProfile"], champion: str) -> str:
+        return champion
+
+
+class MinCost(OptimizationPolicy):
+    """Use the cheapest profiled model meeting a loose quality floor."""
+
+    name = "min-cost"
+
+    def __init__(self, quality_floor: float = 0.5) -> None:
+        self.quality_floor = quality_floor
+
+    def choose_model(self, profiles: dict[str, "OperatorProfile"], champion: str) -> str:
+        candidates = [
+            profile
+            for profile in profiles.values()
+            if profile.agreement >= self.quality_floor
+        ]
+        if not candidates:
+            return champion
+        return min(candidates, key=lambda p: (p.cost_per_record, p.model)).model
+
+
+class Balanced(OptimizationPolicy):
+    """Cheapest model whose sampled agreement clears a strict floor.
+
+    This is the policy that yields the paper's observation that the
+    optimizer "was able to use cheaper models for some of the semantic
+    operators": easy operators downgrade, hard ones stay on the champion.
+    """
+
+    name = "balanced"
+
+    def __init__(self, quality_floor: float = 0.92) -> None:
+        if not 0.0 <= quality_floor <= 1.0:
+            raise ValueError(f"quality_floor must be in [0, 1], got {quality_floor}")
+        self.quality_floor = quality_floor
+
+    def choose_model(self, profiles: dict[str, "OperatorProfile"], champion: str) -> str:
+        candidates = [
+            profile
+            for profile in profiles.values()
+            if profile.agreement >= self.quality_floor
+        ]
+        if not candidates:
+            return champion
+        return min(candidates, key=lambda p: (p.cost_per_record, p.model)).model

@@ -1,0 +1,89 @@
+"""Logical rewrite rules over linear operator chains.
+
+Rules operate on leaves-first operator lists.  The only rewrite that needs
+runtime statistics is filter reordering, which takes an ordering key per
+position; pure-structure rules (Python-filter pushdown) need none.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sem import logical as L
+
+#: Operator types that commute with each other (all are record filters).
+_COMMUTING = (L.SemFilterOp, L.PyFilterOp)
+
+
+def commuting_runs(chain: list[L.LogicalOperator]) -> list[tuple[int, int]]:
+    """Return [start, end) index ranges of maximal commuting-filter runs."""
+    runs: list[tuple[int, int]] = []
+    start = None
+    for index, op in enumerate(chain):
+        if isinstance(op, _COMMUTING):
+            if start is None:
+                start = index
+        else:
+            if start is not None:
+                runs.append((start, index))
+                start = None
+    if start is not None:
+        runs.append((start, len(chain)))
+    return runs
+
+
+def push_py_filters(chain: list[L.LogicalOperator]) -> list[L.LogicalOperator]:
+    """Within each commuting run, move free Python filters first.
+
+    Python filters cost nothing, so they always belong before semantic
+    filters in the same run (they cannot cross maps/aggregations because
+    they may read fields those operators produce).
+    """
+    result = list(chain)
+    for start, end in commuting_runs(result):
+        run = result[start:end]
+        py_filters = [op for op in run if isinstance(op, L.PyFilterOp)]
+        sem_filters = [op for op in run if isinstance(op, L.SemFilterOp)]
+        result[start:end] = py_filters + sem_filters
+    return result
+
+
+def reorder_filters(
+    chain: list[L.LogicalOperator],
+    rank_of: Callable[[int, L.LogicalOperator], float],
+) -> list[L.LogicalOperator]:
+    """Sort each commuting run by ``rank_of(original_position, op)``.
+
+    The sort is stable, so equal-rank filters keep their written order.
+    """
+    result = list(chain)
+    for start, end in commuting_runs(result):
+        indexed = list(enumerate(result[start:end], start=start))
+        indexed.sort(key=lambda pair: rank_of(pair[0], pair[1]))
+        result[start:end] = [op for _, op in indexed]
+    return result
+
+
+def prune_noop_projects(chain: list[L.LogicalOperator]) -> list[L.LogicalOperator]:
+    """Drop adjacent duplicate projections (the later one wins)."""
+    result: list[L.LogicalOperator] = []
+    for op in chain:
+        if (
+            isinstance(op, L.ProjectOp)
+            and result
+            and isinstance(result[-1], L.ProjectOp)
+        ):
+            result.pop()
+        result.append(op)
+    return result
+
+
+def merge_adjacent_limits(chain: list[L.LogicalOperator]) -> list[L.LogicalOperator]:
+    """Collapse consecutive limits to the smaller bound."""
+    result: list[L.LogicalOperator] = []
+    for op in chain:
+        if isinstance(op, L.LimitOp) and result and isinstance(result[-1], L.LimitOp):
+            previous = result.pop()
+            op = L.LimitOp(child=None, n=min(previous.n, op.n))
+        result.append(op)
+    return result

@@ -1,0 +1,192 @@
+"""Sampling-based operator profiling (Abacus-style bandit).
+
+For each semantic operator the optimizer must estimate, per candidate
+model: quality (agreement with the champion), selectivity (for filters),
+and per-record cost/latency.  Profiling runs the operator on a small sample
+of input records through the real LLM client — sampling costs real
+(simulated) dollars, exactly as in Palimpzest/Abacus, and thanks to the
+generation cache the sampled judgments are free to reuse at execution time.
+
+Model elimination uses successive halving: every candidate sees a small
+first round; models that clearly disagree with the champion are dropped
+before the (larger) second round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.records import DataRecord
+from repro.data.schemas import Field as SchemaField
+from repro.llm.simulated import SimulatedLLM
+from repro.utils.seeding import SeededRng
+
+#: Sample size of the first bandit round.
+FIRST_ROUND = 4
+
+#: Agreement below this after the first round eliminates a candidate.
+ELIMINATION_FLOOR = 0.7
+
+
+@dataclass(frozen=True)
+class OperatorProfile:
+    """Sampled statistics for (operator, model)."""
+
+    model: str
+    #: Fraction of sampled records where this model matched the champion.
+    agreement: float
+    #: Champion pass-rate on the sample (filters; 1.0 otherwise).
+    selectivity: float
+    cost_per_record: float
+    latency_per_record: float
+    sample_size: int
+
+
+class Sampler:
+    """Profiles semantic operators on record samples."""
+
+    def __init__(self, llm: SimulatedLLM, rng: SeededRng, tag: str = "optimize") -> None:
+        self.llm = llm
+        self.rng = rng
+        self.tag = tag
+
+    def sample_records(self, records: list[DataRecord], n: int) -> list[DataRecord]:
+        """Draw a deterministic uniform sample of up to ``n`` records."""
+        if len(records) <= n:
+            return list(records)
+        return self.rng.child("sample").sample(records, n)
+
+    # ------------------------------------------------------------------
+    # Filters
+    # ------------------------------------------------------------------
+
+    def profile_filter(
+        self,
+        instruction: str,
+        sample: list[DataRecord],
+        models: list[str],
+        champion: str,
+    ) -> dict[str, OperatorProfile]:
+        """Profile a semantic filter across candidate models."""
+
+        def judge(model: str, record: DataRecord) -> bool:
+            judgment = self.llm.judge_filter(
+                instruction, record, model=model, tag=f"{self.tag}:filter"
+            )
+            return judgment.answer
+
+        return self._profile(sample, models, champion, judge)
+
+    # ------------------------------------------------------------------
+    # Maps
+    # ------------------------------------------------------------------
+
+    def profile_map(
+        self,
+        outputs: tuple[tuple[SchemaField, str], ...],
+        sample: list[DataRecord],
+        models: list[str],
+        champion: str,
+    ) -> dict[str, OperatorProfile]:
+        """Profile a semantic map; agreement requires all fields to match."""
+
+        def extract_all(model: str, record: DataRecord) -> tuple:
+            values = []
+            for schema_field, instruction in outputs:
+                result = self.llm.extract(
+                    instruction, record, model=model, tag=f"{self.tag}:map"
+                )
+                values.append(schema_field.coerce(result.value))
+            return tuple(values)
+
+        return self._profile(sample, models, champion, extract_all)
+
+    def profile_classify(
+        self,
+        instruction: str,
+        options: list[str],
+        sample: list[DataRecord],
+        models: list[str],
+        champion: str,
+    ) -> dict[str, OperatorProfile]:
+        def classify(model: str, record: DataRecord):
+            result = self.llm.classify(
+                instruction, options, record, model=model, tag=f"{self.tag}:classify"
+            )
+            return result.value
+
+        return self._profile(sample, models, champion, classify)
+
+    # ------------------------------------------------------------------
+    # Core bandit loop
+    # ------------------------------------------------------------------
+
+    def _profile(
+        self,
+        sample: list[DataRecord],
+        models: list[str],
+        champion: str,
+        run_one,
+    ) -> dict[str, OperatorProfile]:
+        if champion not in models:
+            models = [champion] + list(models)
+        if not sample:
+            return {
+                model: OperatorProfile(model, 1.0, 1.0, 0.0, 0.0, 0)
+                for model in models
+            }
+
+        first = sample[: min(FIRST_ROUND, len(sample))]
+        rest = sample[len(first):]
+
+        answers: dict[str, list] = {model: [] for model in models}
+        costs: dict[str, float] = {model: 0.0 for model in models}
+        latencies: dict[str, float] = {model: 0.0 for model in models}
+
+        def run_round(round_models: list[str], records: list[DataRecord]) -> None:
+            for model in round_models:
+                for record in records:
+                    checkpoint = self.llm.tracker.checkpoint()
+                    time_before = self.llm.clock.elapsed
+                    answers[model].append(run_one(model, record))
+                    costs[model] += self.llm.tracker.since(checkpoint).cost_usd
+                    latencies[model] += self.llm.clock.elapsed - time_before
+
+        run_round(models, first)
+        survivors = []
+        champion_first = answers[champion]
+        for model in models:
+            agreement = _agreement(answers[model], champion_first)
+            if model == champion or agreement >= ELIMINATION_FLOOR:
+                survivors.append(model)
+        run_round(survivors, rest)
+
+        champion_answers = answers[champion]
+        champion_pass_rate = _pass_rate(champion_answers)
+        profiles: dict[str, OperatorProfile] = {}
+        for model in models:
+            n_seen = len(answers[model])
+            agreement = _agreement(answers[model], champion_answers[:n_seen])
+            profiles[model] = OperatorProfile(
+                model=model,
+                agreement=agreement,
+                selectivity=champion_pass_rate,
+                cost_per_record=costs[model] / n_seen if n_seen else 0.0,
+                latency_per_record=latencies[model] / n_seen if n_seen else 0.0,
+                sample_size=n_seen,
+            )
+        return profiles
+
+
+def _agreement(answers: list, reference: list) -> float:
+    if not answers:
+        return 0.0
+    matches = sum(1 for a, b in zip(answers, reference) if a == b)
+    return matches / len(answers)
+
+
+def _pass_rate(answers: list) -> float:
+    booleans = [answer for answer in answers if isinstance(answer, bool)]
+    if not booleans:
+        return 1.0
+    return sum(booleans) / len(booleans)

@@ -1,0 +1,375 @@
+"""Physical operators.
+
+Each physical operator executes one logical operator against a materialized
+batch of records, charging the simulated LLM for every semantic call.  The
+engine (see :mod:`repro.sem.execution`) wires operators together and
+collects statistics.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.data.records import DataRecord
+from repro.errors import ExecutionError
+from repro.llm.embeddings import top_k_similar
+from repro.llm.simulated import SimulatedLLM
+from repro.sem import logical as L
+
+import numpy as np
+
+
+@dataclass
+class ExecutionContext:
+    """Shared state for one plan execution."""
+
+    llm: SimulatedLLM
+    parallelism: int = 1
+    tag: str = "exec"
+
+
+class PhysicalOperator(abc.ABC):
+    """Executes one logical operator over a batch of records."""
+
+    def __init__(self, logical_op: L.LogicalOperator, model: str | None = None) -> None:
+        self.logical_op = logical_op
+        self.model = model
+
+    @abc.abstractmethod
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        """Transform ``records``; must not mutate the input list."""
+
+    def label(self) -> str:
+        suffix = f" [{self.model}]" if self.model else ""
+        return self.logical_op.label() + suffix
+
+
+class PhysScan(PhysicalOperator):
+    logical_op: L.ScanOp
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        if records:
+            raise ExecutionError("scan is a leaf; it takes no input records")
+        return list(self.logical_op.source.iterate())
+
+
+class PhysRetrieve(PhysicalOperator):
+    """Top-k vector retrieval over the upstream scan's records.
+
+    If the scan's source exposes a prebuilt vector index (a Context with a
+    registered index), retrieval delegates to it; otherwise records are
+    embedded on the fly (embeddings are cached, so this cost is paid once).
+    """
+
+    logical_op: L.RetrieveOp
+
+    def __init__(
+        self,
+        logical_op: L.RetrieveOp,
+        model: str | None = None,
+        source: object | None = None,
+    ) -> None:
+        super().__init__(logical_op, model)
+        self.source = source
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        op = self.logical_op
+        if self.source is not None and hasattr(self.source, "vector_search"):
+            hits = self.source.vector_search(op.query, op.k, llm=ctx.llm)
+            return [record for record, _ in hits]
+        if not records:
+            return []
+        query_vec = ctx.llm.embed(op.query, tag=f"{ctx.tag}:retrieve")
+        matrix = np.stack(
+            [ctx.llm.embed(record.as_text(), tag=f"{ctx.tag}:retrieve") for record in records]
+        )
+        hits = top_k_similar(query_vec, matrix, op.k)
+        return [records[index] for index, _ in hits]
+
+
+class PhysSemFilter(PhysicalOperator):
+    logical_op: L.SemFilterOp
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        op = self.logical_op
+        model = self.model or op.model
+        kept: list[DataRecord] = []
+        with ctx.llm.parallel(ctx.parallelism):
+            for record in records:
+                judgment = ctx.llm.judge_filter(
+                    op.instruction, record, model=model, tag=f"{ctx.tag}:filter"
+                )
+                if judgment.answer:
+                    kept.append(record)
+        return kept
+
+
+class PhysSemMap(PhysicalOperator):
+    logical_op: L.SemMapOp
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        op = self.logical_op
+        model = self.model or op.model
+        output: list[DataRecord] = []
+        with ctx.llm.parallel(ctx.parallelism):
+            for record in records:
+                new_fields = {}
+                for schema_field, instruction in op.outputs:
+                    extraction = ctx.llm.extract(
+                        instruction, record, model=model, tag=f"{ctx.tag}:map"
+                    )
+                    new_fields[schema_field.name] = schema_field.coerce(extraction.value)
+                output.append(record.derive(new_fields))
+        return output
+
+
+class PhysSemClassify(PhysicalOperator):
+    logical_op: L.SemClassifyOp
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        op = self.logical_op
+        model = self.model or op.model
+        output: list[DataRecord] = []
+        with ctx.llm.parallel(ctx.parallelism):
+            for record in records:
+                result = ctx.llm.classify(
+                    op.instruction, list(op.options), record,
+                    model=model, tag=f"{ctx.tag}:classify",
+                )
+                output.append(record.derive({op.output_field: result.value}))
+        return output
+
+
+class PhysSemGroupBy(PhysicalOperator):
+    """Classify-then-partition implementation of the semantic group-by."""
+
+    logical_op: L.SemGroupByOp
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        op = self.logical_op
+        model = self.model or op.model
+        groups: dict[str, list[DataRecord]] = {}
+        with ctx.llm.parallel(ctx.parallelism):
+            for record in records:
+                result = ctx.llm.classify(
+                    op.instruction, list(op.groups), record,
+                    model=model, tag=f"{ctx.tag}:groupby",
+                )
+                groups.setdefault(str(result.value), []).append(record)
+
+        output: list[DataRecord] = []
+        for group in op.groups:
+            members = groups.get(group, [])
+            if not members:
+                continue
+            fields: dict = {"group": group, "count": len(members)}
+            if op.summarize:
+                joined_text = "\n---\n".join(
+                    member.as_text() for member in members
+                )[:AGG_TEXT_BUDGET]
+                completion = ctx.llm.complete(
+                    f"Summarize the records in group {group!r}: "
+                    f"{op.instruction}\n\n{joined_text}",
+                    model=model or "gpt-4o",
+                    tag=f"{ctx.tag}:groupby",
+                )
+                fields["summary"] = completion.text
+            output.append(
+                DataRecord(
+                    fields=fields,
+                    parent_uids=tuple(member.uid for member in members),
+                )
+            )
+        return output
+
+
+class PhysSemJoinBlocked(PhysicalOperator):
+    """Embedding-blocked semantic join.
+
+    Classic blocking applied to LLM joins: pairs are pre-screened by
+    embedding similarity and only the most promising candidates are sent
+    to the model for judgment.  Cuts the O(n*m) judgment cost at a small
+    recall risk (pairs below the similarity floor are never judged).
+    """
+
+    logical_op: L.SemJoinOp
+
+    def __init__(
+        self,
+        logical_op: L.SemJoinOp,
+        right_ops: "list[PhysicalOperator]",
+        model: str | None = None,
+        similarity_floor: float = 0.10,
+        max_candidates_per_left: int = 8,
+    ) -> None:
+        super().__init__(logical_op, model)
+        self.right_ops = right_ops
+        self.similarity_floor = similarity_floor
+        self.max_candidates_per_left = max_candidates_per_left
+
+    def label(self) -> str:
+        return super().label() + " (blocked)"
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        right_records: list[DataRecord] = []
+        for op in self.right_ops:
+            right_records = op.execute(right_records, ctx)
+        if not records or not right_records:
+            return []
+        model = self.model or self.logical_op.model
+        tag = f"{ctx.tag}:join"
+        right_matrix = np.stack(
+            [ctx.llm.embed(record.as_text(), tag=tag) for record in right_records]
+        )
+        joined: list[DataRecord] = []
+        with ctx.llm.parallel(ctx.parallelism):
+            for left in records:
+                left_vec = ctx.llm.embed(left.as_text(), tag=tag)
+                hits = top_k_similar(left_vec, right_matrix, self.max_candidates_per_left)
+                for index, similarity in hits:
+                    if similarity < self.similarity_floor:
+                        break  # hits are sorted descending
+                    right = right_records[index]
+                    judgment = ctx.llm.judge_join(
+                        self.logical_op.instruction, left, right, model=model, tag=tag
+                    )
+                    if judgment.answer:
+                        joined.append(DataRecord.merge(left, right))
+        return joined
+
+
+class PhysSemJoin(PhysicalOperator):
+    """Nested-loop semantic join: one judgment per candidate pair."""
+
+    logical_op: L.SemJoinOp
+
+    def __init__(
+        self,
+        logical_op: L.SemJoinOp,
+        right_ops: "list[PhysicalOperator]",
+        model: str | None = None,
+    ) -> None:
+        super().__init__(logical_op, model)
+        self.right_ops = right_ops
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        right_records: list[DataRecord] = []
+        for op in self.right_ops:
+            right_records = op.execute(right_records, ctx)
+        model = self.model or self.logical_op.model
+        joined: list[DataRecord] = []
+        with ctx.llm.parallel(ctx.parallelism):
+            for left in records:
+                for right in right_records:
+                    judgment = ctx.llm.judge_join(
+                        self.logical_op.instruction, left, right,
+                        model=model, tag=f"{ctx.tag}:join",
+                    )
+                    if judgment.answer:
+                        joined.append(DataRecord.merge(left, right))
+        return joined
+
+
+#: Character budget for the concatenated input of a semantic aggregation.
+AGG_TEXT_BUDGET = 24_000
+
+
+class PhysSemAgg(PhysicalOperator):
+    logical_op: L.SemAggOp
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        op = self.logical_op
+        model = self.model or op.model
+        chunks: list[str] = []
+        used = 0
+        for record in records:
+            text = record.as_text()
+            if used + len(text) > AGG_TEXT_BUDGET:
+                break
+            chunks.append(text)
+            used += len(text)
+        prompt = op.instruction + "\n\n" + "\n---\n".join(chunks)
+        completion = ctx.llm.complete(
+            prompt, model=model or "gpt-4o", tag=f"{ctx.tag}:agg"
+        )
+        result = DataRecord(
+            fields={op.output_field: completion.text},
+            parent_uids=tuple(record.uid for record in records),
+        )
+        return [result]
+
+
+class PhysSemTopK(PhysicalOperator):
+    logical_op: L.SemTopKOp
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        op = self.logical_op
+        if not records:
+            return []
+        query_vec = ctx.llm.embed(op.query, tag=f"{ctx.tag}:topk")
+        matrix = np.stack(
+            [ctx.llm.embed(record.as_text(), tag=f"{ctx.tag}:topk") for record in records]
+        )
+        hits = top_k_similar(query_vec, matrix, len(records))
+        if op.method == "llm":
+            # Rerank: an LLM relevance judgment partitions candidates; the
+            # embedding score breaks ties within each partition.
+            model = self.model or op.model
+            scored = []
+            with ctx.llm.parallel(ctx.parallelism):
+                for index, similarity in hits:
+                    judgment = ctx.llm.judge_filter(
+                        f"The record is relevant to: {op.query}",
+                        records[index],
+                        model=model,
+                        tag=f"{ctx.tag}:topk",
+                    )
+                    scored.append((1 if judgment.answer else 0, similarity, index))
+            scored.sort(key=lambda item: (-item[0], -item[1]))
+            chosen = [records[index] for _, _, index in scored[: op.k]]
+        else:
+            chosen = [records[index] for index, _ in hits[: op.k]]
+        return chosen
+
+
+class PhysPyFilter(PhysicalOperator):
+    logical_op: L.PyFilterOp
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        return [record for record in records if self.logical_op.fn(record)]
+
+
+class PhysPyMap(PhysicalOperator):
+    logical_op: L.PyMapOp
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        output = []
+        for record in records:
+            new_fields = self.logical_op.fn(record)
+            if not isinstance(new_fields, dict):
+                raise ExecutionError(
+                    f"PyMap function must return a dict of new fields, "
+                    f"got {type(new_fields).__name__}"
+                )
+            output.append(record.derive(new_fields))
+        return output
+
+
+class PhysProject(PhysicalOperator):
+    logical_op: L.ProjectOp
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        wanted = set(self.logical_op.fields)
+        output = []
+        for record in records:
+            drop = [name for name in record.fields if name not in wanted]
+            output.append(record.derive({}, drop=drop))
+        return output
+
+
+class PhysLimit(PhysicalOperator):
+    logical_op: L.LimitOp
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        return records[: self.logical_op.n]

@@ -1,0 +1,24 @@
+"""In-memory SQL engine.
+
+The paper's vision calls for a runtime that can materialize structured
+tables from unstructured data and query them with SQL so future queries
+reuse earlier work (Section 2.4).  This package implements the substrate:
+a small but real SQL engine — lexer, recursive-descent parser, binder, and
+executor — supporting SELECT (with joins, grouping, ordering, limits),
+CREATE TABLE, and INSERT.
+
+Quick use::
+
+    from repro.sql import Database
+
+    db = Database()
+    db.execute("CREATE TABLE emails (sender TEXT, subject TEXT)")
+    db.execute("INSERT INTO emails VALUES ('a@x.com', 'hello')")
+    result = db.execute("SELECT sender, COUNT(*) AS n FROM emails GROUP BY sender")
+    print(result.rows)
+"""
+
+from repro.sql.database import Database
+from repro.sql.table import Column, Table
+
+__all__ = ["Column", "Database", "Table"]

@@ -1,0 +1,99 @@
+"""Scalar and aggregate functions for the SQL engine."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SQLExecutionError
+
+
+def _numeric(values: list[Any], func_name: str) -> list[float]:
+    numbers = []
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SQLExecutionError(
+                f"{func_name.upper()} expects numeric input, got {value!r}"
+            )
+        numbers.append(value)
+    return numbers
+
+
+def _agg_count(values: list[Any]) -> int:
+    return sum(1 for value in values if value is not None)
+
+
+def _agg_sum(values: list[Any]) -> Any:
+    numbers = _numeric(values, "sum")
+    return sum(numbers) if numbers else None
+
+
+def _agg_avg(values: list[Any]) -> float | None:
+    numbers = _numeric(values, "avg")
+    return sum(numbers) / len(numbers) if numbers else None
+
+
+def _agg_min(values: list[Any]) -> Any:
+    present = [value for value in values if value is not None]
+    return min(present) if present else None
+
+
+def _agg_max(values: list[Any]) -> Any:
+    present = [value for value in values if value is not None]
+    return max(present) if present else None
+
+
+AGGREGATES: dict[str, Callable[[list[Any]], Any]] = {
+    "count": _agg_count,
+    "sum": _agg_sum,
+    "avg": _agg_avg,
+    "min": _agg_min,
+    "max": _agg_max,
+}
+
+
+def _null_guard(func: Callable[..., Any]) -> Callable[..., Any]:
+    """Scalar functions return NULL when any argument is NULL."""
+
+    def wrapper(*args: Any) -> Any:
+        if any(arg is None for arg in args):
+            return None
+        return func(*args)
+
+    return wrapper
+
+
+def _scalar_round(value: Any, digits: Any = 0) -> Any:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise SQLExecutionError(f"ROUND expects a number, got {value!r}")
+    return round(value, int(digits))
+
+
+def _scalar_coalesce(*args: Any) -> Any:
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+SCALARS: dict[str, Callable[..., Any]] = {
+    "upper": _null_guard(lambda value: str(value).upper()),
+    "lower": _null_guard(lambda value: str(value).lower()),
+    "length": _null_guard(lambda value: len(str(value))),
+    "abs": _null_guard(abs),
+    "round": _null_guard(_scalar_round),
+    "substr": _null_guard(
+        lambda value, start, length=None: (
+            str(value)[int(start) - 1 : int(start) - 1 + int(length)]
+            if length is not None
+            else str(value)[int(start) - 1 :]
+        )
+    ),
+    # COALESCE must see NULLs, so it is not null-guarded.
+    "coalesce": _scalar_coalesce,
+}
+
+
+def is_aggregate(name: str) -> bool:
+    return name in AGGREGATES

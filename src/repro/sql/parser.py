@@ -1,0 +1,465 @@
+"""Recursive-descent SQL parser."""
+
+from __future__ import annotations
+
+from repro.errors import SQLSyntaxError
+from repro.sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    CreateTable,
+    Delete,
+    DropTable,
+    Expr,
+    FuncCall,
+    InList,
+    InsertInto,
+    InSubquery,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    Select,
+    SelectItem,
+    Star,
+    Statement,
+    Subquery,
+    TableRef,
+    UnaryOp,
+    Update,
+)
+from repro.sql.lexer import Token, tokenize_sql
+
+_COMPARISON_OPS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+_TYPE_KEYWORDS = ("integer", "int", "real", "float", "text", "varchar", "boolean", "bool")
+
+
+class Parser:
+    """Parses one SQL statement from a token stream."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check_keyword(self, word: str) -> bool:
+        return self._peek().is_keyword(word)
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._check_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            raise SQLSyntaxError(
+                f"expected {word.upper()} but found {self._peek().value!r} "
+                f"at position {self._peek().position}"
+            )
+
+    def _accept_punct(self, char: str) -> bool:
+        token = self._peek()
+        if token.kind == "punct" and token.value == char:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, char: str) -> None:
+        if not self._accept_punct(char):
+            raise SQLSyntaxError(
+                f"expected {char!r} but found {self._peek().value!r} "
+                f"at position {self._peek().position}"
+            )
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.kind != "ident":
+            raise SQLSyntaxError(
+                f"expected identifier but found {token.value!r} at position {token.position}"
+            )
+        self._advance()
+        return token.value
+
+    # -- statements ------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        if self._check_keyword("select"):
+            statement: Statement = self._parse_select()
+        elif self._check_keyword("create"):
+            statement = self._parse_create()
+        elif self._check_keyword("insert"):
+            statement = self._parse_insert()
+        elif self._check_keyword("drop"):
+            statement = self._parse_drop()
+        elif self._check_keyword("update"):
+            statement = self._parse_update()
+        elif self._check_keyword("delete"):
+            statement = self._parse_delete()
+        else:
+            token = self._peek()
+            raise SQLSyntaxError(
+                f"expected a statement but found {token.value!r} at position {token.position}"
+            )
+        self._accept_punct(";")
+        if self._peek().kind != "eof":
+            token = self._peek()
+            raise SQLSyntaxError(
+                f"unexpected trailing input {token.value!r} at position {token.position}"
+            )
+        return statement
+
+    def _parse_select(self) -> Select:
+        self._expect_keyword("select")
+        distinct = self._accept_keyword("distinct")
+        items = [self._parse_select_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_select_item())
+
+        table = None
+        joins: list[Join] = []
+        if self._accept_keyword("from"):
+            table = self._parse_table_ref()
+            while True:
+                if self._accept_keyword("join") or (
+                    self._accept_keyword("inner") and self._expect_keyword("join") is None
+                ):
+                    kind = "inner"
+                elif self._check_keyword("left"):
+                    self._advance()
+                    self._accept_keyword("outer")
+                    self._expect_keyword("join")
+                    kind = "left"
+                else:
+                    break
+                join_table = self._parse_table_ref()
+                self._expect_keyword("on")
+                condition = self._parse_expr()
+                joins.append(Join(kind, join_table, condition))
+
+        where = self._parse_expr() if self._accept_keyword("where") else None
+
+        group_by: list[Expr] = []
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by.append(self._parse_expr())
+            while self._accept_punct(","):
+                group_by.append(self._parse_expr())
+
+        having = self._parse_expr() if self._accept_keyword("having") else None
+
+        order_by: list[tuple[Expr, bool]] = []
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by.append(self._parse_order_item())
+            while self._accept_punct(","):
+                order_by.append(self._parse_order_item())
+
+        limit = None
+        if self._accept_keyword("limit"):
+            token = self._peek()
+            if token.kind != "number" or "." in token.value:
+                raise SQLSyntaxError(f"LIMIT expects an integer, found {token.value!r}")
+            self._advance()
+            limit = int(token.value)
+
+        return Select(
+            items=items,
+            table=table,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_order_item(self) -> tuple[Expr, bool]:
+        expr = self._parse_expr()
+        desc = False
+        if self._accept_keyword("desc"):
+            desc = True
+        else:
+            self._accept_keyword("asc")
+        return expr, desc
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self._peek()
+        if token.kind == "op" and token.value == "*":
+            self._advance()
+            return SelectItem(Star())
+        expr = self._parse_expr()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_ident()
+        elif self._peek().kind == "ident":
+            alias = self._expect_ident()
+        return SelectItem(expr, alias)
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self._expect_ident()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_ident()
+        elif self._peek().kind == "ident":
+            alias = self._expect_ident()
+        return TableRef(name, alias)
+
+    def _parse_create(self) -> CreateTable:
+        self._expect_keyword("create")
+        self._expect_keyword("table")
+        if_not_exists = False
+        if self._accept_keyword("if"):
+            self._expect_keyword("not")
+            self._expect_keyword("exists")
+            if_not_exists = True
+        name = self._expect_ident()
+        self._expect_punct("(")
+        columns: list[tuple[str, str]] = []
+        while True:
+            column_name = self._expect_ident()
+            type_token = self._peek()
+            if not (type_token.kind == "keyword" and type_token.value in _TYPE_KEYWORDS):
+                raise SQLSyntaxError(
+                    f"expected a column type, found {type_token.value!r} "
+                    f"at position {type_token.position}"
+                )
+            self._advance()
+            columns.append((column_name, type_token.value))
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        return CreateTable(name, columns, if_not_exists)
+
+    def _parse_insert(self) -> InsertInto:
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        table = self._expect_ident()
+        columns = None
+        if self._accept_punct("("):
+            columns = [self._expect_ident()]
+            while self._accept_punct(","):
+                columns.append(self._expect_ident())
+            self._expect_punct(")")
+        self._expect_keyword("values")
+        rows: list[list[Expr]] = []
+        while True:
+            self._expect_punct("(")
+            row = [self._parse_expr()]
+            while self._accept_punct(","):
+                row.append(self._parse_expr())
+            self._expect_punct(")")
+            rows.append(row)
+            if not self._accept_punct(","):
+                break
+        return InsertInto(table, columns, rows)
+
+    def _parse_update(self) -> Update:
+        self._expect_keyword("update")
+        table = self._expect_ident()
+        self._expect_keyword("set")
+        assignments: list[tuple[str, Expr]] = []
+        while True:
+            column = self._expect_ident()
+            token = self._peek()
+            if not (token.kind == "op" and token.value == "="):
+                raise SQLSyntaxError(
+                    f"expected '=' in SET clause, found {token.value!r} "
+                    f"at position {token.position}"
+                )
+            self._advance()
+            assignments.append((column, self._parse_expr()))
+            if not self._accept_punct(","):
+                break
+        where = self._parse_expr() if self._accept_keyword("where") else None
+        return Update(table, assignments, where)
+
+    def _parse_delete(self) -> Delete:
+        self._expect_keyword("delete")
+        self._expect_keyword("from")
+        table = self._expect_ident()
+        where = self._parse_expr() if self._accept_keyword("where") else None
+        return Delete(table, where)
+
+    def _parse_drop(self) -> DropTable:
+        self._expect_keyword("drop")
+        self._expect_keyword("table")
+        if_exists = False
+        if self._accept_keyword("if"):
+            self._expect_keyword("exists")
+            if_exists = True
+        return DropTable(self._expect_ident(), if_exists)
+
+    # -- expressions -----------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._accept_keyword("or"):
+            left = BinaryOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self._accept_keyword("and"):
+            left = BinaryOp("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self._accept_keyword("not"):
+            return UnaryOp("not", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expr:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.kind == "op" and token.value in _COMPARISON_OPS:
+            self._advance()
+            return BinaryOp(token.value, left, self._parse_additive())
+        if self._accept_keyword("is"):
+            negated = self._accept_keyword("not")
+            self._expect_keyword("null")
+            return IsNull(left, negated)
+        negated = self._accept_keyword("not")
+        if self._accept_keyword("in"):
+            self._expect_punct("(")
+            if self._check_keyword("select"):
+                subselect = self._parse_select()
+                self._expect_punct(")")
+                return InSubquery(left, subselect, negated)
+            options = [self._parse_expr()]
+            while self._accept_punct(","):
+                options.append(self._parse_expr())
+            self._expect_punct(")")
+            return InList(left, tuple(options), negated)
+        if self._accept_keyword("between"):
+            low = self._parse_additive()
+            self._expect_keyword("and")
+            high = self._parse_additive()
+            return Between(left, low, high, negated)
+        if self._accept_keyword("like"):
+            return Like(left, self._parse_additive(), negated)
+        if negated:
+            raise SQLSyntaxError(
+                f"expected IN, BETWEEN, or LIKE after NOT at position {self._peek().position}"
+            )
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.value in ("+", "-"):
+                self._advance()
+                left = BinaryOp(token.value, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.value in ("*", "/", "%"):
+                self._advance()
+                left = BinaryOp(token.value, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "op" and token.value == "-":
+            self._advance()
+            return UnaryOp("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.kind == "string":
+            self._advance()
+            return Literal(token.value)
+        if token.is_keyword("null"):
+            self._advance()
+            return Literal(None)
+        if token.is_keyword("true"):
+            self._advance()
+            return Literal(True)
+        if token.is_keyword("false"):
+            self._advance()
+            return Literal(False)
+        if token.is_keyword("case"):
+            return self._parse_case()
+        if token.kind == "punct" and token.value == "(":
+            self._advance()
+            if self._check_keyword("select"):
+                subselect = self._parse_select()
+                self._expect_punct(")")
+                return Subquery(subselect)
+            expr = self._parse_expr()
+            self._expect_punct(")")
+            return expr
+        if token.kind == "ident":
+            return self._parse_ident_expr()
+        raise SQLSyntaxError(
+            f"unexpected token {token.value!r} at position {token.position}"
+        )
+
+    def _parse_case(self) -> Expr:
+        self._expect_keyword("case")
+        whens: list[tuple[Expr, Expr]] = []
+        while self._accept_keyword("when"):
+            condition = self._parse_expr()
+            self._expect_keyword("then")
+            whens.append((condition, self._parse_expr()))
+        if not whens:
+            raise SQLSyntaxError("CASE requires at least one WHEN clause")
+        otherwise = self._parse_expr() if self._accept_keyword("else") else None
+        self._expect_keyword("end")
+        return CaseWhen(tuple(whens), otherwise)
+
+    def _parse_ident_expr(self) -> Expr:
+        name = self._expect_ident()
+        if self._accept_punct("("):
+            distinct = self._accept_keyword("distinct")
+            star = False
+            args: list[Expr] = []
+            token = self._peek()
+            if token.kind == "op" and token.value == "*":
+                self._advance()
+                star = True
+            elif not (token.kind == "punct" and token.value == ")"):
+                args.append(self._parse_expr())
+                while self._accept_punct(","):
+                    args.append(self._parse_expr())
+            self._expect_punct(")")
+            return FuncCall(name.lower(), tuple(args), distinct, star)
+        if self._accept_punct("."):
+            token = self._peek()
+            if token.kind == "op" and token.value == "*":
+                self._advance()
+                return Star(table=name)
+            column = self._expect_ident()
+            return ColumnRef(column, table=name)
+        return ColumnRef(name)
+
+
+def parse_sql(sql: str) -> Statement:
+    """Parse one SQL statement."""
+    return Parser(tokenize_sql(sql)).parse_statement()

@@ -1,0 +1,25 @@
+"""Shared utilities: deterministic seeding, virtual time, text, hashing."""
+
+from repro.utils.clock import VirtualClock
+from repro.utils.hashing import stable_hash, stable_uniform
+from repro.utils.seeding import SeededRng, derive_seed
+from repro.utils.text import (
+    approx_token_count,
+    extract_keywords,
+    normalize_text,
+    snippet,
+    tokenize,
+)
+
+__all__ = [
+    "SeededRng",
+    "VirtualClock",
+    "approx_token_count",
+    "derive_seed",
+    "extract_keywords",
+    "normalize_text",
+    "snippet",
+    "stable_hash",
+    "stable_uniform",
+    "tokenize",
+]

@@ -1,0 +1,63 @@
+"""Virtual time accounting.
+
+The paper reports runtimes dominated by LLM API latency.  Rather than sleep,
+every simulated LLM call charges seconds to a :class:`VirtualClock`.  The
+clock supports *parallel sections*: semantic operators that issue batched
+calls with ``parallelism=k`` charge ``ceil(n / k)`` waves of the per-call
+latency, mirroring how a real executor overlaps API calls.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class VirtualClock:
+    """Accumulates simulated elapsed seconds."""
+
+    elapsed: float = 0.0
+    _marks: dict[str, float] = field(default_factory=dict)
+
+    def advance(self, seconds: float) -> None:
+        """Advance the clock by ``seconds`` (sequential work)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time: {seconds}")
+        self.elapsed += seconds
+
+    def advance_parallel(self, per_item_seconds: list[float], parallelism: int) -> float:
+        """Advance by the makespan of items executed with bounded parallelism.
+
+        Items are processed in waves of size ``parallelism``; each wave costs
+        its slowest item.  Returns the total seconds charged.
+        """
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        total = 0.0
+        for start in range(0, len(per_item_seconds), parallelism):
+            wave = per_item_seconds[start : start + parallelism]
+            total += max(wave)
+        self.advance(total)
+        return total
+
+    def mark(self, name: str) -> None:
+        """Record the current time under ``name`` for later interval reads."""
+        self._marks[name] = self.elapsed
+
+    def since(self, name: str) -> float:
+        """Return seconds elapsed since :meth:`mark` was called with ``name``."""
+        if name not in self._marks:
+            raise KeyError(f"no clock mark named {name!r}")
+        return self.elapsed - self._marks[name]
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._marks.clear()
+
+
+def waves(n_items: int, parallelism: int) -> int:
+    """Number of sequential waves needed to process ``n_items`` items."""
+    if parallelism < 1:
+        raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+    return math.ceil(n_items / parallelism)

@@ -1,0 +1,40 @@
+"""Stable hashing helpers.
+
+Python's built-in :func:`hash` is salted per process, so anything that must
+be reproducible across runs (simulated LLM noise, embeddings, trial seeds)
+goes through the SHA-256-based helpers in this module instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+_MAX_64 = 2**64
+
+
+def stable_hash(*parts: Any) -> int:
+    """Return a process-independent 64-bit hash of ``parts``.
+
+    Parts are converted with :func:`repr` and joined with an unlikely
+    separator, so ``stable_hash("ab", "c") != stable_hash("a", "bc")``.
+    """
+    payload = "\x1f".join(repr(part) for part in parts).encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def stable_uniform(*parts: Any) -> float:
+    """Return a deterministic pseudo-uniform float in ``[0, 1)`` for ``parts``.
+
+    Used to make simulated model errors a *fixed property* of a
+    (model, task, record) triple: the same cheap model is consistently wrong
+    on the same hard records, as real model cascades are.
+    """
+    return stable_hash(*parts) / _MAX_64
+
+
+def stable_digest(*parts: Any) -> str:
+    """Return a short hex digest of ``parts`` for use in cache keys and ids."""
+    payload = "\x1f".join(repr(part) for part in parts).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:16]

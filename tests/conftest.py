@@ -1,0 +1,39 @@
+"""Shared fixtures: dataset bundles are expensive enough to build once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import (
+    generate_enron_corpus,
+    generate_legal_corpus,
+    generate_realestate_corpus,
+)
+from repro.llm.oracle import SemanticOracle
+from repro.llm.simulated import SimulatedLLM
+
+
+@pytest.fixture(scope="session")
+def legal_bundle():
+    return generate_legal_corpus(seed=7)
+
+
+@pytest.fixture(scope="session")
+def enron_bundle():
+    return generate_enron_corpus(seed=11)
+
+
+@pytest.fixture(scope="session")
+def realestate_bundle():
+    return generate_realestate_corpus(seed=23)
+
+
+@pytest.fixture
+def make_llm():
+    """Factory for fresh simulated LLMs bound to a bundle's oracle."""
+
+    def factory(bundle=None, seed: int = 0, **kwargs) -> SimulatedLLM:
+        oracle = SemanticOracle(bundle.registry) if bundle is not None else None
+        return SimulatedLLM(oracle=oracle, seed=seed, **kwargs)
+
+    return factory

@@ -1,0 +1,116 @@
+"""Tests for the sandboxed interpreter."""
+
+import pytest
+
+from repro.agents.sandbox import Sandbox, validate_code
+from repro.errors import SandboxSecurityError
+
+
+def test_basic_execution_and_stdout():
+    result = Sandbox().execute("print('hello', 1 + 2)")
+    assert result.stdout == "hello 3\n"
+    assert result.error is None
+    assert not result.finished
+
+
+def test_namespace_persists_across_steps():
+    sandbox = Sandbox()
+    sandbox.execute("x = 41")
+    result = sandbox.execute("print(x + 1)")
+    assert result.stdout.strip() == "42"
+
+
+def test_final_answer_finishes_episode():
+    result = Sandbox().execute("final_answer({'ratio': 2.5})")
+    assert result.finished
+    assert result.final_answer == {"ratio": 2.5}
+
+
+def test_tools_are_callable():
+    sandbox = Sandbox(tools={"double": lambda v: v * 2})
+    result = sandbox.execute("print(double(21))")
+    assert result.stdout.strip() == "42"
+
+
+def test_allowed_imports_work():
+    result = Sandbox().execute("import json\nprint(json.dumps([1, 2]))")
+    assert result.stdout.strip() == "[1, 2]"
+    result = Sandbox().execute("import re\nprint(re.findall(r'\\d+', 'a1b22'))")
+    assert "22" in result.stdout
+
+
+def test_forbidden_import_rejected():
+    result = Sandbox().execute("import os")
+    assert result.error and "not allowed" in result.error
+
+
+def test_forbidden_import_from_rejected():
+    result = Sandbox().execute("from subprocess import run")
+    assert result.error and "not allowed" in result.error
+
+
+def test_open_is_unavailable():
+    result = Sandbox().execute("open('/etc/passwd')")
+    assert result.error and "open" in result.error
+
+
+def test_eval_exec_unavailable():
+    assert Sandbox().execute("eval('1+1')").error
+    assert Sandbox().execute("exec('x=1')").error
+
+
+def test_dunder_attribute_access_rejected():
+    result = Sandbox().execute("(1).__class__")
+    assert result.error and "not allowed" in result.error
+
+
+def test_underscored_attribute_rejected():
+    result = Sandbox().execute("x = []\nx._private")
+    assert result.error
+
+
+def test_class_definition_rejected():
+    result = Sandbox().execute("class Evil: pass")
+    assert result.error and "ClassDef" in result.error
+
+
+def test_syntax_error_reported_not_raised():
+    result = Sandbox().execute("def broken(:")
+    assert result.error and "syntax" in result.error.lower()
+
+
+def test_runtime_error_captured_with_type():
+    result = Sandbox().execute("1 / 0")
+    assert "ZeroDivisionError" in result.error
+
+
+def test_infinite_loop_hits_step_budget():
+    result = Sandbox(max_lines=10_000).execute("while True:\n    pass")
+    assert result.error and "step budget" in result.error
+
+
+def test_stdout_preserved_before_error():
+    result = Sandbox().execute("print('before')\n1/0")
+    assert result.stdout.strip() == "before"
+    assert result.error
+
+
+def test_functions_and_comprehensions_allowed():
+    code = (
+        "def square(v):\n"
+        "    return v * v\n"
+        "print(sum(square(i) for i in range(4)))\n"
+    )
+    assert Sandbox().execute(code).stdout.strip() == "14"
+
+
+def test_validate_code_returns_tree():
+    tree = validate_code("x = 1")
+    assert tree is not None
+    with pytest.raises(SandboxSecurityError):
+        validate_code("import socket")
+
+
+def test_modules_preloaded_without_import():
+    result = Sandbox().execute("print(math.sqrt(16))")
+    assert result.stdout.strip() == "4.0"

@@ -1,0 +1,62 @@
+"""Tests for the benchmark system builders."""
+
+import pytest
+
+from repro.bench.systems import (
+    enron_codeagent_plus_system,
+    enron_codeagent_system,
+    enron_compute_system,
+    kramabench_codeagent_system,
+    kramabench_compute_system,
+    kramabench_semops_system,
+)
+
+ALL_KRAMABENCH = [
+    kramabench_semops_system,
+    kramabench_codeagent_system,
+    kramabench_compute_system,
+]
+ALL_ENRON = [
+    enron_codeagent_system,
+    enron_codeagent_plus_system,
+    enron_compute_system,
+]
+
+
+@pytest.mark.parametrize("builder", ALL_KRAMABENCH)
+def test_kramabench_systems_deterministic(legal_bundle, builder):
+    system = builder(legal_bundle)
+    first, second = system(123), system(123)
+    assert first.quality == second.quality
+    assert first.cost_usd == second.cost_usd
+    assert first.time_s == second.time_s
+
+
+@pytest.mark.parametrize("builder", ALL_ENRON)
+def test_enron_systems_deterministic(enron_bundle, builder):
+    system = builder(enron_bundle)
+    first, second = system(321), system(321)
+    assert first.quality == second.quality
+    assert first.cost_usd == second.cost_usd
+
+
+@pytest.mark.parametrize("builder", ALL_KRAMABENCH)
+def test_kramabench_outcomes_well_formed(legal_bundle, builder):
+    outcome = builder(legal_bundle)(5)
+    assert 0.0 <= outcome.quality["pct_err"] <= 100.0
+    assert outcome.cost_usd > 0
+    assert outcome.time_s > 0
+
+
+@pytest.mark.parametrize("builder", ALL_ENRON)
+def test_enron_outcomes_well_formed(enron_bundle, builder):
+    outcome = builder(enron_bundle)(5)
+    for metric in ("f1", "recall", "precision"):
+        assert 0.0 <= outcome.quality[metric] <= 1.0
+    assert outcome.cost_usd > 0
+
+
+def test_trial_seeds_change_outcomes(legal_bundle):
+    system = kramabench_codeagent_system(legal_bundle)
+    outcomes = {round(system(seed).quality["pct_err"], 4) for seed in range(6)}
+    assert len(outcomes) > 1  # trials genuinely vary

@@ -1,0 +1,58 @@
+"""Tests for the CLI."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _run(argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(argv)
+    return code, buffer.getvalue()
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_table1_single_trial():
+    code, output = _run(["table1", "--trials", "1"])
+    assert code == 0
+    assert "Sem. Ops" in output and "PZ compute" in output
+
+
+def test_table2_single_trial():
+    code, output = _run(["table2", "--trials", "1"])
+    assert code == 0
+    assert "CodeAgent+" in output and "Recall" in output
+
+
+def test_demo_runs():
+    code, output = _run(["demo"])
+    assert code == 0
+    assert "compute answer" in output
+
+
+def test_query_on_legal_dataset():
+    code, output = _run(
+        [
+            "query",
+            "Compute the ratio between the number of identity theft reports "
+            "in the year 2024 and the number of identity theft reports in "
+            "the year 2001.",
+            "--dataset",
+            "legal",
+        ]
+    )
+    assert code == 0
+    assert "ratio" in output
+
+
+def test_query_rejects_unknown_dataset():
+    with pytest.raises(SystemExit):
+        _run(["query", "anything", "--dataset", "nope"])

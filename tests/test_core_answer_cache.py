@@ -1,0 +1,65 @@
+"""Tests for the runtime's whole-query answer cache."""
+
+import pytest
+
+from repro.core.runtime import AnalyticsRuntime
+from repro.data.datasets import kramabench as kb
+
+
+@pytest.fixture
+def runtime_ctx(legal_bundle):
+    runtime = AnalyticsRuntime.for_bundle(legal_bundle, seed=55)
+    return runtime, runtime.make_context(legal_bundle)
+
+
+def test_identical_query_served_from_cache(runtime_ctx, legal_bundle):
+    runtime, context = runtime_ctx
+    first = runtime.answer(context, kb.QUERY_RATIO)
+    assert not first.reused
+    cost_after_first = runtime.usage().cost_usd
+
+    second = runtime.answer(context, kb.QUERY_RATIO)
+    assert second.reused
+    assert second.answer == first.answer
+    assert second.cost_usd == 0.0
+    # Only the cache-probe embedding was charged.
+    assert runtime.usage().cost_usd - cost_after_first < 1e-4
+
+
+def test_paraphrase_served_from_cache(runtime_ctx):
+    runtime, context = runtime_ctx
+    runtime.answer(context, kb.QUERY_RATIO)
+    paraphrase = kb.QUERY_RATIO.replace("Compute", "Calculate")
+    result = runtime.answer(context, paraphrase)
+    assert result.reused
+
+
+def test_unrelated_query_misses_cache(runtime_ctx):
+    runtime, context = runtime_ctx
+    runtime.answer(context, kb.QUERY_RATIO)
+    result = runtime.answer(context, kb.QUERY_TOP_STATE)
+    assert not result.reused
+    assert result.answer["state"]
+
+
+def test_different_base_context_misses_cache(legal_bundle, enron_bundle):
+    runtime = AnalyticsRuntime.for_bundle(legal_bundle, seed=55)
+    legal_context = runtime.make_context(legal_bundle)
+    runtime.answer(legal_context, kb.QUERY_RATIO)
+
+    other_context = runtime.make_context(
+        legal_bundle.records()[:10],
+        schema=legal_bundle.schema,
+        desc="a different lake",
+        name="other-lake",
+    )
+    result = runtime.answer(other_context, kb.QUERY_RATIO)
+    assert not result.reused
+
+
+def test_clear_answers_evicts(runtime_ctx):
+    runtime, context = runtime_ctx
+    runtime.answer(context, kb.QUERY_RATIO)
+    runtime.clear_answers()
+    result = runtime.answer(context, kb.QUERY_RATIO)
+    assert not result.reused

@@ -1,0 +1,85 @@
+"""Tests for the ContextManager (materialized-Context reuse)."""
+
+import pytest
+
+from repro.core.context import Context
+from repro.core.context_manager import ContextManager
+from repro.data.records import DataRecord
+from repro.data.schemas import Field, Schema
+from repro.llm.simulated import SimulatedLLM
+
+SCHEMA = Schema([Field("name", str)])
+
+
+def _context(desc):
+    return Context([DataRecord({"name": "r"})], SCHEMA, desc=desc)
+
+
+def _manager(threshold=0.6):
+    return ContextManager(SimulatedLLM(seed=0), threshold=threshold)
+
+
+def test_register_and_find_similar():
+    manager = _manager()
+    manager.register(
+        _context("identity theft statistics for 2001"),
+        "find national identity theft statistics for the year 2001",
+    )
+    entry, score = manager.find_similar(
+        "find national identity theft statistics for the year 2024"
+    )
+    assert entry is not None
+    assert score >= 0.6
+    assert entry.hits == 1
+
+
+def test_dissimilar_instruction_misses():
+    manager = _manager()
+    manager.register(_context("identity theft statistics"), "identity theft reports")
+    entry, score = manager.find_similar("recipes for sourdough bread baking")
+    assert entry is None
+    assert score < 0.6
+
+
+def test_empty_manager_returns_none():
+    entry, score = _manager().find_similar("anything")
+    assert entry is None and score == 0.0
+
+
+def test_best_of_multiple_entries_wins():
+    manager = _manager(threshold=0.2)
+    manager.register(_context("fraud losses by payment method"), "fraud losses by payment method")
+    target = manager.register(
+        _context("identity theft reports by year"), "identity theft reports by year"
+    )
+    entry, _score = manager.find_similar("yearly identity theft report counts by year")
+    assert entry is target
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        ContextManager(SimulatedLLM(seed=0), threshold=1.5)
+
+
+def test_custom_threshold_override_per_query():
+    manager = _manager(threshold=0.99)
+    manager.register(_context("identity theft stats"), "identity theft statistics 2001")
+    entry, _ = manager.find_similar("identity theft statistics 2024")
+    assert entry is None  # default threshold too strict
+    entry, _ = manager.find_similar("identity theft statistics 2024", threshold=0.3)
+    assert entry is not None
+
+
+def test_clear_and_len():
+    manager = _manager()
+    manager.register(_context("a"), "a")
+    assert len(manager) == 1
+    manager.clear()
+    assert len(manager) == 0
+
+
+def test_embedding_cost_charged():
+    llm = SimulatedLLM(seed=0)
+    manager = ContextManager(llm)
+    manager.register(_context("some description"), "some instruction")
+    assert llm.tracker.total().calls >= 1

@@ -1,0 +1,99 @@
+"""Tests for logical rewrites (split, merge, recovery)."""
+
+import pytest
+
+from repro.core.rewrites import (
+    compute_batch,
+    compute_with_recovery,
+    merge_similar_instructions,
+    should_split,
+    split_instruction,
+)
+from repro.core.runtime import AnalyticsRuntime
+from repro.data.datasets import kramabench as kb
+
+
+def test_split_on_sentences():
+    parts = split_instruction("Do the first thing. Then compute the second.")
+    assert len(parts) == 2
+    assert all(part.endswith(".") for part in parts)
+
+
+def test_split_on_markers():
+    parts = split_instruction("filter the emails; then extract senders")
+    assert parts == ["filter the emails.", "extract senders."]
+
+
+def test_split_single_directive_unchanged():
+    assert split_instruction("Just one directive") == ["Just one directive."]
+
+
+def test_should_split_heuristic():
+    assert should_split("Do A. Do B.")
+    assert not should_split("Only one thing to do here")
+
+
+def test_should_split_judge_charges_llm(legal_bundle):
+    runtime = AnalyticsRuntime.for_bundle(legal_bundle, seed=0)
+    should_split("Do A. Do B.", runtime)
+    assert runtime.usage().calls == 1
+
+
+def test_merge_groups_near_duplicates():
+    groups = merge_similar_instructions(
+        [
+            "compute the identity theft ratio between 2024 and 2001",
+            "compute the ratio of identity theft between 2024 and 2001",
+            "list romance scams in 2023",
+        ]
+    )
+    assert len(groups) == 2
+    assert groups[0].member_indexes == [0, 1]
+    assert groups[1].member_indexes == [2]
+
+
+def test_merge_identical_instructions():
+    groups = merge_similar_instructions(["same thing here"] * 4)
+    assert len(groups) == 1
+    assert groups[0].member_indexes == [0, 1, 2, 3]
+
+
+def test_merge_threshold_validation():
+    with pytest.raises(ValueError):
+        merge_similar_instructions(["a"], threshold=0.0)
+
+
+def test_compute_batch_shares_results(legal_bundle):
+    runtime = AnalyticsRuntime.for_bundle(legal_bundle, seed=3)
+    context = runtime.make_context(legal_bundle)
+    instructions = [kb.QUERY_RATIO, kb.QUERY_RATIO + " Please."]
+    results = compute_batch(context, instructions, runtime)
+    assert len(results) == 2
+    assert results[0] is results[1]  # merged: same result object
+
+
+def test_compute_with_recovery_not_triggered_when_valid(legal_bundle):
+    runtime = AnalyticsRuntime.for_bundle(legal_bundle, seed=3)
+    context = runtime.make_context(legal_bundle)
+    result, recovered = compute_with_recovery(context, kb.QUERY_RATIO, runtime)
+    assert not recovered
+    assert result.answer is not None
+
+
+def test_compute_with_recovery_inserts_search(legal_bundle):
+    runtime = AnalyticsRuntime.for_bundle(legal_bundle, seed=3)
+    context = runtime.make_context(legal_bundle)
+    awkward = (
+        "Determine how many times larger the count of identity theft "
+        "reports was in 2024 compared to 2001."
+    )
+    result, recovered = compute_with_recovery(
+        context,
+        awkward,
+        runtime,
+        is_valid=lambda answer: isinstance(answer, dict) and "ratio" in answer,
+    )
+    assert recovered
+    assert isinstance(result.answer, dict) and "ratio" in result.answer
+    # Recovery accumulates the failed attempt's cost.
+    assert result.cost_usd > 0

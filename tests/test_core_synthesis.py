@@ -1,0 +1,80 @@
+"""Tests for natural-language program synthesis."""
+
+from repro.core.synthesis import synthesize_program
+from repro.data.datasets import enron as en
+from repro.data.datasets import kramabench as kb
+
+
+def test_enron_query_synthesis():
+    spec = synthesize_program(en.QUERY_RELEVANT)
+    assert len(spec.filters) == 1
+    assert spec.filters[0].startswith("The email contains firsthand discussion")
+    assert [name for name, _ in spec.extracts] == ["sender", "subject", "summary"]
+
+
+def test_enron_filter_resolves_to_relevant_intent(enron_bundle):
+    spec = synthesize_program(en.QUERY_RELEVANT)
+    intent = enron_bundle.registry.resolve(spec.filters[0])
+    assert intent is not None and intent.key == en.INTENT_RELEVANT
+
+
+def test_enron_extractions_resolve(enron_bundle):
+    spec = synthesize_program(en.QUERY_RELEVANT)
+    keys = {
+        name: enron_bundle.registry.resolve(instruction).key
+        for name, instruction in spec.extracts
+    }
+    assert keys == {
+        "sender": en.INTENT_SENDER,
+        "subject": en.INTENT_SUBJECT,
+        "summary": en.INTENT_SUMMARY,
+    }
+
+
+def test_kramabench_program_instruction_synthesis(legal_bundle):
+    instruction = (
+        "Find the files which report national identity theft statistics "
+        "for the year 2024 and extract the number of identity theft "
+        "reports in the year 2024."
+    )
+    spec = synthesize_program(instruction)
+    assert spec.filters == [
+        "The file reports national identity theft statistics for the year 2024."
+    ]
+    assert spec.extracts == [
+        ("value", "Extract the number of identity theft reports in the year 2024.")
+    ]
+    assert legal_bundle.registry.resolve(spec.filters[0]).key == kb.INTENT_NATIONAL_2024
+    assert (
+        legal_bundle.registry.resolve(spec.extracts[0][1]).key == kb.INTENT_IT_2024_VALUE
+    )
+
+
+def test_bare_extract_instruction():
+    spec = synthesize_program("Extract the total revenue for fiscal 2023")
+    assert spec.filters == []
+    assert spec.extracts[0][0] == "value"
+    assert spec.extracts[0][1].startswith("Extract the total revenue")
+
+
+def test_plural_noun_singularized_and_verb_conjugated():
+    spec = synthesize_program("Return all listings which describe a modern home")
+    assert spec.filters == ["The listing describes a modern home."]
+
+
+def test_fallback_whole_instruction_as_filter():
+    spec = synthesize_program("The document mentions quarterly earnings")
+    assert spec.filters == ["The document mentions quarterly earnings."]
+    assert spec.extracts == []
+
+
+def test_describe_renders_pipeline():
+    spec = synthesize_program(en.QUERY_RELEVANT)
+    text = spec.describe()
+    assert "sem_filter" in text and "sem_map" in text
+
+
+def test_trailing_period_normalized():
+    a = synthesize_program("Return all emails which mention the merger")
+    b = synthesize_program("Return all emails which mention the merger.")
+    assert a.filters == b.filters

@@ -1,0 +1,97 @@
+"""Tests for DataRecord."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.records import DataRecord
+
+
+def test_field_access():
+    record = DataRecord({"a": 1, "b": "x"})
+    assert record["a"] == 1
+    assert record.get("missing", "default") == "default"
+    assert "a" in record and "missing" not in record
+
+
+def test_missing_field_error_lists_fields():
+    record = DataRecord({"alpha": 1})
+    with pytest.raises(KeyError) as excinfo:
+        record["beta"]
+    assert "alpha" in str(excinfo.value)
+
+
+def test_uids_are_unique_by_default():
+    assert DataRecord({}).uid != DataRecord({}).uid
+
+
+def test_explicit_uid_respected():
+    assert DataRecord({}, uid="my-id").uid == "my-id"
+
+
+def test_derive_adds_fields_and_lineage():
+    parent = DataRecord({"a": 1}, annotations={"gold": True})
+    child = parent.derive({"b": 2})
+    assert child["a"] == 1 and child["b"] == 2
+    assert child.parent_uids == (parent.uid,)
+    assert child.annotations == {"gold": True}
+
+
+def test_derive_drop_removes_fields():
+    parent = DataRecord({"a": 1, "b": 2})
+    child = parent.derive(drop=["b"])
+    assert "b" not in child and "a" in child
+
+
+def test_derive_does_not_mutate_parent():
+    parent = DataRecord({"a": 1})
+    child = parent.derive({"a": 99})
+    assert parent["a"] == 1 and child["a"] == 99
+
+
+def test_merge_combines_fields_right_wins():
+    left = DataRecord({"a": 1, "shared": "left"}, annotations={"la": 1})
+    right = DataRecord({"b": 2, "shared": "right"}, annotations={"ra": 2})
+    merged = DataRecord.merge(left, right)
+    assert merged["shared"] == "right"
+    assert merged["a"] == 1 and merged["b"] == 2
+    assert merged.annotations == {"la": 1, "ra": 2}
+    assert merged.parent_uids == (left.uid, right.uid)
+
+
+def test_as_text_is_sorted_and_complete():
+    record = DataRecord({"b": 2, "a": 1})
+    text = record.as_text()
+    assert text.index("a: 1") < text.index("b: 2")
+
+
+def test_root_uids_without_resolver():
+    source = DataRecord({}, uid="src")
+    assert source.root_uids() == ("src",)
+    child = source.derive({})
+    assert child.root_uids() == ("src",)
+
+
+def test_root_uids_transitive_with_resolver():
+    source = DataRecord({}, uid="src")
+    mid = source.derive({})
+    leaf = mid.derive({})
+    resolver = {record.uid: record for record in (source, mid, leaf)}
+    assert leaf.root_uids(resolver) == ("src",)
+
+
+def test_root_uids_merge_dedup():
+    a = DataRecord({}, uid="a")
+    merged = DataRecord.merge(a.derive({}), a.derive({}))
+    resolver = {a.uid: a}
+    for parent_uid in merged.parent_uids:
+        resolver[parent_uid] = a.derive({})
+    # Both sides resolve to "a"-derived parents; no duplicates emitted.
+    roots = merged.root_uids()
+    assert len(roots) == len(set(roots))
+
+
+@given(st.dictionaries(st.from_regex(r"[a-z]{1,8}", fullmatch=True), st.integers(), max_size=6))
+def test_field_names_sorted_property(fields):
+    record = DataRecord(fields)
+    assert record.field_names() == sorted(fields)

@@ -1,0 +1,45 @@
+"""Tests for data sources."""
+
+import pytest
+
+from repro.data.records import DataRecord
+from repro.data.schemas import TEXT_FILE_SCHEMA, Field, Schema
+from repro.data.sources import DirectorySource, MemorySource
+from repro.errors import DataSourceError
+
+
+def _records(n=3):
+    return [DataRecord({"i": index}) for index in range(n)]
+
+
+def test_memory_source_iterates_all():
+    source = MemorySource(_records(3), Schema([Field("i", int)]))
+    assert len(list(source.iterate())) == 3
+    assert source.cardinality() == 3
+
+
+def test_memory_source_stamps_source_id():
+    source = MemorySource(_records(1), Schema([Field("i", int)]), source_id="mysrc")
+    assert next(iter(source)).source_id == "mysrc"
+
+
+def test_memory_source_reiterable():
+    source = MemorySource(_records(2), Schema([Field("i", int)]))
+    assert len(list(source)) == len(list(source)) == 2
+
+
+def test_directory_source_reads_files(tmp_path):
+    (tmp_path / "b.csv").write_text("x,y\n1,2\n", encoding="utf-8")
+    (tmp_path / "a.html").write_text("<html></html>", encoding="utf-8")
+    source = DirectorySource(tmp_path)
+    records = list(source.iterate())
+    assert [record["filename"] for record in records] == ["a.html", "b.csv"]
+    assert records[0]["format"] == "html"
+    assert records[1]["contents"].startswith("x,y")
+    assert source.cardinality() == 2
+    assert source.schema is TEXT_FILE_SCHEMA
+
+
+def test_directory_source_missing_dir():
+    with pytest.raises(DataSourceError):
+        DirectorySource("/nonexistent/path/xyz")

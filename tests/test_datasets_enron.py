@@ -1,0 +1,115 @@
+"""Tests for the synthetic Enron corpus."""
+
+from repro.data.datasets import generate_enron_corpus
+from repro.data.datasets import enron as en
+from repro.llm.oracle import DIFFICULTY_PREFIX, SemanticOracle
+
+
+def test_exactly_250_emails(enron_bundle):
+    assert len(enron_bundle.records()) == 250
+    assert len(enron_bundle.corpus) == 250
+
+
+def test_exactly_39_positives(enron_bundle):
+    assert enron_bundle.ground_truth["n_relevant"] == 39
+    positives = [
+        record
+        for record in enron_bundle.records()
+        if record.annotations[en.INTENT_RELEVANT]
+    ]
+    assert len(positives) == 39
+
+
+def test_generation_deterministic():
+    a = generate_enron_corpus(seed=11)
+    b = generate_enron_corpus(seed=11)
+    assert a.ground_truth == b.ground_truth
+    assert a.corpus.read_file("email_000.txt") == b.corpus.read_file("email_000.txt")
+
+
+def test_seed_changes_assignment():
+    a = generate_enron_corpus(seed=11)
+    b = generate_enron_corpus(seed=12)
+    assert a.ground_truth["relevant_filenames"] != b.ground_truth["relevant_filenames"]
+
+
+def test_relevant_iff_mentions_and_firsthand(enron_bundle):
+    for record in enron_bundle.records():
+        ann = record.annotations
+        assert ann[en.INTENT_RELEVANT] == (
+            ann[en.INTENT_MENTIONS] and ann[en.INTENT_FIRSTHAND]
+        )
+
+
+def test_forwarded_news_mentions_but_not_firsthand(enron_bundle):
+    news = [
+        record
+        for record in enron_bundle.records()
+        if record.annotations[en.INTENT_MENTIONS]
+        and not record.annotations[en.INTENT_FIRSTHAND]
+    ]
+    assert len(news) == en.N_FORWARDED
+    for record in news:
+        assert "Forwarded message" in record["body"]
+
+
+def test_hard_positives_exist(enron_bundle):
+    hard = [
+        record
+        for record in enron_bundle.records()
+        if record.annotations[en.INTENT_RELEVANT]
+        and record.annotations[DIFFICULTY_PREFIX + en.INTENT_RELEVANT] >= 0.9
+    ]
+    assert len(hard) == en.N_HARD_POSITIVE
+
+
+def test_red_herrings_contain_deal_words_without_deals(enron_bundle):
+    herrings = [
+        record
+        for record in enron_bundle.records()
+        if not record.annotations[en.INTENT_MENTIONS]
+        and any(
+            deal.lower() in record["body"].lower()
+            for deal in ("raptor", "condor", "death star")
+        )
+    ]
+    assert len(herrings) >= en.N_RED_HERRING
+
+
+def test_rendered_file_matches_record_fields(enron_bundle):
+    record = enron_bundle.records()[0]
+    rendered = enron_bundle.corpus.read_file(record["filename"])
+    assert rendered.startswith(f"From: {record['sender']}")
+    assert f"Subject: {record['subject']}" in rendered
+
+
+def test_intent_resolution_for_canonical_instructions(enron_bundle):
+    registry = enron_bundle.registry
+    assert registry.resolve(en.FILTER_MENTIONS).key == en.INTENT_MENTIONS
+    assert registry.resolve(en.FILTER_FIRSTHAND).key == en.INTENT_FIRSTHAND
+    assert registry.resolve(en.FILTER_RELEVANT).key == en.INTENT_RELEVANT
+    assert registry.resolve(en.MAP_SENDER).key == en.INTENT_SENDER
+    assert registry.resolve(en.MAP_SUBJECT).key == en.INTENT_SUBJECT
+    assert registry.resolve(en.MAP_SUMMARY).key == en.INTENT_SUMMARY
+
+
+def test_sender_annotation_matches_field(enron_bundle):
+    for record in enron_bundle.records()[:20]:
+        assert record.annotations[en.INTENT_SENDER] == record["sender"]
+
+
+def test_oracle_ground_truth_agrees_with_gold_set(enron_bundle):
+    oracle = SemanticOracle(enron_bundle.registry)
+    gold = set(enron_bundle.ground_truth["relevant_filenames"])
+    derived = {
+        record["filename"]
+        for record in enron_bundle.records()
+        if oracle.judge_filter(en.FILTER_RELEVANT, record).truth
+    }
+    assert derived == gold
+
+
+def test_emails_have_realistic_length(enron_bundle):
+    lengths = [len(record["body"]) for record in enron_bundle.records()]
+    assert min(lengths) > 300
+    assert sum(lengths) / len(lengths) > 700

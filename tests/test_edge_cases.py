@@ -1,0 +1,141 @@
+"""Edge-case tests across subsystems."""
+
+import pytest
+
+from repro.core.operators import _records_from_answer
+from repro.core.context import Context
+from repro.data.records import DataRecord
+from repro.data.schemas import Field, Schema
+from repro.llm.oracle import SemanticOracle
+from repro.llm.simulated import SimulatedLLM
+from repro.sem import Dataset, QueryProcessorConfig
+from repro.sem.physical import AGG_TEXT_BUDGET, ExecutionContext, PhysSemAgg
+from repro.sem import logical as L
+
+SCHEMA = Schema([Field("name", str), Field("body", str)])
+
+
+def _context_records(n=3):
+    return [DataRecord({"name": f"r{n_}", "body": "text"}, uid=f"r{n_}") for n_ in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# _records_from_answer mapping
+# ---------------------------------------------------------------------------
+
+
+def _ctx():
+    return Context(_context_records(), SCHEMA, desc="d")
+
+
+def test_records_from_answer_non_list_returns_none():
+    assert _records_from_answer({"ratio": 1.0}, _ctx()) is None
+    assert _records_from_answer(None, _ctx()) is None
+    assert _records_from_answer([], _ctx()) is None
+
+
+def test_records_from_answer_non_dict_items_returns_none():
+    assert _records_from_answer(["r0", "r1"], _ctx()) is None
+
+
+def test_records_from_answer_maps_by_key_field():
+    context = _ctx()
+    matched = _records_from_answer([{"key": "r1"}], context)
+    assert matched is not None
+    assert [record.uid for record in matched] == ["r1"]
+
+
+def test_records_from_answer_unknown_keys_returns_none():
+    assert _records_from_answer([{"key": "zzz"}], _ctx()) is None
+
+
+def test_records_from_answer_requires_known_key_field():
+    assert _records_from_answer([{"mystery": "r0"}], _ctx()) is None
+
+
+# ---------------------------------------------------------------------------
+# Semantic aggregation input budget
+# ---------------------------------------------------------------------------
+
+
+def test_sem_agg_truncates_to_text_budget():
+    llm = SimulatedLLM(oracle=SemanticOracle(), seed=0)
+    ctx = ExecutionContext(llm=llm)
+    big_records = [
+        DataRecord({"body": "x" * 10_000}, uid=f"b{i}") for i in range(10)
+    ]
+    op = L.SemAggOp(child=None, instruction="summarize", output_field="s")
+    PhysSemAgg(op, "gpt-4o").execute(big_records, ctx)
+    event = llm.tracker.events[-1]
+    # The charged prompt stays within the same order as the budget.
+    assert event.input_tokens < (AGG_TEXT_BUDGET / 2)
+
+
+def test_sem_agg_empty_input_still_produces_record():
+    llm = SimulatedLLM(oracle=SemanticOracle(), seed=0)
+    ctx = ExecutionContext(llm=llm)
+    op = L.SemAggOp(child=None, instruction="summarize", output_field="s")
+    output = PhysSemAgg(op, "gpt-4o").execute([], ctx)
+    assert len(output) == 1
+
+
+# ---------------------------------------------------------------------------
+# Dataset odds and ends
+# ---------------------------------------------------------------------------
+
+
+def test_limit_zero_yields_nothing():
+    llm = SimulatedLLM(seed=0)
+    result = (
+        Dataset.from_records(_context_records(), SCHEMA)
+        .limit(0)
+        .run(QueryProcessorConfig(llm=llm, seed=0))
+    )
+    assert result.records == []
+
+
+def test_field_values_helper():
+    llm = SimulatedLLM(seed=0)
+    result = (
+        Dataset.from_records(_context_records(), SCHEMA)
+        .run(QueryProcessorConfig(llm=llm, seed=0))
+    )
+    assert result.field_values("name") == ["r0", "r1", "r2"]
+    assert result.field_values("missing") == [None, None, None]
+
+
+def test_empty_source_runs_cleanly():
+    llm = SimulatedLLM(seed=0)
+    result = (
+        Dataset.from_records([], SCHEMA)
+        .sem_filter("anything at all")
+        .run(QueryProcessorConfig(llm=llm, seed=0))
+    )
+    assert result.records == []
+    assert result.total_cost_usd == 0.0
+
+
+def test_context_derived_empty_records_allowed():
+    context = _ctx()
+    child = context.derived("empty view", records=[])
+    assert len(child) == 0
+    assert child.parent is context
+
+
+# ---------------------------------------------------------------------------
+# CLI query command on a second dataset
+# ---------------------------------------------------------------------------
+
+
+def test_cli_query_enron_dataset():
+    import io
+    from contextlib import redirect_stdout
+
+    from repro.cli import main
+    from repro.data.datasets.enron import QUERY_RELEVANT
+
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["query", QUERY_RELEVANT, "--dataset", "enron"])
+    assert code == 0
+    assert "answer" in buffer.getvalue()

@@ -1,0 +1,62 @@
+"""Smoke tests: every shipped example must run end to end."""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+EXAMPLES = [
+    "agent_with_sql",
+    "quickstart",
+    "kramabench_legal",
+    "enron_filter",
+    "context_reuse",
+    "sql_materialization",
+]
+
+
+def _run_example(name: str) -> str:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    buffer = io.StringIO()
+    try:
+        spec.loader.exec_module(module)
+        with redirect_stdout(buffer):
+            module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return buffer.getvalue()
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    output = _run_example(name)
+    assert len(output) > 100  # produced a real report
+
+
+def test_quickstart_materializes_sql():
+    output = _run_example("quickstart")
+    assert "SQL over the materialized table" in output
+
+
+def test_kramabench_example_gets_right_answer():
+    output = _run_example("kramabench_legal")
+    assert "13.16" in output
+    assert "Compute agent trace" in output
+
+
+def test_enron_example_shows_improvement():
+    output = _run_example("enron_filter")
+    assert "F1 improvement" in output
+
+
+def test_context_reuse_example_shows_cache_hit():
+    output = _run_example("context_reuse")
+    assert "cache" in output.lower()

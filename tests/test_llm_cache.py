@@ -1,0 +1,53 @@
+"""Tests for the generation cache."""
+
+import pytest
+
+from repro.llm.cache import GenerationCache
+
+
+def test_miss_then_hit():
+    cache = GenerationCache()
+    key = GenerationCache.key("gpt-4o", "prompt")
+    hit, _ = cache.get(key)
+    assert not hit
+    cache.put(key, "answer")
+    hit, value = cache.get(key)
+    assert hit and value == "answer"
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_keys_differ_by_model():
+    assert GenerationCache.key("a", "p") != GenerationCache.key("b", "p")
+
+
+def test_lru_eviction():
+    cache = GenerationCache(max_entries=2)
+    cache.put("k1", 1)
+    cache.put("k2", 2)
+    cache.get("k1")  # touch k1 so k2 becomes LRU
+    cache.put("k3", 3)
+    assert cache.get("k1")[0]
+    assert not cache.get("k2")[0]
+    assert cache.get("k3")[0]
+
+
+def test_put_same_key_overwrites():
+    cache = GenerationCache()
+    cache.put("k", 1)
+    cache.put("k", 2)
+    assert cache.get("k")[1] == 2
+    assert len(cache) == 1
+
+
+def test_clear_resets_counters():
+    cache = GenerationCache()
+    cache.put("k", 1)
+    cache.get("k")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.hits == 0 and cache.misses == 0
+
+
+def test_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        GenerationCache(max_entries=0)

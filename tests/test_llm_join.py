@@ -1,0 +1,100 @@
+"""Tests for pairwise join judgments (oracle + simulated service)."""
+
+import pytest
+
+from repro.data.records import DataRecord
+from repro.llm.oracle import DIFFICULTY_PREFIX, IntentRegistry, SemanticOracle
+from repro.llm.simulated import SimulatedLLM
+
+
+def _registry():
+    registry = IntentRegistry()
+    registry.register("p.topic", ["records", "same", "topic"])
+    return registry
+
+
+def _record(uid, topic, difficulty=0.05):
+    return DataRecord(
+        {"text": f"about {topic}"},
+        uid=uid,
+        annotations={"p.topic": topic, DIFFICULTY_PREFIX + "p.topic": difficulty},
+    )
+
+
+def test_oracle_join_equality_truth():
+    oracle = SemanticOracle(_registry())
+    same = oracle.judge_join(
+        "the records discuss the same topic", _record("a", "x"), _record("b", "x")
+    )
+    different = oracle.judge_join(
+        "the records discuss the same topic", _record("a", "x"), _record("b", "y")
+    )
+    assert same.resolved and same.truth is True
+    assert different.resolved and different.truth is False
+
+
+def test_oracle_join_difficulty_is_max_of_sides():
+    oracle = SemanticOracle(_registry())
+    result = oracle.judge_join(
+        "the records discuss the same topic",
+        _record("a", "x", difficulty=0.2),
+        _record("b", "x", difficulty=0.8),
+    )
+    assert result.difficulty == 0.8
+
+
+def test_oracle_join_unresolved_falls_back_to_lexical():
+    oracle = SemanticOracle(IntentRegistry())
+    left = DataRecord({"text": "quarterly merger discussion details"}, uid="l")
+    right = DataRecord({"text": "merger discussion continues"}, uid="r")
+    result = oracle.judge_join("quarterly merger discussion", left, right)
+    assert not result.resolved
+    assert result.truth is True
+
+
+def test_oracle_join_one_sided_annotation_unresolved():
+    oracle = SemanticOracle(_registry())
+    left = _record("a", "x")
+    right = DataRecord({"text": "no annotations here"}, uid="b")
+    result = oracle.judge_join("the records discuss the same topic", left, right)
+    assert not result.resolved
+
+
+def test_llm_join_charges_both_texts():
+    llm = SimulatedLLM(oracle=SemanticOracle(_registry()), seed=0)
+    judgment = llm.judge_join(
+        "the records discuss the same topic", _record("a", "x"), _record("b", "x")
+    )
+    assert judgment.answer is True
+    single = llm.judge_filter("the records discuss the same topic", _record("c", "x"))
+    assert judgment.event.input_tokens > single.event.input_tokens
+
+
+def test_llm_join_cached_per_pair():
+    llm = SimulatedLLM(oracle=SemanticOracle(_registry()), seed=0)
+    left, right = _record("a", "x"), _record("b", "x")
+    first = llm.judge_join("records with the same topic", left, right)
+    second = llm.judge_join("records with the same topic", left, right)
+    assert not first.event.cached and second.event.cached
+    assert second.event.cost_usd == 0.0
+
+
+def test_llm_join_pair_order_matters_for_cache():
+    llm = SimulatedLLM(oracle=SemanticOracle(_registry()), seed=0)
+    left, right = _record("a", "x"), _record("b", "x")
+    llm.judge_join("records with the same topic", left, right)
+    reversed_pair = llm.judge_join("records with the same topic", right, left)
+    assert not reversed_pair.event.cached  # (a,b) and (b,a) are distinct keys
+
+
+def test_llm_join_noise_on_ambiguous_pairs():
+    answers = set()
+    for seed in range(12):
+        llm = SimulatedLLM(oracle=SemanticOracle(_registry()), seed=seed)
+        judgment = llm.judge_join(
+            "the records discuss the same topic",
+            _record("a", "x", difficulty=1.0),
+            _record("b", "y", difficulty=1.0),
+        )
+        answers.add(judgment.answer)
+    assert answers == {True, False}

@@ -1,0 +1,89 @@
+"""Tests for the fluent Dataset API."""
+
+import pytest
+
+from repro.data.records import DataRecord
+from repro.data.schemas import Field, Schema
+from repro.errors import PlanError
+from repro.sem import logical as L
+from repro.sem.dataset import Dataset
+
+SCHEMA = Schema([Field("i", int), Field("text", str)])
+
+
+def _dataset(n=4):
+    records = [DataRecord({"i": index, "text": f"record {index}"}) for index in range(n)]
+    return Dataset.from_records(records, SCHEMA)
+
+
+def test_methods_return_new_datasets():
+    base = _dataset()
+    filtered = base.sem_filter("x")
+    assert filtered is not base
+    assert isinstance(base.plan().root, L.ScanOp)
+
+
+def test_sem_filter_requires_instruction():
+    with pytest.raises(PlanError):
+        _dataset().sem_filter("")
+    with pytest.raises(PlanError):
+        _dataset().sem_filter("   ")
+
+
+def test_sem_map_single_field_form():
+    ds = _dataset().sem_map(Field("out", str, "d"), "extract the thing")
+    op = ds.plan().root
+    assert isinstance(op, L.SemMapOp)
+    assert op.outputs[0][0].name == "out"
+
+
+def test_sem_map_single_field_requires_instruction():
+    with pytest.raises(PlanError):
+        _dataset().sem_map(Field("out", str))
+
+
+def test_sem_map_multi_field_form():
+    ds = _dataset().sem_map(
+        [(Field("a", str), "get a"), (Field("b", str), "get b")]
+    )
+    assert len(ds.plan().root.outputs) == 2
+
+
+def test_sem_map_empty_list_rejected():
+    with pytest.raises(PlanError):
+        _dataset().sem_map([])
+
+
+def test_sem_classify_requires_options():
+    with pytest.raises(PlanError):
+        _dataset().sem_classify("label", [], "classify it")
+
+
+def test_sem_topk_validates_method():
+    with pytest.raises(PlanError):
+        _dataset().sem_topk("query", 3, method="psychic")
+
+
+def test_chained_plan_order():
+    ds = (
+        _dataset()
+        .filter(lambda record: record["i"] > 0)
+        .sem_filter("keep it")
+        .project(["i"])
+        .limit(1)
+    )
+    labels = [op.label() for op in ds.plan().operators()]
+    assert labels[0].startswith("Scan")
+    assert labels[-1] == "Limit(1)"
+
+
+def test_explain_is_stringy():
+    text = _dataset().sem_filter("keep").explain()
+    assert "SemFilter" in text and "Scan" in text
+
+
+def test_sem_join_builds_tree():
+    joined = _dataset().sem_join(_dataset(), "same entity")
+    root = joined.plan().root
+    assert isinstance(root, L.SemJoinOp)
+    assert root.right is not None

@@ -1,0 +1,68 @@
+"""Tests for EXPLAIN ANALYZE rendering."""
+
+import re
+
+from repro.data.datasets import enron as en
+from repro.llm.oracle import SemanticOracle
+from repro.llm.simulated import SimulatedLLM
+from repro.sem import Dataset, QueryProcessorConfig
+from repro.sem.explain import explain_analyze
+
+
+def _run(enron_bundle):
+    llm = SimulatedLLM(oracle=SemanticOracle(enron_bundle.registry), seed=2)
+    config = QueryProcessorConfig(llm=llm, seed=2)
+    return (
+        Dataset.from_source(enron_bundle.source())
+        .sem_filter(en.FILTER_MENTIONS)
+        .sem_filter(en.FILTER_FIRSTHAND)
+        .run_with_report(config)
+    )
+
+
+def test_explain_analyze_renders_all_operators(enron_bundle):
+    result, report = _run(enron_bundle)
+    text = explain_analyze(result, report)
+    assert text.count("SemFilter") >= 2
+    assert "Scan" in text
+    assert "EXPLAIN ANALYZE" in text
+
+
+def test_explain_analyze_has_estimates_and_actuals(enron_bundle):
+    result, report = _run(enron_bundle)
+    text = explain_analyze(result, report)
+    assert "Est. out" in text and "Actual $" in text
+    assert "plan estimate" in text
+    assert "optimizer sampling" in text
+
+
+def test_cost_estimates_are_reliable(enron_bundle):
+    """Per-record cost estimates are tight (selectivity, sampled from a
+    dozen records, is legitimately noisy — surfacing that is the point of
+    EXPLAIN ANALYZE)."""
+    result, report = _run(enron_bundle)
+    text = explain_analyze(result, report)
+    pattern = re.compile(
+        r"\| SemFilter.*\|\s*\d+\s*\|\s*\S+\s*\|\s*\d+\s*\|\s*([\d.]+)\s*\|\s*([\d.]+)\s*\|"
+    )
+    checked = 0
+    for line in text.splitlines():
+        match = pattern.search(line)
+        if match:
+            est_cost, actual_cost = float(match.group(1)), float(match.group(2))
+            if actual_cost > 0:
+                assert 0.5 * actual_cost <= est_cost <= 2.0 * actual_cost
+                checked += 1
+    assert checked >= 2
+
+
+def test_truncated_run_flagged(enron_bundle):
+    llm = SimulatedLLM(oracle=SemanticOracle(enron_bundle.registry), seed=2)
+    config = QueryProcessorConfig(llm=llm, seed=2, optimize=False, max_cost_usd=0.01)
+    result, report = (
+        Dataset.from_source(enron_bundle.source())
+        .sem_filter(en.FILTER_MENTIONS)
+        .sem_filter(en.FILTER_FIRSTHAND)
+        .run_with_report(config)
+    )
+    assert "truncated" in explain_analyze(result, report)

@@ -1,0 +1,102 @@
+"""Tests for the semantic group-by operator."""
+
+import pytest
+
+from repro.data.datasets import realestate as re_mod
+from repro.errors import PlanError
+from repro.llm.oracle import SemanticOracle
+from repro.llm.simulated import SimulatedLLM
+from repro.sem import Dataset, MaxQuality, QueryProcessorConfig
+
+
+def _config(bundle, seed=0, **kwargs):
+    llm = SimulatedLLM(oracle=SemanticOracle(bundle.registry), seed=seed)
+    kwargs.setdefault("policy", MaxQuality())
+    return QueryProcessorConfig(llm=llm, seed=seed, **kwargs)
+
+
+def test_groupby_partitions_all_records(realestate_bundle):
+    config = _config(realestate_bundle)
+    result = (
+        Dataset.from_source(realestate_bundle.source())
+        .sem_groupby(re_mod.MAP_STYLE, re_mod.STYLES)
+        .run(config)
+    )
+    assert 2 <= len(result.records) <= len(re_mod.STYLES)
+    total = sum(record["count"] for record in result.records)
+    assert total == 120
+
+
+def test_groupby_counts_match_annotations(realestate_bundle):
+    config = _config(realestate_bundle)
+    result = (
+        Dataset.from_source(realestate_bundle.source())
+        .sem_groupby(re_mod.MAP_STYLE, re_mod.STYLES)
+        .run(config)
+    )
+    by_group = {record["group"]: record["count"] for record in result.records}
+    truth = {}
+    for record in realestate_bundle.records():
+        style = record.annotations[re_mod.INTENT_STYLE]
+        truth[style] = truth.get(style, 0) + 1
+    # Strong model + low difficulty: measured counts within a few records.
+    for style, count in truth.items():
+        assert abs(by_group.get(style, 0) - count) <= 4
+
+
+def test_groupby_lineage_points_to_members(realestate_bundle):
+    config = _config(realestate_bundle)
+    result = (
+        Dataset.from_source(realestate_bundle.source())
+        .limit(10)
+        .sem_groupby(re_mod.MAP_STYLE, re_mod.STYLES)
+        .run(config)
+    )
+    assert all(len(record.parent_uids) == record["count"] for record in result.records)
+
+
+def test_groupby_with_summaries(realestate_bundle):
+    config = _config(realestate_bundle)
+    result = (
+        Dataset.from_source(realestate_bundle.source())
+        .limit(12)
+        .sem_groupby(re_mod.MAP_STYLE, re_mod.STYLES, summarize=True)
+        .run(config)
+    )
+    assert all(isinstance(record["summary"], str) for record in result.records)
+
+
+def test_groupby_requires_two_groups(realestate_bundle):
+    with pytest.raises(PlanError):
+        Dataset.from_source(realestate_bundle.source()).sem_groupby(
+            re_mod.MAP_STYLE, ["only-one"]
+        )
+
+
+def test_groupby_charges_per_record(realestate_bundle):
+    config = _config(realestate_bundle, optimize=False)
+    llm = config.llm
+    (
+        Dataset.from_source(realestate_bundle.source())
+        .limit(20)
+        .sem_groupby(re_mod.MAP_STYLE, re_mod.STYLES)
+        .run(config)
+    )
+    groupby_calls = [
+        event for event in llm.tracker.events if event.tag.endswith(":groupby")
+    ]
+    assert len(groupby_calls) == 20
+
+
+def test_groupby_model_selection(realestate_bundle):
+    from repro.sem.optimizer.policies import MinCost
+
+    config = _config(realestate_bundle, policy=MinCost())
+    result, report = (
+        Dataset.from_source(realestate_bundle.source())
+        .limit(30)
+        .sem_groupby(re_mod.MAP_STYLE, re_mod.STYLES)
+        .run_with_report(config)
+    )
+    chosen = [model for label, model in report.chosen_models.items() if "GroupBy" in label]
+    assert chosen and chosen[0] != "gpt-4o"

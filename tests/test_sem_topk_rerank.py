@@ -1,0 +1,72 @@
+"""Tests for the LLM-reranked top-k variant."""
+
+from repro.data.records import DataRecord
+from repro.data.schemas import Field, Schema
+from repro.llm.oracle import DIFFICULTY_PREFIX, IntentRegistry, SemanticOracle
+from repro.llm.simulated import SimulatedLLM
+from repro.sem import Dataset, QueryProcessorConfig
+
+SCHEMA = Schema([Field("name", str), Field("text", str)])
+
+
+def _registry():
+    registry = IntentRegistry()
+    registry.register("tk.relevant", ["relevant", "gadgets"])
+    return registry
+
+
+def _records():
+    records = []
+    specs = [
+        # Lexically misleading: mentions gadget words but annotated irrelevant.
+        ("decoy", "gadgets gadgets gadgets sale flyer gadgets", False),
+        ("true1", "engineering notes on the gadget prototype", True),
+        ("true2", "gadget assembly instructions for the team", True),
+        ("noise1", "lunch menu for friday", False),
+        ("noise2", "parking garage closure notice", False),
+    ]
+    for name, text, relevant in specs:
+        records.append(
+            DataRecord(
+                {"name": name, "text": text},
+                uid=name,
+                annotations={
+                    "tk.relevant": relevant,
+                    DIFFICULTY_PREFIX + "tk.relevant": 0.05,
+                },
+            )
+        )
+    return records
+
+
+def _run(method):
+    llm = SimulatedLLM(oracle=SemanticOracle(_registry()), seed=0)
+    result = (
+        Dataset.from_records(_records(), SCHEMA)
+        .sem_topk("the record is relevant to gadgets", k=2, method=method)
+        .run(QueryProcessorConfig(llm=llm, optimize=False, seed=0))
+    )
+    return [record["name"] for record in result.records], llm
+
+
+def test_embedding_topk_fooled_by_lexical_decoy():
+    names, _llm = _run("embedding")
+    assert "decoy" in names  # keyword stuffing wins on pure similarity
+
+
+def test_llm_rerank_promotes_judged_relevant():
+    names, llm = _run("llm")
+    assert set(names) == {"true1", "true2"}
+    # Reranking paid for per-record judgments.
+    judgments = [e for e in llm.tracker.events if e.tag.endswith(":topk") and e.output_tokens]
+    assert len(judgments) == 5
+
+
+def test_topk_k_larger_than_input():
+    llm = SimulatedLLM(oracle=SemanticOracle(_registry()), seed=0)
+    result = (
+        Dataset.from_records(_records(), SCHEMA)
+        .sem_topk("the record is relevant to gadgets", k=50)
+        .run(QueryProcessorConfig(llm=llm, optimize=False, seed=0))
+    )
+    assert len(result.records) == 5

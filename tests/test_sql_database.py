@@ -1,0 +1,101 @@
+"""Tests for the Database facade and DDL/DML surface."""
+
+import pytest
+
+from repro.errors import SQLExecutionError
+from repro.sql import Database
+
+
+def test_create_insert_count():
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER)")
+    result = db.execute("INSERT INTO t VALUES (1), (2), (3)")
+    assert result.rows[0][0] == 3
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == 3
+
+
+def test_create_duplicate_rejected_unless_if_not_exists():
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER)")
+    with pytest.raises(SQLExecutionError):
+        db.execute("CREATE TABLE t (a INTEGER)")
+    db.execute("CREATE TABLE IF NOT EXISTS t (a INTEGER)")  # no error
+
+
+def test_drop_table():
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER)")
+    db.execute("DROP TABLE t")
+    assert not db.has_table("t")
+    with pytest.raises(SQLExecutionError):
+        db.execute("DROP TABLE t")
+    db.execute("DROP TABLE IF EXISTS t")  # no error
+
+
+def test_insert_type_coercion_and_enforcement():
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER, b REAL)")
+    db.execute("INSERT INTO t VALUES (1, 2)")  # int into REAL promotes
+    assert db.query("SELECT * FROM t")[0] == {"a": 1, "b": 2.0}
+    with pytest.raises(SQLExecutionError):
+        db.execute("INSERT INTO t VALUES ('not-int', 1.0)")
+
+
+def test_insert_named_columns_fill_null():
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+    db.execute("INSERT INTO t (b) VALUES ('only-b')")
+    assert db.query("SELECT * FROM t")[0] == {"a": None, "b": "only-b"}
+
+
+def test_insert_wrong_arity_rejected():
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+    with pytest.raises(SQLExecutionError):
+        db.execute("INSERT INTO t VALUES (1)")
+
+
+def test_create_table_from_rows_infers_types():
+    db = Database()
+    table = db.create_table_from_rows(
+        "inferred",
+        [
+            {"name": "x", "count": 3, "score": 1.5, "flag": True},
+            {"name": "y", "count": 4, "score": 2.5, "flag": False, "extra": "late"},
+        ],
+    )
+    type_map = {column.name: column.type_name for column in table.columns}
+    assert type_map == {
+        "name": "text", "count": "integer", "score": "real",
+        "flag": "boolean", "extra": "text",
+    }
+    assert db.query("SELECT extra FROM inferred WHERE name = 'x'")[0]["extra"] is None
+
+
+def test_create_table_from_rows_replace():
+    db = Database()
+    db.create_table_from_rows("t", [{"a": 1}])
+    with pytest.raises(SQLExecutionError):
+        db.create_table_from_rows("t", [{"a": 2}])
+    db.create_table_from_rows("t", [{"a": 2}], replace=True)
+    assert db.execute("SELECT a FROM t").scalar() == 2
+
+
+def test_create_table_from_zero_rows_rejected():
+    with pytest.raises(SQLExecutionError):
+        Database().create_table_from_rows("t", [])
+
+
+def test_table_names_sorted():
+    db = Database()
+    db.execute("CREATE TABLE zeta (a INT)")
+    db.execute("CREATE TABLE alpha (a INT)")
+    assert db.table_names() == ["alpha", "zeta"]
+
+
+def test_result_scalar_requires_1x1():
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER)")
+    db.execute("INSERT INTO t VALUES (1), (2)")
+    with pytest.raises(SQLExecutionError):
+        db.execute("SELECT a FROM t").scalar()

@@ -1,0 +1,63 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql.lexer import tokenize_sql
+
+
+def _kinds(sql):
+    return [(token.kind, token.value) for token in tokenize_sql(sql) if token.kind != "eof"]
+
+
+def test_keywords_case_insensitive():
+    assert _kinds("SELECT select SeLeCt") == [("keyword", "select")] * 3
+
+
+def test_identifiers_preserve_case():
+    assert _kinds("myTable")[0] == ("ident", "myTable")
+
+
+def test_numbers_integer_and_float():
+    assert _kinds("42 3.14 .5") == [
+        ("number", "42"), ("number", "3.14"), ("number", ".5"),
+    ]
+
+
+def test_string_literal_with_escaped_quote():
+    tokens = _kinds("'it''s'")
+    assert tokens == [("string", "it's")]
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(SQLSyntaxError):
+        tokenize_sql("SELECT 'oops")
+
+
+def test_quoted_identifier():
+    assert _kinds('"weird name"') == [("ident", "weird name")]
+
+
+def test_multi_char_operators_greedy():
+    assert _kinds("a <= b <> c >= d != e") == [
+        ("ident", "a"), ("op", "<="), ("ident", "b"), ("op", "<>"),
+        ("ident", "c"), ("op", ">="), ("ident", "d"), ("op", "!="),
+        ("ident", "e"),
+    ]
+
+
+def test_line_comments_skipped():
+    assert _kinds("SELECT 1 -- comment here\n+ 2") == [
+        ("keyword", "select"), ("number", "1"), ("op", "+"), ("number", "2"),
+    ]
+
+
+def test_unexpected_character_raises_with_position():
+    with pytest.raises(SQLSyntaxError) as excinfo:
+        tokenize_sql("SELECT @")
+    assert "position 7" in str(excinfo.value)
+
+
+def test_eof_token_always_last():
+    tokens = tokenize_sql("SELECT 1")
+    assert tokens[-1].kind == "eof"

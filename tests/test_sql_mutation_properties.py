@@ -1,0 +1,59 @@
+"""Property-based tests for UPDATE/DELETE consistency."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import Database
+
+rows_strategy = st.lists(
+    st.integers(min_value=-50, max_value=50), min_size=0, max_size=20
+)
+
+
+def _load(values):
+    db = Database()
+    db.execute("CREATE TABLE t (v INTEGER)")
+    for value in values:
+        db.execute(f"INSERT INTO t VALUES ({value})")
+    return db
+
+
+@given(rows_strategy, st.integers(min_value=-50, max_value=50))
+@settings(max_examples=40, deadline=None)
+def test_delete_partitions_table(values, threshold):
+    db = _load(values)
+    deleted = db.execute(f"DELETE FROM t WHERE v > {threshold}").rows[0][0]
+    remaining = db.execute("SELECT COUNT(*) FROM t").scalar()
+    assert deleted + remaining == len(values)
+    assert deleted == sum(1 for value in values if value > threshold)
+
+
+@given(rows_strategy, st.integers(min_value=-50, max_value=50))
+@settings(max_examples=40, deadline=None)
+def test_update_is_reflected_in_selects(values, threshold):
+    db = _load(values)
+    db.execute(f"UPDATE t SET v = 999 WHERE v <= {threshold}")
+    touched = db.execute("SELECT COUNT(*) FROM t WHERE v = 999").scalar()
+    expected = sum(1 for value in values if value <= threshold)
+    untouched_999 = sum(1 for value in values if value == 999)
+    assert touched == expected + untouched_999
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == len(values)
+
+
+@given(rows_strategy)
+@settings(max_examples=30, deadline=None)
+def test_update_without_where_touches_all(values):
+    db = _load(values)
+    updated = db.execute("UPDATE t SET v = v + 1").rows[0][0]
+    assert updated == len(values)
+    total = db.execute("SELECT SUM(v) FROM t").scalar()
+    expected = sum(values) + len(values) if values else None
+    assert total == expected
+
+
+@given(rows_strategy)
+@settings(max_examples=30, deadline=None)
+def test_delete_all_then_empty(values):
+    db = _load(values)
+    db.execute("DELETE FROM t")
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == 0

@@ -1,0 +1,82 @@
+"""Tests for UPDATE and DELETE."""
+
+import pytest
+
+from repro.errors import SQLExecutionError, SQLSyntaxError
+from repro.sql import Database
+from repro.sql.parser import parse_sql
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE items (name TEXT, qty INTEGER, price REAL)")
+    database.execute(
+        "INSERT INTO items VALUES ('apple', 5, 1.5), ('banana', 0, 0.5), "
+        "('cherry', 12, 4.0)"
+    )
+    return database
+
+
+def test_update_with_where(db):
+    result = db.execute("UPDATE items SET qty = 10 WHERE name = 'apple'")
+    assert result.rows[0][0] == 1
+    assert db.execute("SELECT qty FROM items WHERE name = 'apple'").scalar() == 10
+
+
+def test_update_all_rows(db):
+    result = db.execute("UPDATE items SET price = price * 2")
+    assert result.rows[0][0] == 3
+    assert db.execute("SELECT SUM(price) FROM items").scalar() == pytest.approx(12.0)
+
+
+def test_update_expression_references_row(db):
+    db.execute("UPDATE items SET qty = qty + 1 WHERE qty > 0")
+    rows = db.query("SELECT name, qty FROM items ORDER BY name")
+    assert [row["qty"] for row in rows] == [6, 0, 13]
+
+
+def test_update_multiple_assignments(db):
+    db.execute("UPDATE items SET qty = 99, price = 9.99 WHERE name = 'banana'")
+    row = db.query("SELECT qty, price FROM items WHERE name = 'banana'")[0]
+    assert row == {"qty": 99, "price": 9.99}
+
+
+def test_update_coerces_types(db):
+    with pytest.raises(SQLExecutionError):
+        db.execute("UPDATE items SET qty = 'lots'")
+
+
+def test_update_unknown_column_rejected(db):
+    with pytest.raises(SQLExecutionError):
+        db.execute("UPDATE items SET missing = 1")
+
+
+def test_delete_with_where(db):
+    result = db.execute("DELETE FROM items WHERE qty = 0")
+    assert result.rows[0][0] == 1
+    assert db.execute("SELECT COUNT(*) FROM items").scalar() == 2
+
+
+def test_delete_all(db):
+    result = db.execute("DELETE FROM items")
+    assert result.rows[0][0] == 3
+    assert db.execute("SELECT COUNT(*) FROM items").scalar() == 0
+
+
+def test_delete_null_where_matches_nothing(db):
+    db.execute("INSERT INTO items VALUES ('dud', NULL, 1.0)")
+    # qty > 0 is NULL for the dud row, so it survives.
+    db.execute("DELETE FROM items WHERE qty > 0")
+    names = {row["name"] for row in db.query("SELECT name FROM items")}
+    assert "dud" in names and "banana" in names
+
+
+def test_update_parse_requires_equals():
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("UPDATE t SET a 5")
+
+
+def test_delete_requires_from():
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("DELETE items")

@@ -1,0 +1,77 @@
+"""Tests for usage reporting and dataset bundle self-validation."""
+
+from repro.core.runtime import AnalyticsRuntime
+from repro.data.datasets import kramabench as kb
+from repro.llm.usage import UsageEvent, UsageTracker
+
+
+def test_render_report_breaks_down_by_model_and_tag():
+    tracker = UsageTracker()
+    tracker.record(UsageEvent("gpt-4o", 100, 10, 0.01, 1.0, tag="query:filter"))
+    tracker.record(UsageEvent("gpt-4o-mini", 100, 10, 0.001, 1.0, tag="optimize:filter"))
+    tracker.record(UsageEvent("gpt-4o", 0, 0, 0.0, 0.0, tag="query:filter", cached=True))
+    report = tracker.render_report()
+    assert "gpt-4o: 2 calls" in report
+    assert "gpt-4o-mini: 1 calls" in report
+    assert "[query]" in report and "[optimize]" in report
+    assert "cache hits: 1" in report
+
+
+def test_runtime_usage_report_after_compute(legal_bundle):
+    runtime = AnalyticsRuntime.for_bundle(legal_bundle, seed=0)
+    context = runtime.make_context(legal_bundle)
+    runtime.compute(context, kb.QUERY_RATIO)
+    report = runtime.usage_report()
+    assert "total:" in report
+    assert "elapsed" in report
+    assert "$" in report
+
+
+def test_all_builtin_bundles_validate(legal_bundle, enron_bundle, realestate_bundle):
+    for bundle in (legal_bundle, enron_bundle, realestate_bundle):
+        assert bundle.validate() == [], bundle.name
+
+
+def test_validate_reports_unregistered_intents(realestate_bundle):
+    from repro.data.datasets.base import DatasetBundle
+    from repro.data.records import DataRecord
+    from repro.data.schemas import Field, Schema
+    from repro.data.corpus import FileCorpus
+    from repro.llm.oracle import IntentRegistry
+
+    bundle = DatasetBundle(
+        name="broken",
+        corpus=FileCorpus("broken"),
+        schema=Schema([Field("a", int)]),
+        registry=IntentRegistry(),
+        description="",
+        record_list=[DataRecord({"a": 1}, annotations={"x.unregistered": True})],
+    )
+    problems = bundle.validate()
+    assert any("unregistered" in problem for problem in problems)
+
+
+def test_validate_reports_bad_difficulty():
+    from repro.data.datasets.base import DatasetBundle
+    from repro.data.records import DataRecord
+    from repro.data.schemas import Field, Schema
+    from repro.data.corpus import FileCorpus
+    from repro.llm.oracle import DIFFICULTY_PREFIX, IntentRegistry
+
+    registry = IntentRegistry()
+    registry.register("x.flag", ["flag"])
+    bundle = DatasetBundle(
+        name="broken",
+        corpus=FileCorpus("broken"),
+        schema=Schema([Field("a", int)]),
+        registry=registry,
+        description="",
+        record_list=[
+            DataRecord(
+                {"a": 1},
+                annotations={"x.flag": True, DIFFICULTY_PREFIX + "x.flag": 3.0},
+            )
+        ],
+    )
+    problems = bundle.validate()
+    assert any("out of range" in problem for problem in problems)

@@ -1,0 +1,74 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.utils.clock import VirtualClock, waves
+
+
+def test_advance_accumulates():
+    clock = VirtualClock()
+    clock.advance(1.5)
+    clock.advance(2.5)
+    assert clock.elapsed == pytest.approx(4.0)
+
+
+def test_advance_rejects_negative():
+    with pytest.raises(ValueError):
+        VirtualClock().advance(-1.0)
+
+
+def test_parallel_makespan_single_wave():
+    clock = VirtualClock()
+    charged = clock.advance_parallel([1.0, 2.0, 3.0], parallelism=3)
+    assert charged == pytest.approx(3.0)
+    assert clock.elapsed == pytest.approx(3.0)
+
+
+def test_parallel_makespan_multiple_waves():
+    clock = VirtualClock()
+    # Waves: [1,2] -> 2s, [3,4] -> 4s, [5] -> 5s.
+    charged = clock.advance_parallel([1, 2, 3, 4, 5], parallelism=2)
+    assert charged == pytest.approx(11.0)
+
+
+def test_parallel_with_parallelism_one_is_sum():
+    clock = VirtualClock()
+    clock.advance_parallel([1.0, 2.0, 3.0], parallelism=1)
+    assert clock.elapsed == pytest.approx(6.0)
+
+
+def test_parallel_rejects_bad_parallelism():
+    with pytest.raises(ValueError):
+        VirtualClock().advance_parallel([1.0], parallelism=0)
+
+
+def test_marks_and_since():
+    clock = VirtualClock()
+    clock.advance(3.0)
+    clock.mark("start")
+    clock.advance(2.0)
+    assert clock.since("start") == pytest.approx(2.0)
+
+
+def test_since_unknown_mark_raises():
+    with pytest.raises(KeyError):
+        VirtualClock().since("missing")
+
+
+def test_reset_clears_everything():
+    clock = VirtualClock()
+    clock.advance(5.0)
+    clock.mark("m")
+    clock.reset()
+    assert clock.elapsed == 0.0
+    with pytest.raises(KeyError):
+        clock.since("m")
+
+
+def test_waves_helper():
+    assert waves(0, 4) == 0
+    assert waves(1, 4) == 1
+    assert waves(4, 4) == 1
+    assert waves(5, 4) == 2
+    with pytest.raises(ValueError):
+        waves(3, 0)

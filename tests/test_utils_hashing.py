@@ -1,0 +1,45 @@
+"""Tests for stable hashing."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.hashing import stable_digest, stable_hash, stable_uniform
+
+
+def test_stable_hash_is_deterministic():
+    assert stable_hash("a", 1, True) == stable_hash("a", 1, True)
+
+
+def test_stable_hash_differs_on_part_boundaries():
+    assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+
+def test_stable_hash_differs_on_types():
+    assert stable_hash(1) != stable_hash("1")
+
+
+def test_stable_uniform_range():
+    values = [stable_uniform("key", i) for i in range(200)]
+    assert all(0.0 <= value < 1.0 for value in values)
+
+
+def test_stable_uniform_spread():
+    values = [stable_uniform("spread", i) for i in range(500)]
+    low = sum(1 for value in values if value < 0.5)
+    assert 180 < low < 320  # roughly balanced
+
+
+def test_stable_digest_is_hex_and_short():
+    digest = stable_digest("x", 42)
+    assert len(digest) == 16
+    int(digest, 16)  # parses as hex
+
+
+@given(st.lists(st.text(), min_size=1, max_size=5))
+def test_stable_hash_deterministic_property(parts):
+    assert stable_hash(*parts) == stable_hash(*parts)
+
+
+@given(st.text(), st.text())
+def test_stable_uniform_bounds_property(a, b):
+    assert 0.0 <= stable_uniform(a, b) < 1.0
