@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Fast correctness gate: tier-1 test suite + the fault-tolerance smoke sweep.
+# Runs in well under a minute; use before pushing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo
+echo "== fault-tolerance smoke sweep =="
+python benchmarks/bench_fault_tolerance.py --smoke
+
+echo
+echo "check.sh: all green"

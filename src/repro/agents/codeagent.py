@@ -17,7 +17,7 @@ from repro.agents.policies.base import AgentPolicy
 from repro.agents.sandbox import Sandbox
 from repro.agents.tools import ToolRegistry
 from repro.agents.trace import AgentStep, AgentTrace
-from repro.errors import AgentError
+from repro.errors import AgentError, TransientLLMError
 from repro.llm.models import DEFAULT_MODEL
 from repro.llm.simulated import SimulatedLLM
 from repro.utils.seeding import SeededRng
@@ -52,6 +52,13 @@ class AgentResult:
     steps_used: int
     cost_usd: float = 0.0
     time_s: float = 0.0
+    #: Transient LLM failures survived (each burned a recovery turn).
+    llm_failures: int = 0
+    #: Sandbox/tool errors observed across the episode.
+    tool_errors: int = 0
+    #: Why the episode was cut short, if it was ("llm-unavailable",
+    #: "step-timeout", "tool-errors"); None for a normal ending.
+    aborted: str | None = None
 
     def succeeded(self) -> bool:
         return self.finished
@@ -69,9 +76,14 @@ class CodeAgent:
         max_steps: int = 12,
         name: str = "codeagent",
         seed: int = 0,
+        step_timeout_s: float | None = None,
+        max_llm_failures: int = 3,
+        max_consecutive_tool_errors: int | None = None,
     ) -> None:
         if max_steps < 1:
             raise AgentError(f"max_steps must be >= 1, got {max_steps}")
+        if step_timeout_s is not None and step_timeout_s <= 0:
+            raise AgentError(f"step_timeout_s must be positive, got {step_timeout_s}")
         self.llm = llm
         self.tools = tools
         self.policy = policy
@@ -79,6 +91,14 @@ class CodeAgent:
         self.max_steps = max_steps
         self.name = name
         self.seed = seed
+        #: Abort the episode if one step's virtual time exceeds this budget.
+        self.step_timeout_s = step_timeout_s
+        #: Transient LLM failures tolerated per episode before giving up.
+        #: Each failure is a recovery turn: the same step is re-issued rather
+        #: than advancing the (stateful) policy, so a blip does not skip work.
+        self.max_llm_failures = max_llm_failures
+        #: Abort after this many tool-error steps in a row (None = never).
+        self.max_consecutive_tool_errors = max_consecutive_tool_errors
 
     def run(self, task: str, context_note: str = "") -> AgentResult:
         """Execute one episode on ``task``.
@@ -99,8 +119,16 @@ class CodeAgent:
 
         answer = None
         finished = False
-        for index in range(self.max_steps):
-            code = self.policy.next_code(task, trace, self.tools)
+        aborted = None
+        llm_failures = 0
+        tool_errors = 0
+        consecutive_tool_errors = 0
+        pending_code: str | None = None
+        while len(trace) < self.max_steps:
+            if pending_code is not None:
+                code, pending_code = pending_code, None
+            else:
+                code = self.policy.next_code(task, trace, self.tools)
             if code is None:
                 # The policy has nothing further to try: the premature-
                 # termination failure mode the paper observes in the wild.
@@ -108,17 +136,28 @@ class CodeAgent:
 
             checkpoint = self.llm.tracker.checkpoint()
             time_before = self.llm.clock.elapsed
-            self.llm.complete(
-                self._prompt(task, trace),
-                model=self.model,
-                max_output_tokens=600,
-                tag=f"{self.name}:step",
-                expected_output=REASONING_PREAMBLE + code,
-            )
+            try:
+                self.llm.complete(
+                    self._prompt(task, trace),
+                    model=self.model,
+                    max_output_tokens=600,
+                    tag=f"{self.name}:step",
+                    expected_output=REASONING_PREAMBLE + code,
+                )
+            except TransientLLMError:
+                # The substrate's own retries are exhausted; the failed
+                # attempts are already charged.  Burn a recovery turn and
+                # re-issue the same step so the scripted policy stays in sync.
+                llm_failures += 1
+                if llm_failures > self.max_llm_failures:
+                    aborted = "llm-unavailable"
+                    break
+                pending_code = code
+                continue
             result = sandbox.execute(code)
             observation = result.stdout[:OBSERVATION_LIMIT]
             step = AgentStep(
-                index=index,
+                index=len(trace),
                 code=code,
                 observation=observation,
                 error=result.error,
@@ -130,6 +169,20 @@ class CodeAgent:
                 answer = result.final_answer
                 finished = True
                 break
+            if result.error:
+                tool_errors += 1
+                consecutive_tool_errors += 1
+                if (
+                    self.max_consecutive_tool_errors is not None
+                    and consecutive_tool_errors >= self.max_consecutive_tool_errors
+                ):
+                    aborted = "tool-errors"
+                    break
+            else:
+                consecutive_tool_errors = 0
+            if self.step_timeout_s is not None and step.time_s > self.step_timeout_s:
+                aborted = "step-timeout"
+                break
 
         return AgentResult(
             answer=answer,
@@ -138,6 +191,9 @@ class CodeAgent:
             steps_used=len(trace),
             cost_usd=self.llm.tracker.total().cost_usd - start_cost,
             time_s=self.llm.clock.elapsed - start_time,
+            llm_failures=llm_failures,
+            tool_errors=tool_errors,
+            aborted=aborted,
         )
 
     def _prompt(self, task: str, trace: AgentTrace) -> str:

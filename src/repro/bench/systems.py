@@ -26,6 +26,7 @@ from repro.data.datasets import enron as en
 from repro.data.datasets import kramabench as kb
 from repro.data.datasets.base import DatasetBundle
 from repro.data.schemas import Field
+from repro.llm.faults import FaultConfig, FaultInjector, RetryPolicy
 from repro.llm.oracle import SemanticOracle
 from repro.llm.simulated import SimulatedLLM
 from repro.sem.config import QueryProcessorConfig
@@ -35,8 +36,18 @@ from repro.sem.optimizer.policies import MaxQuality, OptimizationPolicy
 System = Callable[[int], TrialOutcome]
 
 
-def _fresh_llm(bundle: DatasetBundle, seed: int) -> SimulatedLLM:
-    return SimulatedLLM(oracle=SemanticOracle(bundle.registry), seed=seed)
+def _fresh_llm(
+    bundle: DatasetBundle,
+    seed: int,
+    fault_config: FaultConfig | None = None,
+    retry_policy: RetryPolicy | None = None,
+) -> SimulatedLLM:
+    return SimulatedLLM(
+        oracle=SemanticOracle(bundle.registry),
+        seed=seed,
+        faults=FaultInjector(fault_config, seed=seed) if fault_config else None,
+        retry=retry_policy,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -44,7 +55,12 @@ def _fresh_llm(bundle: DatasetBundle, seed: int) -> SimulatedLLM:
 # ---------------------------------------------------------------------------
 
 
-def kramabench_semops_system(bundle: DatasetBundle) -> System:
+def kramabench_semops_system(
+    bundle: DatasetBundle,
+    fault_config: FaultConfig | None = None,
+    retry_policy: RetryPolicy | None = None,
+    on_failure: str = "skip",
+) -> System:
     """The handcrafted Palimpzest program: filter, filter, map-ratio.
 
     Iterator semantics force it to process every file; when a semantic
@@ -55,14 +71,18 @@ def kramabench_semops_system(bundle: DatasetBundle) -> System:
     truth = bundle.ground_truth["ratio"]
 
     def system(seed: int) -> TrialOutcome:
-        llm = _fresh_llm(bundle, seed)
+        llm = _fresh_llm(bundle, seed, fault_config, retry_policy)
         dataset = (
             Dataset.from_source(bundle.source())
             .sem_filter(kb.FILTER_MENTIONS)
             .sem_filter(kb.FILTER_STATS_BOTH)
             .sem_map(Field("ratio", object, "ratio of identity theft reports"), kb.MAP_RATIO)
         )
-        result = dataset.run(QueryProcessorConfig(llm=llm, policy=MaxQuality(), seed=seed))
+        result = dataset.run(
+            QueryProcessorConfig(
+                llm=llm, policy=MaxQuality(), seed=seed, on_failure=on_failure
+            )
+        )
         ratios = [
             float(value)
             for value in result.field_values("ratio")
@@ -72,18 +92,27 @@ def kramabench_semops_system(bundle: DatasetBundle) -> System:
             quality={"pct_err": mean_percent_error(ratios or [None], truth)},
             cost_usd=llm.tracker.total().cost_usd,
             time_s=llm.clock.elapsed,
-            detail={"ratios": ratios, "n_records": len(result.records)},
+            detail={
+                "ratios": ratios,
+                "n_records": len(result.records),
+                "retried_calls": result.retried_calls,
+                "failed_records": result.failed_records,
+            },
         )
 
     return system
 
 
-def kramabench_codeagent_system(bundle: DatasetBundle) -> System:
+def kramabench_codeagent_system(
+    bundle: DatasetBundle,
+    fault_config: FaultConfig | None = None,
+    retry_policy: RetryPolicy | None = None,
+) -> System:
     """The naive Deep-Research CodeAgent with file tools."""
     truth = bundle.ground_truth["ratio"]
 
     def system(seed: int) -> TrialOutcome:
-        llm = _fresh_llm(bundle, seed)
+        llm = _fresh_llm(bundle, seed, fault_config, retry_policy)
         agent = CodeAgent(
             llm,
             build_file_tools(bundle.corpus),
@@ -97,20 +126,35 @@ def kramabench_codeagent_system(bundle: DatasetBundle) -> System:
             quality={"pct_err": mean_percent_error([ratio], truth)},
             cost_usd=result.cost_usd,
             time_s=result.time_s,
-            detail={"answer": result.answer, "steps": result.steps_used},
+            detail={
+                "answer": result.answer,
+                "steps": result.steps_used,
+                "retried_calls": llm.tracker.failed_calls(),
+                "llm_failures": result.llm_failures,
+                "aborted": result.aborted,
+            },
         )
 
     return system
 
 
 def kramabench_compute_system(
-    bundle: DatasetBundle, policy: OptimizationPolicy | None = None
+    bundle: DatasetBundle,
+    policy: OptimizationPolicy | None = None,
+    fault_config: FaultConfig | None = None,
+    retry_policy: RetryPolicy | None = None,
 ) -> System:
     """Our prototype: the query string goes straight into ``compute``."""
     truth = bundle.ground_truth["ratio"]
 
     def system(seed: int) -> TrialOutcome:
-        runtime = AnalyticsRuntime.for_bundle(bundle, seed=seed, policy=policy)
+        runtime = AnalyticsRuntime.for_bundle(
+            bundle,
+            seed=seed,
+            policy=policy,
+            fault_config=fault_config,
+            retry_policy=retry_policy,
+        )
         context = runtime.make_context(bundle)
         result = runtime.compute(context, kb.QUERY_RATIO)
         ratio = result.answer.get("ratio") if isinstance(result.answer, dict) else None
@@ -118,7 +162,11 @@ def kramabench_compute_system(
             quality={"pct_err": mean_percent_error([ratio], truth)},
             cost_usd=result.cost_usd,
             time_s=result.time_s,
-            detail={"answer": result.answer, "steps": result.agent.steps_used},
+            detail={
+                "answer": result.answer,
+                "steps": result.agent.steps_used,
+                "retried_calls": runtime.llm.tracker.failed_calls(),
+            },
         )
 
     return system
@@ -135,11 +183,15 @@ def _enron_quality(bundle: DatasetBundle, returned_filenames) -> dict[str, float
     return {"f1": metrics.f1, "recall": metrics.recall, "precision": metrics.precision}
 
 
-def enron_codeagent_system(bundle: DatasetBundle) -> System:
+def enron_codeagent_system(
+    bundle: DatasetBundle,
+    fault_config: FaultConfig | None = None,
+    retry_policy: RetryPolicy | None = None,
+) -> System:
     """The naive CodeAgent: regex grep + bounded manual verification."""
 
     def system(seed: int) -> TrialOutcome:
-        llm = _fresh_llm(bundle, seed)
+        llm = _fresh_llm(bundle, seed, fault_config, retry_policy)
         agent = CodeAgent(
             llm,
             build_file_tools(bundle.corpus),
@@ -159,11 +211,15 @@ def enron_codeagent_system(bundle: DatasetBundle) -> System:
     return system
 
 
-def enron_codeagent_plus_system(bundle: DatasetBundle) -> System:
+def enron_codeagent_plus_system(
+    bundle: DatasetBundle,
+    fault_config: FaultConfig | None = None,
+    retry_policy: RetryPolicy | None = None,
+) -> System:
     """CodeAgent+ = CodeAgent with (unoptimized) semantic-operator tools."""
 
     def system(seed: int) -> TrialOutcome:
-        llm = _fresh_llm(bundle, seed)
+        llm = _fresh_llm(bundle, seed, fault_config, retry_policy)
         tools = build_file_tools(bundle.corpus)
         semantic = build_semantic_tools(bundle.records(), llm)
         for name in semantic.names():
@@ -192,12 +248,21 @@ def enron_codeagent_plus_system(bundle: DatasetBundle) -> System:
 
 
 def enron_compute_system(
-    bundle: DatasetBundle, policy: OptimizationPolicy | None = None
+    bundle: DatasetBundle,
+    policy: OptimizationPolicy | None = None,
+    fault_config: FaultConfig | None = None,
+    retry_policy: RetryPolicy | None = None,
 ) -> System:
     """Our prototype: ``compute`` writes one optimized PZ program."""
 
     def system(seed: int) -> TrialOutcome:
-        runtime = AnalyticsRuntime.for_bundle(bundle, seed=seed, policy=policy)
+        runtime = AnalyticsRuntime.for_bundle(
+            bundle,
+            seed=seed,
+            policy=policy,
+            fault_config=fault_config,
+            retry_policy=retry_policy,
+        )
         context = runtime.make_context(bundle)
         result = runtime.compute(context, en.QUERY_RELEVANT)
         returned = [

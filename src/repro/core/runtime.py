@@ -25,6 +25,7 @@ from repro.core.operators import ComputeResult, SearchResult, compute, search
 from repro.data.datasets.base import DatasetBundle
 from repro.data.records import DataRecord
 from repro.data.schemas import Schema
+from repro.llm.faults import FaultConfig, FaultInjector, RetryPolicy
 from repro.llm.models import DEFAULT_MODEL, completion_models_by_cost
 from repro.llm.oracle import IntentRegistry, SemanticOracle
 from repro.llm.simulated import SimulatedLLM
@@ -49,11 +50,20 @@ class AnalyticsRuntime:
         champion_model: str = DEFAULT_MODEL,
         reuse_contexts: bool = False,
         context_threshold: float = ContextManager.DEFAULT_THRESHOLD,
+        fault_config: FaultConfig | None = None,
+        retry_policy: RetryPolicy | None = None,
+        on_failure: str = "skip",
+        fallback_model: str | None = None,
     ) -> None:
         self.llm = llm or SimulatedLLM(
-            oracle=SemanticOracle(registry or IntentRegistry()), seed=seed
+            oracle=SemanticOracle(registry or IntentRegistry()),
+            seed=seed,
+            faults=FaultInjector(fault_config, seed=seed) if fault_config else None,
+            retry=retry_policy,
         )
         self.seed = seed
+        self.on_failure = on_failure
+        self.fallback_model = fallback_model
         self.policy = policy or Balanced(quality_floor=0.95)
         self.sample_size = sample_size
         self.parallelism = parallelism
@@ -160,6 +170,8 @@ class AnalyticsRuntime:
             parallelism=self.parallelism,
             seed=self.seed,
             tag=tag,
+            on_failure=self.on_failure,
+            fallback_model=self.fallback_model,
         )
 
     def cheapest_model(self) -> str:

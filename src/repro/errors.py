@@ -36,6 +36,48 @@ class BudgetExceededError(LLMError):
     """Raised when a request would exceed the configured spend budget."""
 
 
+class TransientLLMError(LLMError):
+    """Base class for retryable LLM-service failures.
+
+    Raised by the simulated service when the :class:`~repro.llm.faults.FaultInjector`
+    injects a fault and the configured :class:`~repro.llm.faults.RetryPolicy`
+    (if any) has exhausted its attempts.  Callers that can degrade gracefully
+    catch this one class.
+    """
+
+
+class RateLimitError(TransientLLMError):
+    """Raised when the (simulated) service returns a 429 rate limit.
+
+    Carries ``retry_after_s``, the server's suggested wait; the retry policy
+    honours it as a floor on the backoff for this attempt.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class TimeoutError(TransientLLMError):  # noqa: A001 - mirrors SDK naming
+    """Raised when a call exceeds its per-call timeout (injected or real).
+
+    The caller has already paid prefill tokens and waited out the timeout by
+    the time this is raised — timeouts are the most expensive fault kind.
+    """
+
+
+class TransientAPIError(TransientLLMError):
+    """Raised for generic 5xx-style transient API failures."""
+
+
+class CircuitOpenError(TransientLLMError):
+    """Raised fail-fast when a model's circuit breaker is open.
+
+    No latency is charged: the call never leaves the client.  The breaker
+    half-opens after its cooldown has elapsed on the virtual clock.
+    """
+
+
 class SQLError(ReproError):
     """Base class for SQL engine errors."""
 

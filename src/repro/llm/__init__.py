@@ -16,6 +16,13 @@ evaluation depends on:
 from repro.llm.cache import GenerationCache
 from repro.llm.client import LLMClient
 from repro.llm.embeddings import EmbeddingModel, cosine_similarity
+from repro.llm.faults import (
+    FAULT_KINDS,
+    CircuitBreaker,
+    FaultConfig,
+    FaultInjector,
+    RetryPolicy,
+)
 from repro.llm.models import (
     DEFAULT_MODEL,
     EMBEDDING_MODEL,
@@ -29,10 +36,15 @@ from repro.llm.simulated import SimulatedLLM
 from repro.llm.usage import Usage, UsageEvent, UsageTracker
 
 __all__ = [
+    "CircuitBreaker",
     "DEFAULT_MODEL",
     "EMBEDDING_MODEL",
     "EmbeddingModel",
+    "FAULT_KINDS",
+    "FaultConfig",
+    "FaultInjector",
     "GenerationCache",
+    "RetryPolicy",
     "IntentRegistry",
     "LLMClient",
     "MODEL_CATALOG",

@@ -24,6 +24,10 @@ class GenerationCache:
         self._entries: OrderedDict[str, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Entries dropped from the LRU end because the cache was full.
+        self.evictions = 0
+        #: Puts that overwrote an existing key (previously silent).
+        self.updates = 0
 
     @staticmethod
     def key(model: str, *payload: Any) -> str:
@@ -39,15 +43,26 @@ class GenerationCache:
         return False, None
 
     def put(self, key: str, value: Any) -> None:
+        if key in self._entries:
+            self.updates += 1
         self._entries[key] = value
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self.evictions += 1
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def clear(self) -> None:
+    def clear(self, reset_stats: bool = True) -> None:
+        """Drop all entries; pass ``reset_stats=False`` to keep the counters.
+
+        Clearing entries does not count as eviction — stats resetting is an
+        explicit choice, not a side effect.
+        """
         self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        if reset_stats:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.updates = 0

@@ -1,0 +1,228 @@
+"""Seeded fault injection and fault-tolerance policy for the LLM substrate.
+
+The paper's runtime vision assumes flaky, rate-limited LLM APIs; production
+systems in this space treat transient failure as the common case.  This
+module makes that failure mode *simulable and deterministic*:
+
+- :class:`FaultInjector` decides, per call attempt, whether the (simulated)
+  service fails and with which typed error (`RateLimitError`, `TimeoutError`,
+  `TransientAPIError`).  Decisions are a pure function of
+  ``(seed, model, attempt index)`` via :func:`repro.utils.hashing.stable_uniform`,
+  so two runs with the same seed see the identical fault schedule.  A burst
+  mode models correlated failures (rate-limit windows, provider incidents):
+  once a fault fires, the next ``burst_length`` attempts fail with elevated
+  probability.
+- :class:`RetryPolicy` bounds attempts and computes exponential backoff with
+  seeded jitter.  Backoff waits are *charged to the virtual clock* by the
+  caller (:class:`~repro.llm.simulated.SimulatedLLM`), so benchmarks show the
+  real latency price of resilience.
+- :class:`CircuitBreaker` opens after a run of consecutive exhausted calls
+  and fail-fasts until its cooldown elapses on the virtual clock, then
+  half-opens to probe.
+
+Nothing here sleeps: faults and waits exist purely in virtual time/money.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ConfigurationError,
+    RateLimitError,
+    TimeoutError,
+    TransientAPIError,
+    TransientLLMError,
+)
+from repro.utils.hashing import stable_hash, stable_uniform
+
+#: Fault kinds the injector can produce, in rotation order.
+FAULT_KINDS = ("rate_limit", "timeout", "api")
+
+_KIND_ERRORS = {
+    "rate_limit": RateLimitError,
+    "timeout": TimeoutError,
+    "api": TransientAPIError,
+}
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Knobs for the seeded fault schedule."""
+
+    #: Base per-attempt fault probability for chat models.
+    rate: float = 0.0
+    #: Per-model overrides (e.g. a flakier cheap tier).
+    per_model_rates: dict[str, float] = field(default_factory=dict)
+    #: Whether embedding calls can fault too (off by default: embedding
+    #: endpoints are far more reliable and far cheaper to retry silently).
+    include_embeddings: bool = False
+    #: After a fault fires, this many subsequent attempts fail with
+    #: ``burst_rate`` instead of the base rate (0 disables bursts).
+    burst_length: int = 0
+    #: Elevated probability inside a burst window.
+    burst_rate: float = 0.8
+    #: Which typed errors to inject (subset of :data:`FAULT_KINDS`).
+    kinds: tuple[str, ...] = FAULT_KINDS
+    #: ``Retry-After`` hint carried by injected rate-limit errors.
+    retry_after_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(f"fault rate must be in [0, 1], got {self.rate}")
+        if not self.kinds:
+            raise ConfigurationError("FaultConfig.kinds must not be empty")
+        unknown = set(self.kinds) - set(FAULT_KINDS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault kinds {sorted(unknown)}; known: {list(FAULT_KINDS)}"
+            )
+        if self.burst_length < 0:
+            raise ConfigurationError(
+                f"burst_length must be >= 0, got {self.burst_length}"
+            )
+
+    def model_rate(self, model: str, is_embedding: bool) -> float:
+        if model in self.per_model_rates:
+            return self.per_model_rates[model]
+        if is_embedding and not self.include_embeddings:
+            return 0.0
+        return self.rate
+
+
+class FaultInjector:
+    """Draws deterministic faults from a seeded schedule.
+
+    The injector consumes one draw per call *attempt* (retries draw again),
+    keyed by a monotonically increasing attempt counter — so the schedule is
+    a pure function of the seed and the sequence of attempts made, and two
+    identical runs fault at identical points.
+    """
+
+    def __init__(self, config: FaultConfig, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+        self.attempts = 0
+        self.injected = 0
+        self.injected_by_kind: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self._burst_remaining = 0
+
+    def draw(self, model: str, is_embedding: bool = False) -> TransientLLMError | None:
+        """Return a typed error to inject for this attempt, or None."""
+        self.attempts += 1
+        index = self.attempts
+        rate = self.config.model_rate(model, is_embedding)
+        if self._burst_remaining > 0:
+            self._burst_remaining -= 1
+            if rate > 0.0:
+                rate = max(rate, self.config.burst_rate)
+        if rate <= 0.0:
+            return None
+        if stable_uniform(self.seed, "fault", model, index) >= rate:
+            return None
+        self.injected += 1
+        kinds = self.config.kinds
+        kind = kinds[stable_hash(self.seed, "fault-kind", index) % len(kinds)]
+        self.injected_by_kind[kind] += 1
+        if self.config.burst_length and self._burst_remaining == 0:
+            self._burst_remaining = self.config.burst_length
+        if kind == "rate_limit":
+            return RateLimitError(
+                f"simulated 429 from {model} (attempt {index})",
+                retry_after_s=self.config.retry_after_s,
+            )
+        return _KIND_ERRORS[kind](f"simulated {kind} fault from {model} (attempt {index})")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/timeout/breaker policy for simulated LLM calls.
+
+    The default policy retries but — absent a :class:`FaultInjector` — never
+    fires, so a fault-free run is byte-identical with or without it.
+    """
+
+    #: Master switch: False raises on the first fault (no retries).
+    enabled: bool = True
+    #: Total attempts per call, including the first.
+    max_attempts: int = 4
+    base_backoff_s: float = 0.5
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 30.0
+    #: Jitter as a +/- fraction of the backoff, drawn from the seeded stream.
+    jitter: float = 0.25
+    #: Per-call latency cap; a simulated call whose latency would exceed it
+    #: times out (charged ``timeout_s`` plus prefill tokens).  None disables.
+    timeout_s: float | None = None
+    #: Consecutive exhausted calls before the breaker opens (0 disables).
+    breaker_threshold: int = 0
+    #: Virtual seconds the breaker stays open before half-opening.
+    breaker_cooldown_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ConfigurationError("backoff seconds must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError(f"timeout_s must be positive, got {self.timeout_s}")
+
+    def backoff_s(
+        self,
+        failed_attempts: int,
+        error: TransientLLMError | None = None,
+        *jitter_key: object,
+    ) -> float:
+        """Backoff before the next attempt, after ``failed_attempts`` failures.
+
+        Exponential with seeded jitter; a rate-limit error's ``retry_after_s``
+        acts as a floor (the server told us when to come back).
+        """
+        wait = min(
+            self.max_backoff_s,
+            self.base_backoff_s * self.backoff_multiplier ** max(0, failed_attempts - 1),
+        )
+        if self.jitter > 0.0:
+            swing = 2.0 * stable_uniform("backoff-jitter", failed_attempts, *jitter_key) - 1.0
+            wait *= 1.0 + self.jitter * swing
+        if isinstance(error, RateLimitError):
+            wait = max(wait, error.retry_after_s)
+        return max(0.0, wait)
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over the virtual clock.
+
+    closed --(threshold consecutive failures)--> open --(cooldown elapses on
+    the virtual clock)--> half-open --(success)--> closed / --(failure)--> open.
+    """
+
+    def __init__(self, threshold: int, cooldown_s: float) -> None:
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.times_opened = 0
+
+    def allow(self, now: float) -> bool:
+        """Whether a call may proceed at virtual time ``now``."""
+        if self.state == "open":
+            if now - self.opened_at >= self.cooldown_s:
+                self.state = "half_open"
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = "closed"
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if self.state == "half_open" or self.consecutive_failures >= self.threshold:
+            self.state = "open"
+            self.opened_at = now
+            self.times_opened += 1

@@ -27,9 +27,13 @@ from typing import Any, Iterator
 
 import numpy as np
 
+from repro.errors import CircuitOpenError
+from repro.errors import TimeoutError as LLMTimeoutError
+from repro.errors import RateLimitError, TransientLLMError
 from repro.llm.cache import GenerationCache
 from repro.llm.client import CompletionResult, ExtractionResult, FilterJudgment
 from repro.llm.embeddings import EmbeddingModel
+from repro.llm.faults import CircuitBreaker, FaultInjector, RetryPolicy
 from repro.llm.models import DEFAULT_MODEL, EMBEDDING_MODEL, ModelCard, get_model
 from repro.llm.oracle import AnnotatedRecord, SemanticOracle
 from repro.llm.usage import UsageEvent, UsageTracker
@@ -59,6 +63,8 @@ class SimulatedLLM:
         embedding_model: EmbeddingModel | None = None,
         seed: int = 0,
         use_cache: bool = True,
+        faults: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.oracle = oracle or SemanticOracle()
         self.tracker = tracker or UsageTracker()
@@ -67,7 +73,12 @@ class SimulatedLLM:
         self.embedding_model = embedding_model or EmbeddingModel()
         self.seed = seed
         self.use_cache = use_cache
+        self.faults = faults
+        self.retry = retry or RetryPolicy()
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._parallel_stack: list[tuple[int, list[float]]] = []
+        #: Monotonic per-call counter: namespaces the backoff-jitter stream.
+        self._call_sequence = 0
 
     # ------------------------------------------------------------------
     # Accounting
@@ -84,15 +95,32 @@ class SimulatedLLM:
         finally:
             width, latencies = self._parallel_stack.pop()
             if latencies:
-                self._advance_latency(
-                    _makespan(latencies, width), already_shaped=True
-                )
+                # The section's makespan is one unit of work in the enclosing
+                # section (if any); only at the outermost level does it reach
+                # the clock.  Advancing directly here would double-schedule
+                # nested sections against their parent's waves.
+                self._advance_latency(_makespan(latencies, width))
 
-    def _advance_latency(self, seconds: float, already_shaped: bool = False) -> None:
-        if self._parallel_stack and not already_shaped:
-            self._parallel_stack[-1][1].append(seconds)
+    def _advance_latency(self, seconds: float) -> None:
+        if self._parallel_stack:
+            # Zero-latency (cached) calls never occupy a wave slot: they
+            # return instantly and must not displace real calls in the
+            # positional chunking of ``_makespan``.
+            if seconds > 0.0:
+                self._parallel_stack[-1][1].append(seconds)
         else:
             self.clock.advance(seconds)
+
+    def _breaker(self, model: str) -> CircuitBreaker | None:
+        if self.retry.breaker_threshold <= 0:
+            return None
+        breaker = self._breakers.get(model)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.retry.breaker_threshold, self.retry.breaker_cooldown_s
+            )
+            self._breakers[model] = breaker
+        return breaker
 
     def _charge(
         self,
@@ -102,20 +130,116 @@ class SimulatedLLM:
         tag: str,
         cached: bool = False,
     ) -> UsageEvent:
-        cost = 0.0 if cached else card.call_cost(input_tokens, output_tokens)
-        latency = 0.0 if cached else card.call_latency(input_tokens, output_tokens)
-        event = UsageEvent(
-            model=card.name,
-            input_tokens=0 if cached else input_tokens,
-            output_tokens=0 if cached else output_tokens,
-            cost_usd=cost,
-            latency_s=latency,
-            tag=tag,
-            cached=cached,
-        )
-        self.tracker.record(event)
-        self._advance_latency(latency)
-        return event
+        """Account for one logical call, retrying injected faults per policy.
+
+        A successful call charges its full latency (plus any failed-attempt
+        latencies and backoff waits accrued on the way) as a *single* item in
+        the enclosing parallel section — the slot is occupied for the whole
+        retry saga.  Cache hits cost nothing and never reach the fault path:
+        a cached response involves no API round trip.
+        """
+        if cached:
+            event = UsageEvent(
+                model=card.name,
+                input_tokens=0,
+                output_tokens=0,
+                cost_usd=0.0,
+                latency_s=0.0,
+                tag=tag,
+                cached=True,
+            )
+            self.tracker.record(event)
+            return event
+
+        policy = self.retry
+        breaker = self._breaker(card.name)
+        if breaker is not None and not breaker.allow(self.clock.elapsed):
+            raise CircuitOpenError(
+                f"circuit open for {card.name} "
+                f"(cooldown {policy.breaker_cooldown_s}s from t={breaker.opened_at:.1f}s)"
+            )
+
+        self._call_sequence += 1
+        sequence = self._call_sequence
+        is_embedding = card.usd_per_1m_output <= 0.0
+        latency_total = 0.0
+        retries = 0
+        while True:
+            fault = (
+                self.faults.draw(card.name, is_embedding)
+                if self.faults is not None
+                else None
+            )
+            latency = card.call_latency(input_tokens, output_tokens)
+            if (
+                fault is None
+                and policy.timeout_s is not None
+                and latency > policy.timeout_s
+            ):
+                fault = LLMTimeoutError(
+                    f"simulated {card.name} call would take {latency:.1f}s, "
+                    f"over the per-call timeout of {policy.timeout_s:.1f}s"
+                )
+            if fault is None:
+                event = UsageEvent(
+                    model=card.name,
+                    input_tokens=input_tokens,
+                    output_tokens=output_tokens,
+                    cost_usd=card.call_cost(input_tokens, output_tokens),
+                    latency_s=latency,
+                    tag=tag,
+                    retries=retries,
+                )
+                self.tracker.record(event)
+                if breaker is not None:
+                    breaker.record_success()
+                self._advance_latency(latency_total + latency)
+                return event
+
+            fail_latency, fail_tokens = self._fault_price(card, fault, input_tokens, latency)
+            self.tracker.record(
+                UsageEvent(
+                    model=card.name,
+                    input_tokens=fail_tokens,
+                    output_tokens=0,
+                    cost_usd=card.input_cost(fail_tokens),
+                    latency_s=fail_latency,
+                    tag=tag,
+                    failed=True,
+                )
+            )
+            latency_total += fail_latency
+            retries += 1
+            if not policy.enabled or retries >= policy.max_attempts:
+                if breaker is not None:
+                    breaker.record_failure(self.clock.elapsed)
+                self._advance_latency(latency_total)
+                raise fault
+            latency_total += policy.backoff_s(
+                retries, fault, self.seed, card.name, sequence
+            )
+
+    def _fault_price(
+        self,
+        card: ModelCard,
+        fault: TransientLLMError,
+        input_tokens: int,
+        latency: float,
+    ) -> tuple[float, int]:
+        """(latency, billed input tokens) burned by one failed attempt.
+
+        Rate limits bounce at the door: overhead latency, nothing billed.
+        Timeouts hang for the full timeout with prefill already paid.
+        Generic API errors die mid-flight: half the latency, prefill paid.
+        """
+        if isinstance(fault, RateLimitError):
+            return card.per_call_overhead_s, 0
+        if isinstance(fault, LLMTimeoutError):
+            capped = latency
+            if self.retry.timeout_s is not None:
+                capped = min(latency, self.retry.timeout_s)
+            return capped, input_tokens
+        return 0.5 * latency, input_tokens
 
     # ------------------------------------------------------------------
     # Semantic task endpoints

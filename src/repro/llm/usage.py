@@ -34,7 +34,7 @@ class Usage:
 
 @dataclass(frozen=True)
 class UsageEvent:
-    """One simulated LLM call."""
+    """One simulated LLM call attempt."""
 
     model: str
     input_tokens: int
@@ -43,6 +43,11 @@ class UsageEvent:
     latency_s: float
     tag: str = ""
     cached: bool = False
+    #: True for an attempt that faulted (rate limit, timeout, API error).
+    #: Failed attempts still carry the cost/latency they burned.
+    failed: bool = False
+    #: On a successful event: how many failed attempts preceded it.
+    retries: int = 0
 
 
 class UsageTracker:
@@ -94,6 +99,10 @@ class UsageTracker:
             )
         return result
 
+    def failed_calls(self, checkpoint: int = 0) -> int:
+        """Number of faulted attempts recorded at or after ``checkpoint``."""
+        return sum(1 for event in self.events[checkpoint:] if event.failed)
+
     def checkpoint(self) -> int:
         """Return a marker for :meth:`since` (the current event count)."""
         return len(self.events)
@@ -143,4 +152,8 @@ class UsageTracker:
             lines.append(f"  [{prefix}] {usage.calls} calls, ${usage.cost_usd:.4f}")
         cached = sum(1 for event in self.events if event.cached)
         lines.append(f"  cache hits: {cached}")
+        failed = self.failed_calls()
+        if failed:
+            wasted = sum(event.cost_usd for event in self.events if event.failed)
+            lines.append(f"  failed attempts: {failed} (${wasted:.4f} burned)")
         return "\n".join(lines)

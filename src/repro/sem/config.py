@@ -44,6 +44,13 @@ class QueryProcessorConfig:
     #: engine stops between operators once the cap is reached and returns
     #: the records produced so far, flagged as truncated.
     max_cost_usd: float | None = None
+    #: Per-record degradation when a semantic call exhausts the LLM
+    #: substrate's retry policy: "skip" flags the record and continues,
+    #: "fallback" re-asks ``fallback_model`` once, "raise" propagates.
+    on_failure: str = "skip"
+    #: Cheaper tier used by ``on_failure="fallback"`` (None = auto: the
+    #: cheapest chat model in the catalog).
+    fallback_model: str | None = None
 
     def __post_init__(self) -> None:
         if self.sample_size < 1:
@@ -58,8 +65,19 @@ class QueryProcessorConfig:
             raise ConfigurationError(
                 f"max_cost_usd must be positive, got {self.max_cost_usd}"
             )
+        if self.on_failure not in ("skip", "fallback", "raise"):
+            raise ConfigurationError(
+                f"on_failure must be 'skip', 'fallback', or 'raise', "
+                f"got {self.on_failure!r}"
+            )
 
     def candidate_models(self) -> list[str]:
         if self.available_models is not None:
             return list(self.available_models)
         return [card.name for card in completion_models_by_cost()]
+
+    def resolved_fallback_model(self) -> str | None:
+        """The tier used by ``on_failure='fallback'`` (cheapest chat model)."""
+        if self.on_failure != "fallback":
+            return self.fallback_model
+        return self.fallback_model or completion_models_by_cost()[0].name

@@ -214,7 +214,11 @@ class Dataset:
         operators, report = Optimizer(config).optimize(plan)
         engine = Engine(
             ExecutionContext(
-                llm=config.llm, parallelism=config.parallelism, tag=config.tag
+                llm=config.llm,
+                parallelism=config.parallelism,
+                tag=config.tag,
+                on_failure=config.on_failure,
+                fallback_model=config.resolved_fallback_model(),
             ),
             max_cost_usd=config.max_cost_usd,
         )

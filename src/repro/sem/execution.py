@@ -25,6 +25,10 @@ class OperatorStats:
     time_s: float
     llm_calls: int
     cached_calls: int
+    #: Attempts that faulted and were retried (or gave up) in this operator.
+    retried_calls: int = 0
+    #: Records degraded (skipped/flagged) after exhausting the retry policy.
+    failed_records: int = 0
 
     @property
     def selectivity(self) -> float:
@@ -49,6 +53,10 @@ class ExecutionResult:
     #: True when a spend cap stopped execution before the plan completed;
     #: ``records`` then holds the output of the last finished operator.
     truncated: bool = False
+    #: Faulted-and-retried attempts across all operators.
+    retried_calls: int = 0
+    #: Records degraded under the failure policy, across all operators.
+    failed_records: int = 0
 
     def __len__(self) -> int:
         return len(self.records)
@@ -61,11 +69,21 @@ class ExecutionResult:
             f"records: {len(self.records)}  cost: ${self.total_cost_usd:.4f}  "
             f"time: {self.total_time_s:.1f}s"
         ]
+        if self.retried_calls or self.failed_records:
+            lines[0] += (
+                f"  retried: {self.retried_calls}  failed records: {self.failed_records}"
+            )
         for stats in self.operator_stats:
+            extra = ""
+            if stats.retried_calls or stats.failed_records:
+                extra = (
+                    f", {stats.retried_calls} retried, "
+                    f"{stats.failed_records} failed records"
+                )
             lines.append(
                 f"  {stats.label}: {stats.records_in} -> {stats.records_out} "
                 f"(${stats.cost_usd:.4f}, {stats.time_s:.1f}s, "
-                f"{stats.llm_calls} calls, {stats.cached_calls} cached)"
+                f"{stats.llm_calls} calls, {stats.cached_calls} cached{extra})"
             )
         return "\n".join(lines)
 
@@ -92,6 +110,7 @@ class Engine:
                 break
             checkpoint = llm.tracker.checkpoint()
             time_before = llm.clock.elapsed
+            failures_before = len(self.ctx.failures)
             n_in = len(records)
             records = operator.execute(records, self.ctx)
             usage = llm.tracker.since(checkpoint)
@@ -108,6 +127,8 @@ class Engine:
                     time_s=llm.clock.elapsed - time_before,
                     llm_calls=usage.calls,
                     cached_calls=cached,
+                    retried_calls=llm.tracker.failed_calls(checkpoint),
+                    failed_records=len(self.ctx.failures) - failures_before,
                 )
             )
 
@@ -117,4 +138,6 @@ class Engine:
             total_cost_usd=llm.tracker.total().cost_usd - run_start_cost,
             total_time_s=llm.clock.elapsed - run_start_time,
             truncated=truncated,
+            retried_calls=sum(s.retried_calls for s in stats),
+            failed_records=sum(s.failed_records for s in stats),
         )

@@ -18,8 +18,13 @@ from dataclasses import dataclass
 
 from repro.data.records import DataRecord
 from repro.data.schemas import Field as SchemaField
+from repro.errors import TransientLLMError
 from repro.llm.simulated import SimulatedLLM
 from repro.utils.seeding import SeededRng
+
+#: Sentinel answer for a sampled call that failed even after retries.  It
+#: never equals a real answer, so it reads as disagreement with the champion.
+FAILED_SAMPLE = object()
 
 #: Sample size of the first bandit round.
 FIRST_ROUND = 4
@@ -147,10 +152,24 @@ class Sampler:
             for model in round_models:
                 for record in records:
                     checkpoint = self.llm.tracker.checkpoint()
-                    time_before = self.llm.clock.elapsed
-                    answers[model].append(run_one(model, record))
-                    costs[model] += self.llm.tracker.since(checkpoint).cost_usd
-                    latencies[model] += self.llm.clock.elapsed - time_before
+                    try:
+                        answers[model].append(run_one(model, record))
+                    except TransientLLMError:
+                        # A sample lost to faults counts as disagreement; the
+                        # optimizer must keep profiling, not crash.
+                        answers[model].append(FAILED_SAMPLE)
+                    # Profile the *clean* per-call price: failed attempts and
+                    # backoff waits are a property of the fault schedule, not
+                    # of the model, and including them would let transient
+                    # faults flip plan choices (breaking per-seed determinism
+                    # of answer quality under fault injection).
+                    clean = [
+                        event
+                        for event in self.llm.tracker.events[checkpoint:]
+                        if not event.failed
+                    ]
+                    costs[model] += sum(event.cost_usd for event in clean)
+                    latencies[model] += sum(event.latency_s for event in clean)
 
         run_round(models, first)
         survivors = []

@@ -9,15 +9,21 @@ collects statistics.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
 
 from repro.data.records import DataRecord
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, TransientLLMError
 from repro.llm.embeddings import top_k_similar
 from repro.llm.simulated import SimulatedLLM
 from repro.sem import logical as L
 
 import numpy as np
+
+T = TypeVar("T")
+
+#: Valid per-record degradation modes when a call exhausts its retries.
+FAILURE_MODES = ("skip", "fallback", "raise")
 
 
 @dataclass
@@ -27,6 +33,35 @@ class ExecutionContext:
     llm: SimulatedLLM
     parallelism: int = 1
     tag: str = "exec"
+    #: What an operator does when a semantic call fails even after the LLM
+    #: substrate's retries: "skip" flags the record and moves on, "fallback"
+    #: re-asks ``fallback_model`` once (then skips), "raise" propagates.
+    on_failure: str = "skip"
+    #: Cheaper tier used by the "fallback" mode.
+    fallback_model: str | None = None
+    #: (record uid, error class name) for every degraded record, in order.
+    failures: list[tuple[str, str]] = field(default_factory=list)
+
+    def guarded(
+        self, uid: str, model: str, call: Callable[[str], T]
+    ) -> T | None:
+        """Run ``call(model)`` under the failure policy; None means degraded."""
+        try:
+            return call(model)
+        except TransientLLMError as exc:
+            if self.on_failure == "raise":
+                raise
+            if (
+                self.on_failure == "fallback"
+                and self.fallback_model
+                and self.fallback_model != model
+            ):
+                try:
+                    return call(self.fallback_model)
+                except TransientLLMError as fallback_exc:
+                    exc = fallback_exc
+            self.failures.append((uid, type(exc).__name__))
+            return None
 
 
 class PhysicalOperator(abc.ABC):
@@ -97,10 +132,14 @@ class PhysSemFilter(PhysicalOperator):
         kept: list[DataRecord] = []
         with ctx.llm.parallel(ctx.parallelism):
             for record in records:
-                judgment = ctx.llm.judge_filter(
-                    op.instruction, record, model=model, tag=f"{ctx.tag}:filter"
+                judgment = ctx.guarded(
+                    record.uid,
+                    model,
+                    lambda m, record=record: ctx.llm.judge_filter(
+                        op.instruction, record, model=m, tag=f"{ctx.tag}:filter"
+                    ),
                 )
-                if judgment.answer:
+                if judgment is not None and judgment.answer:
                     kept.append(record)
         return kept
 
@@ -116,10 +155,20 @@ class PhysSemMap(PhysicalOperator):
             for record in records:
                 new_fields = {}
                 for schema_field, instruction in op.outputs:
-                    extraction = ctx.llm.extract(
-                        instruction, record, model=model, tag=f"{ctx.tag}:map"
+                    extraction = ctx.guarded(
+                        record.uid,
+                        model,
+                        lambda m, record=record, instruction=instruction: ctx.llm.extract(
+                            instruction, record, model=m, tag=f"{ctx.tag}:map"
+                        ),
                     )
-                    new_fields[schema_field.name] = schema_field.coerce(extraction.value)
+                    # Degraded extractions surface as None (flagged in
+                    # ctx.failures), keeping the record and its other fields.
+                    new_fields[schema_field.name] = (
+                        schema_field.coerce(extraction.value)
+                        if extraction is not None
+                        else None
+                    )
                 output.append(record.derive(new_fields))
         return output
 
@@ -133,11 +182,16 @@ class PhysSemClassify(PhysicalOperator):
         output: list[DataRecord] = []
         with ctx.llm.parallel(ctx.parallelism):
             for record in records:
-                result = ctx.llm.classify(
-                    op.instruction, list(op.options), record,
-                    model=model, tag=f"{ctx.tag}:classify",
+                result = ctx.guarded(
+                    record.uid,
+                    model,
+                    lambda m, record=record: ctx.llm.classify(
+                        op.instruction, list(op.options), record,
+                        model=m, tag=f"{ctx.tag}:classify",
+                    ),
                 )
-                output.append(record.derive({op.output_field: result.value}))
+                value = result.value if result is not None else None
+                output.append(record.derive({op.output_field: value}))
         return output
 
 
@@ -152,10 +206,16 @@ class PhysSemGroupBy(PhysicalOperator):
         groups: dict[str, list[DataRecord]] = {}
         with ctx.llm.parallel(ctx.parallelism):
             for record in records:
-                result = ctx.llm.classify(
-                    op.instruction, list(op.groups), record,
-                    model=model, tag=f"{ctx.tag}:groupby",
+                result = ctx.guarded(
+                    record.uid,
+                    model,
+                    lambda m, record=record: ctx.llm.classify(
+                        op.instruction, list(op.groups), record,
+                        model=m, tag=f"{ctx.tag}:groupby",
+                    ),
                 )
+                if result is None:
+                    continue  # degraded: record is flagged and ungrouped
                 groups.setdefault(str(result.value), []).append(record)
 
         output: list[DataRecord] = []
@@ -168,13 +228,17 @@ class PhysSemGroupBy(PhysicalOperator):
                 joined_text = "\n---\n".join(
                     member.as_text() for member in members
                 )[:AGG_TEXT_BUDGET]
-                completion = ctx.llm.complete(
-                    f"Summarize the records in group {group!r}: "
-                    f"{op.instruction}\n\n{joined_text}",
-                    model=model or "gpt-4o",
-                    tag=f"{ctx.tag}:groupby",
+                completion = ctx.guarded(
+                    f"group:{group}",
+                    model or "gpt-4o",
+                    lambda m, group=group, joined_text=joined_text: ctx.llm.complete(
+                        f"Summarize the records in group {group!r}: "
+                        f"{op.instruction}\n\n{joined_text}",
+                        model=m,
+                        tag=f"{ctx.tag}:groupby",
+                    ),
                 )
-                fields["summary"] = completion.text
+                fields["summary"] = completion.text if completion is not None else None
             output.append(
                 DataRecord(
                     fields=fields,
@@ -231,10 +295,14 @@ class PhysSemJoinBlocked(PhysicalOperator):
                     if similarity < self.similarity_floor:
                         break  # hits are sorted descending
                     right = right_records[index]
-                    judgment = ctx.llm.judge_join(
-                        self.logical_op.instruction, left, right, model=model, tag=tag
+                    judgment = ctx.guarded(
+                        f"{left.uid}|{right.uid}",
+                        model,
+                        lambda m, left=left, right=right: ctx.llm.judge_join(
+                            self.logical_op.instruction, left, right, model=m, tag=tag
+                        ),
                     )
-                    if judgment.answer:
+                    if judgment is not None and judgment.answer:
                         joined.append(DataRecord.merge(left, right))
         return joined
 
@@ -262,11 +330,15 @@ class PhysSemJoin(PhysicalOperator):
         with ctx.llm.parallel(ctx.parallelism):
             for left in records:
                 for right in right_records:
-                    judgment = ctx.llm.judge_join(
-                        self.logical_op.instruction, left, right,
-                        model=model, tag=f"{ctx.tag}:join",
+                    judgment = ctx.guarded(
+                        f"{left.uid}|{right.uid}",
+                        model,
+                        lambda m, left=left, right=right: ctx.llm.judge_join(
+                            self.logical_op.instruction, left, right,
+                            model=m, tag=f"{ctx.tag}:join",
+                        ),
                     )
-                    if judgment.answer:
+                    if judgment is not None and judgment.answer:
                         joined.append(DataRecord.merge(left, right))
         return joined
 
@@ -290,11 +362,13 @@ class PhysSemAgg(PhysicalOperator):
             chunks.append(text)
             used += len(text)
         prompt = op.instruction + "\n\n" + "\n---\n".join(chunks)
-        completion = ctx.llm.complete(
-            prompt, model=model or "gpt-4o", tag=f"{ctx.tag}:agg"
+        completion = ctx.guarded(
+            "agg",
+            model or "gpt-4o",
+            lambda m: ctx.llm.complete(prompt, model=m, tag=f"{ctx.tag}:agg"),
         )
         result = DataRecord(
-            fields={op.output_field: completion.text},
+            fields={op.output_field: completion.text if completion is not None else None},
             parent_uids=tuple(record.uid for record in records),
         )
         return [result]
@@ -319,13 +393,19 @@ class PhysSemTopK(PhysicalOperator):
             scored = []
             with ctx.llm.parallel(ctx.parallelism):
                 for index, similarity in hits:
-                    judgment = ctx.llm.judge_filter(
-                        f"The record is relevant to: {op.query}",
-                        records[index],
-                        model=model,
-                        tag=f"{ctx.tag}:topk",
+                    judgment = ctx.guarded(
+                        records[index].uid,
+                        model,
+                        lambda m, index=index: ctx.llm.judge_filter(
+                            f"The record is relevant to: {op.query}",
+                            records[index],
+                            model=m,
+                            tag=f"{ctx.tag}:topk",
+                        ),
                     )
-                    scored.append((1 if judgment.answer else 0, similarity, index))
+                    # A degraded judgment falls back to the embedding score.
+                    relevant = 1 if (judgment is not None and judgment.answer) else 0
+                    scored.append((relevant, similarity, index))
             scored.sort(key=lambda item: (-item[0], -item[1]))
             chosen = [records[index] for _, _, index in scored[: op.k]]
         else:

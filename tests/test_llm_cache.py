@@ -51,3 +51,47 @@ def test_clear_resets_counters():
 def test_rejects_nonpositive_capacity():
     with pytest.raises(ValueError):
         GenerationCache(max_entries=0)
+
+
+def test_eviction_counter_tracks_lru_drops():
+    cache = GenerationCache(max_entries=2)
+    cache.put("k1", 1)
+    cache.put("k2", 2)
+    assert cache.evictions == 0
+    cache.put("k3", 3)  # drops k1, the LRU entry
+    assert cache.evictions == 1
+    assert not cache.get("k1")[0]
+    assert cache.get("k2")[0] and cache.get("k3")[0]
+
+
+def test_update_counts_as_update_not_eviction():
+    cache = GenerationCache(max_entries=2)
+    cache.put("k1", 1)
+    cache.put("k1", 9)
+    assert cache.updates == 1
+    assert cache.evictions == 0
+    assert len(cache) == 1
+    assert cache.get("k1")[1] == 9
+
+
+def test_put_refreshes_recency():
+    cache = GenerationCache(max_entries=2)
+    cache.put("k1", 1)
+    cache.put("k2", 2)
+    cache.put("k1", 10)  # k1 becomes most-recent; k2 is now LRU
+    cache.put("k3", 3)
+    assert cache.get("k1")[0]
+    assert not cache.get("k2")[0]
+
+
+def test_clear_can_preserve_stats():
+    cache = GenerationCache(max_entries=1)
+    cache.put("k1", 1)
+    cache.put("k2", 2)  # evicts k1
+    cache.get("k2")
+    cache.clear(reset_stats=False)
+    assert len(cache) == 0
+    assert cache.hits == 1
+    assert cache.misses == 0
+    assert cache.evictions == 1
+    assert cache.updates == 0

@@ -1,0 +1,190 @@
+"""Unit tests for seeded fault injection, retry policy, and circuit breaker."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    RateLimitError,
+    TimeoutError,
+    TransientAPIError,
+    TransientLLMError,
+)
+from repro.llm.faults import CircuitBreaker, FaultConfig, FaultInjector, RetryPolicy
+
+
+# ---------------------------------------------------------------------------
+# FaultConfig
+# ---------------------------------------------------------------------------
+
+
+def test_fault_config_validates_rate():
+    with pytest.raises(ConfigurationError):
+        FaultConfig(rate=1.5)
+    with pytest.raises(ConfigurationError):
+        FaultConfig(rate=-0.1)
+
+
+def test_fault_config_validates_kinds():
+    with pytest.raises(ConfigurationError):
+        FaultConfig(kinds=())
+    with pytest.raises(ConfigurationError):
+        FaultConfig(kinds=("rate_limit", "meteor_strike"))
+
+
+def test_fault_config_embeddings_excluded_by_default():
+    config = FaultConfig(rate=0.5)
+    assert config.model_rate("text-embedding-3-small", is_embedding=True) == 0.0
+    assert config.model_rate("gpt-4o", is_embedding=False) == 0.5
+
+
+def test_fault_config_per_model_override():
+    config = FaultConfig(rate=0.1, per_model_rates={"gpt-4o-mini": 0.4})
+    assert config.model_rate("gpt-4o-mini", is_embedding=False) == 0.4
+    assert config.model_rate("gpt-4o", is_embedding=False) == 0.1
+
+
+# ---------------------------------------------------------------------------
+# FaultInjector
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.smoke
+def test_injector_same_seed_same_schedule():
+    def schedule(seed):
+        injector = FaultInjector(FaultConfig(rate=0.3), seed=seed)
+        return [
+            type(injector.draw("gpt-4o")).__name__ for _ in range(50)
+        ]
+
+    assert schedule(7) == schedule(7)
+    assert schedule(7) != schedule(8)
+
+
+def test_injector_zero_rate_never_faults():
+    injector = FaultInjector(FaultConfig(rate=0.0), seed=0)
+    assert all(injector.draw("gpt-4o") is None for _ in range(100))
+    assert injector.injected == 0
+
+
+def test_injector_rate_roughly_respected():
+    injector = FaultInjector(FaultConfig(rate=0.2), seed=1)
+    faults = sum(1 for _ in range(500) if injector.draw("gpt-4o") is not None)
+    assert 60 <= faults <= 140  # 100 expected; generous deterministic band
+
+
+def test_injector_produces_typed_errors():
+    injector = FaultInjector(FaultConfig(rate=1.0), seed=0)
+    kinds = {type(injector.draw("gpt-4o")) for _ in range(30)}
+    assert kinds == {RateLimitError, TimeoutError, TransientAPIError}
+    assert all(issubclass(kind, TransientLLMError) for kind in kinds)
+
+
+def test_injector_rate_limit_carries_retry_after():
+    injector = FaultInjector(
+        FaultConfig(rate=1.0, kinds=("rate_limit",), retry_after_s=4.5), seed=0
+    )
+    fault = injector.draw("gpt-4o")
+    assert isinstance(fault, RateLimitError)
+    assert fault.retry_after_s == 4.5
+
+
+def test_injector_burst_mode_correlates_failures():
+    base = FaultConfig(rate=0.05)
+    bursty = FaultConfig(rate=0.05, burst_length=10, burst_rate=1.0)
+    n = 400
+
+    def runs_of_failure(config):
+        injector = FaultInjector(config, seed=3)
+        outcomes = [injector.draw("gpt-4o") is not None for _ in range(n)]
+        best = run = 0
+        for failed in outcomes:
+            run = run + 1 if failed else 0
+            best = max(best, run)
+        return best, sum(outcomes)
+
+    base_run, base_total = runs_of_failure(base)
+    burst_run, burst_total = runs_of_failure(bursty)
+    assert burst_total > base_total
+    assert burst_run > base_run  # failures cluster into windows
+
+
+def test_injector_counts_by_kind():
+    injector = FaultInjector(FaultConfig(rate=1.0), seed=0)
+    for _ in range(20):
+        injector.draw("gpt-4o")
+    assert injector.injected == 20
+    assert sum(injector.injected_by_kind.values()) == 20
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+
+def test_retry_policy_validates():
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(timeout_s=0)
+
+
+@pytest.mark.smoke
+def test_backoff_grows_exponentially_and_caps():
+    policy = RetryPolicy(
+        base_backoff_s=1.0, backoff_multiplier=2.0, max_backoff_s=5.0, jitter=0.0
+    )
+    waits = [policy.backoff_s(n) for n in (1, 2, 3, 4, 5)]
+    assert waits == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+
+def test_backoff_jitter_is_seeded_and_bounded():
+    policy = RetryPolicy(base_backoff_s=1.0, jitter=0.5)
+    first = policy.backoff_s(1, None, "key-a")
+    assert first == policy.backoff_s(1, None, "key-a")  # deterministic
+    assert first != policy.backoff_s(1, None, "key-b")  # stream varies by key
+    assert 0.5 <= first <= 1.5
+
+
+def test_backoff_honors_retry_after_floor():
+    policy = RetryPolicy(base_backoff_s=0.1, jitter=0.0)
+    error = RateLimitError("429", retry_after_s=9.0)
+    assert policy.backoff_s(1, error) == 9.0
+
+
+# ---------------------------------------------------------------------------
+# CircuitBreaker
+# ---------------------------------------------------------------------------
+
+
+def test_breaker_opens_after_threshold_and_half_opens_after_cooldown():
+    breaker = CircuitBreaker(threshold=3, cooldown_s=10.0)
+    now = 0.0
+    assert breaker.allow(now)
+    for _ in range(3):
+        breaker.record_failure(now)
+    assert breaker.state == "open"
+    assert not breaker.allow(5.0)  # still cooling down
+    assert breaker.allow(10.0)  # half-open probe allowed
+    assert breaker.state == "half_open"
+    breaker.record_success()
+    assert breaker.state == "closed"
+
+
+def test_breaker_reopens_on_half_open_failure():
+    breaker = CircuitBreaker(threshold=2, cooldown_s=5.0)
+    breaker.record_failure(0.0)
+    breaker.record_failure(0.0)
+    assert breaker.state == "open"
+    assert breaker.allow(6.0)
+    breaker.record_failure(6.0)  # probe fails: straight back to open
+    assert breaker.state == "open"
+    assert breaker.opened_at == 6.0
+    assert breaker.times_opened == 2
+
+
+def test_breaker_success_resets_consecutive_count():
+    breaker = CircuitBreaker(threshold=2, cooldown_s=5.0)
+    breaker.record_failure(0.0)
+    breaker.record_success()
+    breaker.record_failure(0.0)
+    assert breaker.state == "closed"

@@ -185,6 +185,42 @@ def test_embed_charges_and_caches():
     assert llm.tracker.total().cost_usd == cost_first  # cached
 
 
+def test_nested_parallel_inner_makespan_is_one_outer_item():
+    """Regression: a nested section's makespan must ride as a single item in
+    the enclosing section's waves, not advance the clock directly (which
+    double-scheduled nested sections against their parent)."""
+    single = _llm()
+    single.judge_filter("special flag", _record(uid="a"))
+    one_call = single.clock.elapsed
+
+    llm = _llm()
+    with llm.parallel(2):
+        llm.judge_filter("special flag", _record(uid="a"))
+        with llm.parallel(2):
+            llm.judge_filter("special flag", _record(uid="b"))
+            llm.judge_filter("special flag", _record(uid="c"))
+    # All three calls are identically priced; the inner pair collapses to one
+    # makespan L, and the outer wave of [L, L] at width 2 is just L.
+    assert llm.clock.elapsed == pytest.approx(one_call)
+
+
+def test_cached_calls_do_not_occupy_wave_slots():
+    """Regression: zero-latency cache hits must not displace real calls in
+    the positional wave chunking of a parallel section."""
+    llm = _llm()
+    record = _record(uid="warm")
+    llm.judge_filter("special flag", record)  # warm the cache
+    one_call = llm.clock.elapsed
+
+    with llm.parallel(2):
+        llm.judge_filter("special flag", record)  # cache hit: free, instant
+        llm.judge_filter("special flag", _record(uid="cold1"))
+        llm.judge_filter("special flag", _record(uid="cold2"))
+    # The two cold calls share one wave of width 2; the buggy accounting put
+    # the cached call in the first slot and charged a second wave.
+    assert llm.clock.elapsed - one_call == pytest.approx(one_call)
+
+
 def test_distractor_annotation_steers_corruption():
     from repro.llm.simulated import DISTRACTOR_PREFIX
 
