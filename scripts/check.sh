@@ -14,4 +14,8 @@ echo "== fault-tolerance smoke sweep =="
 python benchmarks/bench_fault_tolerance.py --smoke
 
 echo
+echo "== pipelined-execution smoke sweep =="
+python benchmarks/bench_pipeline.py --smoke
+
+echo
 echo "check.sh: all green"

@@ -54,6 +54,10 @@ class AnalyticsRuntime:
         retry_policy: RetryPolicy | None = None,
         on_failure: str = "skip",
         fallback_model: str | None = None,
+        pipeline: bool = True,
+        batch_size: int | None = None,
+        embed_batch_size: int | None = None,
+        adaptive_parallelism: bool = True,
     ) -> None:
         self.llm = llm or SimulatedLLM(
             oracle=SemanticOracle(registry or IntentRegistry()),
@@ -64,6 +68,10 @@ class AnalyticsRuntime:
         self.seed = seed
         self.on_failure = on_failure
         self.fallback_model = fallback_model
+        self.pipeline = pipeline
+        self.batch_size = batch_size
+        self.embed_batch_size = embed_batch_size
+        self.adaptive_parallelism = adaptive_parallelism
         self.policy = policy or Balanced(quality_floor=0.95)
         self.sample_size = sample_size
         self.parallelism = parallelism
@@ -162,6 +170,9 @@ class AnalyticsRuntime:
     # ------------------------------------------------------------------
 
     def program_config(self, tag: str = "program") -> QueryProcessorConfig:
+        kwargs = {}
+        if self.embed_batch_size is not None:
+            kwargs["embed_batch_size"] = self.embed_batch_size
         return QueryProcessorConfig(
             llm=self.llm,
             policy=self.policy,
@@ -172,6 +183,10 @@ class AnalyticsRuntime:
             tag=tag,
             on_failure=self.on_failure,
             fallback_model=self.fallback_model,
+            pipeline=self.pipeline,
+            batch_size=self.batch_size,
+            adaptive_parallelism=self.adaptive_parallelism,
+            **kwargs,
         )
 
     def cheapest_model(self) -> str:

@@ -18,6 +18,19 @@ from typing import Any, Iterable
 _UID_COUNTER = itertools.count()
 
 
+def reset_uid_counter() -> None:
+    """Restart auto-assigned record uids at ``rec-0``.
+
+    Derived records draw uids from a process-global counter, and the
+    simulated LLM keys its per-record noise on the uid.  Experiments that
+    compare two executions of the same plan (e.g. pipelined vs barrier)
+    must reset the counter before each run so derived records line up;
+    otherwise the second run sees different uids and different noise.
+    """
+    global _UID_COUNTER
+    _UID_COUNTER = itertools.count()
+
+
 class DataRecord:
     """A single row flowing through a plan."""
 

@@ -18,6 +18,10 @@ from repro.utils.text import STOPWORDS, tokenize
 
 DEFAULT_DIM = 256
 
+#: Texts per embedding-API request on the batched path (providers accept
+#: arrays of inputs; one request amortizes the per-call overhead).
+DEFAULT_EMBED_BATCH = 64
+
 
 class EmbeddingModel:
     """Feature-hashing embedding model with a fixed dimensionality."""
@@ -48,10 +52,18 @@ class EmbeddingModel:
         return vector.astype(np.float32)
 
     def embed_many(self, texts: list[str]) -> np.ndarray:
-        """Embed a batch of texts into an ``(n, dim)`` matrix."""
+        """Embed a batch of texts into an ``(n, dim)`` matrix.
+
+        Duplicate texts are embedded once and the vector reused, so the
+        vectorized operators can pass raw record text without pre-deduping.
+        """
         if not texts:
             return np.zeros((0, self.dim), dtype=np.float32)
-        return np.stack([self.embed(text) for text in texts])
+        unique: dict[str, np.ndarray] = {}
+        for text in texts:
+            if text not in unique:
+                unique[text] = self.embed(text)
+        return np.stack([unique[text] for text in texts])
 
 
 def cosine_similarity(vec_a: np.ndarray, vec_b: np.ndarray) -> float:

@@ -11,7 +11,10 @@ module makes that failure mode *simulable and deterministic*:
   so two runs with the same seed see the identical fault schedule.  A burst
   mode models correlated failures (rate-limit windows, provider incidents):
   once a fault fires, the next ``burst_length`` attempts fail with elevated
-  probability.
+  probability.  *Rate-limit storms* add time-windowed, width-sensitive 429s:
+  inside a ``(start_s, end_s)`` window of virtual time, attempts issued at
+  concurrency above ``storm_safe_parallelism`` are throttled — the signal
+  the executor's adaptive parallelism controller backs off from.
 - :class:`RetryPolicy` bounds attempts and computes exponential backoff with
   seeded jitter.  Backoff waits are *charged to the virtual clock* by the
   caller (:class:`~repro.llm.simulated.SimulatedLLM`), so benchmarks show the
@@ -66,6 +69,16 @@ class FaultConfig:
     kinds: tuple[str, ...] = FAULT_KINDS
     #: ``Retry-After`` hint carried by injected rate-limit errors.
     retry_after_s: float = 2.0
+    #: Rate-limit *storms*: ``(start_s, end_s)`` windows of virtual time in
+    #: which calls issued at high concurrency draw 429s with ``storm_rate``.
+    #: Models provider-side throttling that punishes wide fan-out — the
+    #: signal the adaptive parallelism controller reacts to.
+    rate_limit_storms: tuple[tuple[float, float], ...] = ()
+    #: Per-attempt 429 probability inside a storm window (width-sensitive).
+    storm_rate: float = 0.9
+    #: Concurrency at or below which storm throttling never fires — a
+    #: narrowed executor rides out the storm.
+    storm_safe_parallelism: int = 2
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.rate <= 1.0:
@@ -81,6 +94,23 @@ class FaultConfig:
             raise ConfigurationError(
                 f"burst_length must be >= 0, got {self.burst_length}"
             )
+        if not 0.0 <= self.storm_rate <= 1.0:
+            raise ConfigurationError(
+                f"storm_rate must be in [0, 1], got {self.storm_rate}"
+            )
+        if self.storm_safe_parallelism < 1:
+            raise ConfigurationError(
+                f"storm_safe_parallelism must be >= 1, got {self.storm_safe_parallelism}"
+            )
+        for window in self.rate_limit_storms:
+            if len(window) != 2 or window[0] > window[1]:
+                raise ConfigurationError(
+                    f"storm windows must be (start_s, end_s) with start <= end, got {window}"
+                )
+
+    def in_storm(self, now: float) -> bool:
+        """Whether virtual time ``now`` falls inside a storm window."""
+        return any(start <= now < end for start, end in self.rate_limit_storms)
 
     def model_rate(self, model: str, is_embedding: bool) -> float:
         if model in self.per_model_rates:
@@ -107,10 +137,35 @@ class FaultInjector:
         self.injected_by_kind: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
         self._burst_remaining = 0
 
-    def draw(self, model: str, is_embedding: bool = False) -> TransientLLMError | None:
-        """Return a typed error to inject for this attempt, or None."""
+    def draw(
+        self,
+        model: str,
+        is_embedding: bool = False,
+        width: int = 1,
+        now: float = 0.0,
+    ) -> TransientLLMError | None:
+        """Return a typed error to inject for this attempt, or None.
+
+        ``width`` is the concurrency the attempt was issued at and ``now``
+        the virtual time it lands — together they decide whether a
+        rate-limit storm window throttles it (wide fan-out inside a storm
+        draws 429s; narrow fan-out is safe).
+        """
         self.attempts += 1
         index = self.attempts
+        if (
+            not is_embedding
+            and width > self.config.storm_safe_parallelism
+            and self.config.in_storm(now)
+            and stable_uniform(self.seed, "storm", model, index) < self.config.storm_rate
+        ):
+            self.injected += 1
+            self.injected_by_kind["rate_limit"] += 1
+            return RateLimitError(
+                f"simulated 429 storm throttle from {model} "
+                f"(attempt {index}, width {width} at t={now:.1f}s)",
+                retry_after_s=self.config.retry_after_s,
+            )
         rate = self.config.model_rate(model, is_embedding)
         if self._burst_remaining > 0:
             self._burst_remaining -= 1

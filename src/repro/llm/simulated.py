@@ -17,7 +17,11 @@ matter for fidelity to the paper:
   models some of the time.
 - **Parallel sections**: callers batching concurrent calls wrap them in
   :meth:`SimulatedLLM.parallel`, which charges the virtual clock the
-  *makespan* of the batch rather than the sum.
+  *makespan* of the batch rather than the sum.  The pipelined executor
+  instead wraps each (batch, stage) cell in :meth:`SimulatedLLM.measure`,
+  which captures the cell's duration without advancing the clock so the
+  engine can charge the cross-operator critical path
+  (:class:`repro.utils.clock.PipelineSchedule`) instead of the stage sum.
 """
 
 from __future__ import annotations
@@ -32,7 +36,7 @@ from repro.errors import TimeoutError as LLMTimeoutError
 from repro.errors import RateLimitError, TransientLLMError
 from repro.llm.cache import GenerationCache
 from repro.llm.client import CompletionResult, ExtractionResult, FilterJudgment
-from repro.llm.embeddings import EmbeddingModel
+from repro.llm.embeddings import DEFAULT_EMBED_BATCH, EmbeddingModel
 from repro.llm.faults import CircuitBreaker, FaultInjector, RetryPolicy
 from repro.llm.models import DEFAULT_MODEL, EMBEDDING_MODEL, ModelCard, get_model
 from repro.llm.oracle import AnnotatedRecord, SemanticOracle
@@ -49,6 +53,15 @@ JUDGMENT_OUTPUT_TOKENS = 5
 
 #: Distractor annotation prefix: datasets may store a plausible wrong answer.
 DISTRACTOR_PREFIX = "_distractor:"
+
+
+class MeasuredTime:
+    """Mutable holder filled in when a :meth:`SimulatedLLM.measure` block exits."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
 
 
 class SimulatedLLM:
@@ -100,6 +113,27 @@ class SimulatedLLM:
                 # the clock.  Advancing directly here would double-schedule
                 # nested sections against their parent's waves.
                 self._advance_latency(_makespan(latencies, width))
+
+    @contextlib.contextmanager
+    def measure(self) -> Iterator[MeasuredTime]:
+        """Capture seconds charged inside the block instead of spending them.
+
+        The pipelined executor wraps each (batch, stage) cell in a measure
+        section: inner ``parallel`` waves resolve to their makespans as
+        usual, but the cell's total duration lands in the returned
+        :class:`MeasuredTime` rather than on the clock (or a parent
+        section).  The engine then advances the clock by the *pipeline*
+        critical path those cells form — overlapping stages that a direct
+        charge would serialize.
+        """
+        holder = MeasuredTime()
+        self._parallel_stack.append((1, []))
+        try:
+            yield holder
+        finally:
+            _, latencies = self._parallel_stack.pop()
+            # Width 1: sequential sub-sections within one cell add up.
+            holder.seconds = sum(latencies)
 
     def _advance_latency(self, seconds: float) -> None:
         if self._parallel_stack:
@@ -162,11 +196,21 @@ class SimulatedLLM:
         self._call_sequence += 1
         sequence = self._call_sequence
         is_embedding = card.usd_per_1m_output <= 0.0
+        # Innermost section width: storms throttle wide fan-out, and retries
+        # stay in their slot, so they keep the width they were issued at.
+        width = self._parallel_stack[-1][0] if self._parallel_stack else 1
         latency_total = 0.0
         retries = 0
         while True:
             fault = (
-                self.faults.draw(card.name, is_embedding)
+                self.faults.draw(
+                    card.name,
+                    is_embedding,
+                    width=width,
+                    # Saga-local time: backoff waits push later attempts
+                    # forward, so a long enough wait rides out a storm window.
+                    now=self.clock.elapsed + latency_total,
+                )
                 if self.faults is not None
                 else None
             )
@@ -206,6 +250,7 @@ class SimulatedLLM:
                     latency_s=fail_latency,
                     tag=tag,
                     failed=True,
+                    error=_fault_kind(fault),
                 )
             )
             latency_total += fail_latency
@@ -411,6 +456,47 @@ class SimulatedLLM:
             self.cache.put(cache_key, vector)
         return vector
 
+    def embed_batch(
+        self,
+        texts: list[str],
+        tag: str = "",
+        batch_size: int = DEFAULT_EMBED_BATCH,
+    ) -> list[np.ndarray]:
+        """Embed ``texts`` with chunked batch requests instead of one call each.
+
+        Duplicates are collapsed and already-cached texts are skipped (one
+        zero-cost cached event per unique hit, mirroring :meth:`embed`); the
+        remaining unique misses go out in batches of ``batch_size``, each
+        priced as a single request carrying the chunk's total tokens.  Token
+        pricing is linear, so the dollar cost is identical to the per-record
+        path — the win is latency: one per-call overhead per chunk instead
+        of per text.  Returns vectors positionally aligned with ``texts``.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        card = get_model(EMBEDDING_MODEL)
+        vectors: dict[str, np.ndarray] = {}
+        misses: list[str] = []
+        for text in texts:
+            if text in vectors or text in misses:
+                continue
+            if self.use_cache:
+                hit, value = self.cache.get(GenerationCache.key(EMBEDDING_MODEL, "embed", text))
+                if hit:
+                    self._charge(card, 0, 0, tag, cached=True)
+                    vectors[text] = value
+                    continue
+            misses.append(text)
+        for start in range(0, len(misses), batch_size):
+            chunk = misses[start : start + batch_size]
+            self._charge(card, sum(approx_token_count(text) for text in chunk), 0, tag)
+            for text in chunk:
+                vector = self.embedding_model.embed(text)
+                vectors[text] = vector
+                if self.use_cache:
+                    self.cache.put(GenerationCache.key(EMBEDDING_MODEL, "embed", text), vector)
+        return [vectors[text] for text in texts]
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -468,6 +554,15 @@ class SimulatedLLM:
             keywords = extract_keywords(truth, limit=3)
             return " ".join(keywords) if keywords else ""
         return None
+
+
+def _fault_kind(fault: TransientLLMError) -> str:
+    """Short kind label for a failed-attempt usage event."""
+    if isinstance(fault, RateLimitError):
+        return "rate_limit"
+    if isinstance(fault, LLMTimeoutError):
+        return "timeout"
+    return "api"
 
 
 def _makespan(latencies: list[float], parallelism: int) -> float:

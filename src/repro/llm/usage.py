@@ -48,6 +48,8 @@ class UsageEvent:
     failed: bool = False
     #: On a successful event: how many failed attempts preceded it.
     retries: int = 0
+    #: Fault kind for a failed attempt ("rate_limit", "timeout", "api", ...).
+    error: str = ""
 
 
 class UsageTracker:
@@ -56,17 +58,21 @@ class UsageTracker:
     def __init__(self, budget_usd: float | None = None) -> None:
         self.events: list[UsageEvent] = []
         self.budget_usd = budget_usd
+        #: Running sum of event costs — O(1) spend checks for budget guards
+        #: that fire on every call (the pipelined executor checks mid-batch).
+        self.spent_usd: float = 0.0
 
     def record(self, event: UsageEvent) -> None:
         """Record ``event``, enforcing the spend budget if one is set."""
         if self.budget_usd is not None:
-            projected = self.total().cost_usd + event.cost_usd
+            projected = self.spent_usd + event.cost_usd
             if projected > self.budget_usd:
                 raise BudgetExceededError(
                     f"call to {event.model} for ${event.cost_usd:.4f} would bring "
                     f"spend to ${projected:.4f}, over budget ${self.budget_usd:.4f}"
                 )
         self.events.append(event)
+        self.spent_usd += event.cost_usd
 
     def total(self, tag_prefix: str | None = None) -> Usage:
         """Aggregate usage, optionally restricted to events whose tag matches."""
@@ -123,6 +129,7 @@ class UsageTracker:
 
     def reset(self) -> None:
         self.events.clear()
+        self.spent_usd = 0.0
 
     def render_report(self, title: str = "LLM usage") -> str:
         """Human-readable spend breakdown by model and by tag prefix."""

@@ -5,9 +5,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.llm.embeddings import DEFAULT_EMBED_BATCH
 from repro.llm.models import DEFAULT_MODEL, completion_models_by_cost
 from repro.llm.simulated import SimulatedLLM
 from repro.sem.optimizer.policies import MaxQuality, OptimizationPolicy
+
+#: Model used when an operator is bound without an explicit model choice
+#: (unoptimized runs, unsampled operators).  Historically ``"gpt-4o"`` was
+#: hard-coded at each use site; this is the single source of truth now.
+DEFAULT_FALLBACK_MODEL = DEFAULT_MODEL
 
 
 @dataclass
@@ -51,6 +57,19 @@ class QueryProcessorConfig:
     #: Cheaper tier used by ``on_failure="fallback"`` (None = auto: the
     #: cheapest chat model in the catalog).
     fallback_model: str | None = None
+    #: Pipelined streaming execution: fuse adjacent record-at-a-time
+    #: operators into stages and charge the critical-path makespan instead
+    #: of the per-operator sum.  False restores the old materialize-
+    #: everything barrier semantics (the A/B escape hatch).
+    pipeline: bool = True
+    #: Records per streamed batch (None = ``max(2 * parallelism, 16)``).
+    batch_size: int | None = None
+    #: Texts per batched embedding request on the pipelined path.
+    embed_batch_size: int = DEFAULT_EMBED_BATCH
+    #: Adapt wave width at runtime: back off on rate-limit bursts, widen
+    #: again on success, capped at ``parallelism``.  Fault-free runs stay
+    #: at the cap, so this is a no-op without an injector.
+    adaptive_parallelism: bool = True
 
     def __post_init__(self) -> None:
         if self.sample_size < 1:
@@ -70,6 +89,27 @@ class QueryProcessorConfig:
                 f"on_failure must be 'skip', 'fallback', or 'raise', "
                 f"got {self.on_failure!r}"
             )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.embed_batch_size < 1:
+            raise ConfigurationError(
+                f"embed_batch_size must be >= 1, got {self.embed_batch_size}"
+            )
+
+    def resolved_batch_size(self) -> int:
+        """Records per streamed batch; defaults to ``max(2 * parallelism, 16)``.
+
+        Batches must span several waves: each (batch, stage) cell rounds up
+        to whole waves of ``parallelism`` calls, so a batch of exactly one
+        wave wastes up to half its slots whenever an upstream filter thins
+        the batch.  Two waves per batch keeps that rounding loss small while
+        still streaming records downstream early.
+        """
+        if self.batch_size is not None:
+            return self.batch_size
+        return max(2 * self.parallelism, 16)
 
     def candidate_models(self) -> list[str]:
         if self.available_models is not None:

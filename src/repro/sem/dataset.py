@@ -28,7 +28,7 @@ from repro.sem import logical as L
 from repro.sem.config import QueryProcessorConfig
 from repro.sem.execution import Engine, ExecutionResult
 from repro.sem.optimizer.optimizer import OptimizationReport, Optimizer
-from repro.sem.physical import ExecutionContext
+from repro.sem.physical import AdaptiveParallelism, ExecutionContext
 
 
 class Dataset:
@@ -212,6 +212,11 @@ class Dataset:
         """Like :meth:`run` but also returns the optimizer's report."""
         plan = self.plan()
         operators, report = Optimizer(config).optimize(plan)
+        adaptive = (
+            AdaptiveParallelism(cap=config.parallelism)
+            if config.pipeline and config.adaptive_parallelism
+            else None
+        )
         engine = Engine(
             ExecutionContext(
                 llm=config.llm,
@@ -219,8 +224,15 @@ class Dataset:
                 tag=config.tag,
                 on_failure=config.on_failure,
                 fallback_model=config.resolved_fallback_model(),
+                max_cost_usd=config.max_cost_usd,
+                # Batched embeddings ride the pipelined path; barrier mode
+                # keeps per-record calls (the legacy-exact escape hatch).
+                embed_batch_size=config.embed_batch_size if config.pipeline else 1,
+                adaptive=adaptive,
             ),
             max_cost_usd=config.max_cost_usd,
+            pipeline=config.pipeline,
+            batch_size=config.resolved_batch_size(),
         )
         result = engine.execute(operators)
         result.optimization_cost_usd = report.sampling_cost_usd

@@ -1,8 +1,30 @@
 """Execution engine and statistics.
 
-The engine executes a list of bound physical operators leaves-first
-(iterator/batch semantics, as in Palimpzest) and measures, per operator:
-records in/out, LLM calls, dollars, and simulated seconds.
+The engine executes a list of bound physical operators leaves-first and
+measures, per operator: records in/out, LLM calls, dollars, and simulated
+seconds.
+
+Two execution modes:
+
+- **Barrier** (``pipeline=False``): operators run one at a time with a full
+  materialization barrier between them, exactly the original semantics —
+  total time is the sum of per-operator makespans.
+- **Pipelined** (the default): maximal runs of streamable operators are
+  fused into sections; fixed-size record batches stream through the fused
+  stages, so batch *b* can occupy stage *s* while batch *b+1* is still in
+  stage *s-1*.  Each (batch, stage) cell is measured via
+  :meth:`SimulatedLLM.measure` and fed to a
+  :class:`~repro.utils.clock.PipelineSchedule`; the clock is advanced
+  online by the growth of the section's critical-path makespan, so the
+  charged time is the pipeline's makespan, not the stage sum.  A sated
+  downstream limit stops upstream batches (early-exit pushdown), the spend
+  cap truncates mid-batch, and an :class:`AdaptiveParallelism` controller
+  narrows waves on rate-limit faults — resubmitting the throttled records
+  once at the reduced width — and widens again on success.
+
+Answers from the simulated LLM are a pure function of the input, never of
+call order, so both modes produce bit-identical records and dollar cost on
+a fault-free run; only the time accounting differs.
 """
 
 from __future__ import annotations
@@ -10,12 +32,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.data.records import DataRecord
+from repro.errors import BudgetExceededError
+from repro.llm.usage import UsageTracker
 from repro.sem.physical import ExecutionContext, PhysicalOperator
+from repro.utils.clock import PipelineSchedule
 
 
 @dataclass
 class OperatorStats:
-    """Measured behaviour of one physical operator in one execution."""
+    """Measured behaviour of one physical operator in one execution.
+
+    In pipelined sections ``time_s`` is the operator's *busy* time (the sum
+    of its cell durations); operators overlap, so per-operator times can
+    sum to more than the run's critical-path ``total_time_s``.  Records,
+    calls, and dollars are exact in both modes.
+    """
 
     label: str
     model: str | None
@@ -51,7 +82,9 @@ class ExecutionResult:
     optimization_time_s: float = 0.0
     plan_explain: str = ""
     #: True when a spend cap stopped execution before the plan completed;
-    #: ``records`` then holds the output of the last finished operator.
+    #: ``records`` then holds everything produced up to the cut (pipelined
+    #: mode salvages fully-processed batches; barrier mode returns the
+    #: output of the last finished operator).
     truncated: bool = False
     #: Faulted-and-retried attempts across all operators.
     retried_calls: int = 0
@@ -88,31 +121,95 @@ class ExecutionResult:
         return "\n".join(lines)
 
 
+class _StageAccount:
+    """Running per-stage totals for one pipelined section."""
+
+    def __init__(self, operator: PhysicalOperator) -> None:
+        self.operator = operator
+        self.records_in = 0
+        self.records_out = 0
+        self.cost_usd = 0.0
+        self.time_s = 0.0
+        self.llm_calls = 0
+        self.cached_calls = 0
+        self.retried_calls = 0
+        self.failed_records = 0
+
+    def to_stats(self) -> OperatorStats:
+        return OperatorStats(
+            label=self.operator.label(),
+            model=self.operator.model,
+            records_in=self.records_in,
+            records_out=self.records_out,
+            cost_usd=self.cost_usd,
+            time_s=self.time_s,
+            llm_calls=self.llm_calls,
+            cached_calls=self.cached_calls,
+            retried_calls=self.retried_calls,
+            failed_records=self.failed_records,
+        )
+
+
 class Engine:
     """Executes a bound operator chain with per-operator accounting."""
 
-    def __init__(self, ctx: ExecutionContext, max_cost_usd: float | None = None) -> None:
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        max_cost_usd: float | None = None,
+        pipeline: bool = True,
+        batch_size: int | None = None,
+    ) -> None:
         self.ctx = ctx
         self.max_cost_usd = max_cost_usd
+        self.pipeline = pipeline
+        self.batch_size = batch_size if batch_size is not None else max(2 * ctx.parallelism, 16)
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
 
     def execute(self, operators: list[PhysicalOperator]) -> ExecutionResult:
         llm = self.ctx.llm
         records: list[DataRecord] = []
         stats: list[OperatorStats] = []
-        run_start_cost = llm.tracker.total().cost_usd
+        run_start_cost = llm.tracker.spent_usd
         run_start_time = llm.clock.elapsed
+        # Thread the spend cap into the context so operators can truncate
+        # mid-batch instead of overshooting to the next operator boundary.
+        self.ctx.cost_baseline_usd = run_start_cost
+        if self.max_cost_usd is not None and self.ctx.max_cost_usd is None:
+            self.ctx.max_cost_usd = self.max_cost_usd
         truncated = False
 
-        for operator in operators:
-            spent = llm.tracker.total().cost_usd - run_start_cost
+        index = 0
+        while index < len(operators):
+            spent = llm.tracker.spent_usd - run_start_cost
             if self.max_cost_usd is not None and spent >= self.max_cost_usd:
                 truncated = True
                 break
+
+            section = self._section_at(operators, index)
+            if len(section) >= 2:
+                records, section_stats, truncated = self._execute_section(section, records)
+                stats.extend(section_stats)
+                index += len(section)
+                if truncated:
+                    break
+                continue
+
+            operator = operators[index]
             checkpoint = llm.tracker.checkpoint()
             time_before = llm.clock.elapsed
             failures_before = len(self.ctx.failures)
             n_in = len(records)
-            records = operator.execute(records, self.ctx)
+            try:
+                records = operator.execute(records, self.ctx)
+                n_out = len(records)
+            except BudgetExceededError:
+                # Mid-operator truncation: the partial output is discarded
+                # (records keeps the last finished operator's output), but
+                # the spend and calls the operator burned are accounted.
+                truncated = True
+                n_out = 0
             usage = llm.tracker.since(checkpoint)
             cached = sum(
                 1 for event in llm.tracker.events[checkpoint:] if event.cached
@@ -122,7 +219,7 @@ class Engine:
                     label=operator.label(),
                     model=operator.model,
                     records_in=n_in,
-                    records_out=len(records),
+                    records_out=n_out,
                     cost_usd=usage.cost_usd,
                     time_s=llm.clock.elapsed - time_before,
                     llm_calls=usage.calls,
@@ -131,13 +228,191 @@ class Engine:
                     failed_records=len(self.ctx.failures) - failures_before,
                 )
             )
+            if truncated:
+                break
+            index += 1
 
         return ExecutionResult(
             records=records,
             operator_stats=stats,
-            total_cost_usd=llm.tracker.total().cost_usd - run_start_cost,
+            total_cost_usd=llm.tracker.spent_usd - run_start_cost,
             total_time_s=llm.clock.elapsed - run_start_time,
             truncated=truncated,
             retried_calls=sum(s.retried_calls for s in stats),
             failed_records=sum(s.failed_records for s in stats),
         )
+
+    def _section_at(
+        self, operators: list[PhysicalOperator], index: int
+    ) -> list[PhysicalOperator]:
+        """Maximal run of streamable operators starting at ``index``.
+
+        Sections of one operator gain nothing from pipelining and fall back
+        to the barrier path (identical wave structure either way).
+        """
+        if not self.pipeline:
+            return operators[index : index + 1]
+        end = index
+        while end < len(operators) and operators[end].streamable:
+            end += 1
+        return operators[index : max(end, index + 1)]
+
+    # ------------------------------------------------------------------
+    # Pipelined sections
+    # ------------------------------------------------------------------
+
+    def _execute_section(
+        self, section: list[PhysicalOperator], input_records: list[DataRecord]
+    ) -> tuple[list[DataRecord], list[OperatorStats], bool]:
+        """Stream ``input_records`` through fused stages in record batches.
+
+        Returns (output records, per-stage stats, truncated).  Cells run
+        depth-first per batch; the clock advances online by the growth of
+        the section's pipelined makespan after every cell.
+        """
+        ctx = self.ctx
+        states = [operator.new_state(ctx) for operator in section]
+        accounts = [_StageAccount(operator) for operator in section]
+        schedule = PipelineSchedule()
+        charged = 0.0
+        outputs: list[DataRecord] = []
+        truncated = False
+
+        def charge_progress() -> float:
+            nonlocal charged
+            if schedule.makespan > charged:
+                ctx.llm.clock.advance(schedule.makespan - charged)
+                charged = schedule.makespan
+            return charged
+
+        def run_stages(batch: list[DataRecord], first_stage: int) -> list[DataRecord]:
+            """One batch through stages ``first_stage``.. — returns survivors."""
+            nonlocal truncated
+            schedule.start_batch()
+            current = batch
+            for stage in range(first_stage, len(section)):
+                if not current:
+                    break
+                try:
+                    current, seconds = self._run_cell(
+                        section[stage], current, states[stage], accounts[stage]
+                    )
+                except BudgetExceededError as exc:
+                    truncated = True
+                    seconds = exc.cell_seconds if hasattr(exc, "cell_seconds") else 0.0
+                    schedule.record(stage, seconds)
+                    charge_progress()
+                    return []
+                schedule.record(stage, seconds)
+                charge_progress()
+            return current
+
+        for start in range(0, len(input_records), self.batch_size):
+            if truncated:
+                break
+            # Early-exit pushdown: a sated stage (a filled limit) means no
+            # further input batch can change the output — stop scanning.
+            if any(op.sated(state) for op, state in zip(section, states)):
+                break
+            survivors = run_stages(input_records[start : start + self.batch_size], 0)
+            outputs.extend(survivors)
+
+        # Flush held-back records (e.g. top-k winners) downstream, in stage
+        # order so later holdbacks see everything emitted before them.
+        if not truncated:
+            for stage, operator in enumerate(section):
+                held = operator.finalize(ctx, states[stage])
+                if not held:
+                    continue
+                accounts[stage].records_out += len(held)
+                survivors = run_stages(held, stage + 1)
+                outputs.extend(survivors)
+                if truncated:
+                    break
+
+        return outputs, [account.to_stats() for account in accounts], truncated
+
+    def _run_cell(
+        self,
+        operator: PhysicalOperator,
+        batch: list[DataRecord],
+        state: dict,
+        account: _StageAccount,
+    ) -> tuple[list[DataRecord], float]:
+        """One batch through one stage: measured, width-adaptive, guarded.
+
+        Returns (emitted records, cell seconds).  When the wave drew
+        rate-limit faults and the adaptive controller narrowed the width,
+        records whose calls exhausted their retries are resubmitted once at
+        the reduced width (their failure flags are withdrawn; a second
+        exhaustion re-flags them).  On a budget cut the measured seconds
+        ride along on the raised error so the caller can still charge them.
+        """
+        ctx = self.ctx
+        tracker: UsageTracker = ctx.llm.tracker
+        checkpoint = tracker.checkpoint()
+        failures_before = len(ctx.failures)
+        account.records_in += len(batch)
+        emitted: dict[int, list[DataRecord]] = {}
+        budget_error: BudgetExceededError | None = None
+
+        with ctx.llm.measure() as measured:
+            try:
+                operator.prepare_batch(batch, ctx, state)
+                pending = list(enumerate(batch))
+                for attempt in range(2):
+                    width = ctx.wave_width()
+                    wave_checkpoint = tracker.checkpoint()
+                    wave_failures = len(ctx.failures)
+                    with ctx.llm.parallel(width):
+                        for position, record in pending:
+                            emitted[position] = operator.process_record(record, ctx, state)
+                    rate_limited = any(
+                        event.failed and event.error == "rate_limit"
+                        for event in tracker.events[wave_checkpoint:]
+                    )
+                    if ctx.adaptive is not None:
+                        ctx.adaptive.observe(rate_limited)
+                    throttled_uids = {
+                        uid
+                        for uid, error in ctx.failures[wave_failures:]
+                        if error == "RateLimitError"
+                    }
+                    if (
+                        attempt > 0
+                        or not throttled_uids
+                        or ctx.adaptive is None
+                        or ctx.adaptive.width >= width
+                    ):
+                        break
+                    # Withdraw the throttled records' failure flags and give
+                    # them one more pass at the narrowed width.
+                    ctx.failures[wave_failures:] = [
+                        entry
+                        for entry in ctx.failures[wave_failures:]
+                        if entry[0] not in throttled_uids
+                    ]
+                    pending = [
+                        (position, record)
+                        for position, record in pending
+                        if record.uid in throttled_uids
+                    ]
+            except BudgetExceededError as exc:
+                budget_error = exc
+
+        usage = tracker.since(checkpoint)
+        account.cost_usd += usage.cost_usd
+        account.llm_calls += usage.calls
+        account.cached_calls += sum(
+            1 for event in tracker.events[checkpoint:] if event.cached
+        )
+        account.retried_calls += tracker.failed_calls(checkpoint)
+        account.failed_records += len(ctx.failures) - failures_before
+        account.time_s += measured.seconds
+
+        if budget_error is not None:
+            budget_error.cell_seconds = measured.seconds
+            raise budget_error
+        results = [record for position in sorted(emitted) for record in emitted[position]]
+        account.records_out += len(results)
+        return results, measured.seconds

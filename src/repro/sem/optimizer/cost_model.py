@@ -5,14 +5,36 @@ by its sampled selectivity; downstream operators are charged only for the
 surviving records.  This is what makes filter reordering and pushdown
 worthwhile — exactly the effect the paper credits for ``PZ compute``'s
 savings over ``CodeAgent+``.
+
+When the executor runs pipelined (the default), the time estimate must
+predict the *critical-path makespan* of fused streamable sections — not
+the per-operator sum — or plan choice regresses toward plans that only
+look good under barrier semantics.  ``estimate_chain`` therefore accepts
+the executor's ``parallelism``/``pipeline``/``batch_size`` knobs; with the
+defaults it reproduces the original sequential-sum estimate exactly.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.sem import logical as L
 from repro.sem.optimizer.sampler import OperatorProfile
+
+#: Logical operators whose physical implementations stream record batches
+#: (mirrors ``PhysicalOperator.streamable``); adjacent runs of these fuse
+#: into one pipelined section.
+STREAMABLE_OPS = (
+    L.SemFilterOp,
+    L.SemMapOp,
+    L.SemClassifyOp,
+    L.SemTopKOp,
+    L.PyFilterOp,
+    L.PyMapOp,
+    L.ProjectOp,
+    L.LimitOp,
+)
 
 
 @dataclass(frozen=True)
@@ -82,18 +104,55 @@ def estimate_chain(
     chain: list[L.LogicalOperator],
     profiles: dict[int, OperatorProfile],
     input_cardinality: float | None = None,
+    parallelism: int = 1,
+    pipeline: bool = False,
+    batch_size: int | None = None,
 ) -> PlanEstimate:
     """Estimate a leaves-first operator chain.
 
     ``profiles`` maps chain positions to the profile of the model *chosen*
-    for that operator.
+    for that operator.  Cost and cardinality are mode-independent;
+    ``parallelism`` divides per-operator latency into wave time, and
+    ``pipeline=True`` replaces the per-operator time sum of each fused
+    streamable section with its pipelined makespan:
+    ``fill + (B - 1) * bottleneck`` for ``B`` batches — the first batch
+    crosses every stage, then the slowest stage paces the rest.
     """
     cardinality = input_cardinality if input_cardinality is not None else 0.0
     total = PlanEstimate(0.0, 0.0, cardinality)
+    steps: list[PlanEstimate] = []
     for position, op in enumerate(chain):
         step = estimate_operator(op, total.cardinality, profiles.get(position))
+        if parallelism > 1:
+            step = PlanEstimate(step.cost_usd, step.time_s / parallelism, step.cardinality)
+        steps.append(step)
         total = total + step
-    return total
+    if not pipeline or parallelism < 1:
+        return total
+
+    time_s = 0.0
+    index = 0
+    while index < len(chain):
+        if not isinstance(chain[index], STREAMABLE_OPS):
+            time_s += steps[index].time_s
+            index += 1
+            continue
+        end = index
+        while end < len(chain) and isinstance(chain[end], STREAMABLE_OPS):
+            end += 1
+        section = steps[index:end]
+        section_input = steps[index - 1].cardinality if index > 0 else cardinality
+        resolved_batch = batch_size if batch_size is not None else max(2 * parallelism, 16)
+        n_batches = max(1, math.ceil(section_input / resolved_batch))
+        stage_times = [step.time_s for step in section]
+        if len(section) < 2:
+            time_s += sum(stage_times)
+        else:
+            fill = sum(stage_times) / n_batches
+            bottleneck = max(stage_times) / n_batches
+            time_s += fill + (n_batches - 1) * bottleneck
+        index = end
+    return PlanEstimate(total.cost_usd, time_s, total.cardinality)
 
 
 def filter_rank(profile: OperatorProfile) -> float:

@@ -171,7 +171,12 @@ class Optimizer:
                 op.label(): profiles[id(op)] for op in chain if id(op) in profiles
             },
             estimate=estimate_chain(
-                new_chain, chosen_profiles, input_cardinality=float(len(source_records))
+                new_chain,
+                chosen_profiles,
+                input_cardinality=float(len(source_records)),
+                parallelism=config.parallelism,
+                pipeline=config.pipeline,
+                batch_size=config.resolved_batch_size(),
             ),
         )
         return self._bind_chain(new_chain, chosen), report

@@ -4,6 +4,15 @@ Each physical operator executes one logical operator against a materialized
 batch of records, charging the simulated LLM for every semantic call.  The
 engine (see :mod:`repro.sem.execution`) wires operators together and
 collects statistics.
+
+Operators marked ``streamable`` additionally implement a record-at-a-time
+protocol (:meth:`PhysicalOperator.new_state` / ``prepare_batch`` /
+``process_record`` / ``finalize``) so the engine can fuse adjacent
+streamable operators into one pipelined section: record batches flow
+through the fused stages and the virtual clock is charged the section's
+critical-path makespan instead of the per-operator sum.  The classic
+``execute`` entry point remains the barrier path (``pipeline=False``) and
+preserves the original materialize-everything semantics exactly.
 """
 
 from __future__ import annotations
@@ -13,8 +22,8 @@ from dataclasses import dataclass, field
 from typing import Callable, TypeVar
 
 from repro.data.records import DataRecord
-from repro.errors import ExecutionError, TransientLLMError
-from repro.llm.embeddings import top_k_similar
+from repro.errors import BudgetExceededError, ExecutionError, TransientLLMError
+from repro.llm.embeddings import cosine_similarity, top_k_similar
 from repro.llm.simulated import SimulatedLLM
 from repro.sem import logical as L
 
@@ -24,6 +33,63 @@ T = TypeVar("T")
 
 #: Valid per-record degradation modes when a call exhausts its retries.
 FAILURE_MODES = ("skip", "fallback", "raise")
+
+
+@dataclass
+class AdaptiveParallelism:
+    """Wave-width controller for the pipelined executor (TCP-style).
+
+    Replaces the static ``parallelism`` knob on the streaming path: waves
+    start at the configured cap, and a wave that draws rate-limit faults
+    halves the width (multiplicative decrease).  Recovery is two-phase:
+    clean waves *double* the width back toward the last level that worked
+    (fast recovery after a burst passes), then probe one slot at a time
+    beyond it every ``widen_after`` consecutive clean waves (additive
+    increase).  Each fault also lowers the fast-recovery ceiling just
+    below the width that faulted, so a persistent throttle converges to
+    the safe width instead of re-probing the cap every round.  A
+    fault-free run never leaves the cap, so the controller is invisible
+    until the substrate actually throttles.
+    """
+
+    cap: int
+    min_width: int = 1
+    #: Consecutive clean waves required before probing one slot wider.
+    widen_after: int = 3
+    width: int = 0
+    #: Waves that saw at least one rate-limit fault.
+    backoffs: int = 0
+    widenings: int = 0
+    _clean_streak: int = 0
+    #: Fast-recovery ceiling: doubling stops here, additive probing beyond.
+    _recover_target: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cap < 1:
+            raise ValueError(f"parallelism cap must be >= 1, got {self.cap}")
+        self.min_width = max(1, min(self.min_width, self.cap))
+        if self.width < 1:
+            self.width = self.cap
+        if self._recover_target < 1:
+            self._recover_target = self.width
+
+    def observe(self, rate_limited: bool) -> None:
+        """Feed back one wave's outcome; adjusts :attr:`width`."""
+        if rate_limited:
+            self._recover_target = max(self.min_width, self.width - 1)
+            self.width = max(self.min_width, self.width // 2)
+            self.backoffs += 1
+            self._clean_streak = 0
+            return
+        self._clean_streak += 1
+        if self.width < self._recover_target:
+            self.width = min(self._recover_target, self.width * 2)
+            self.widenings += 1
+            self._clean_streak = 0
+        elif self.width < self.cap and self._clean_streak >= self.widen_after:
+            self.width += 1
+            self.widenings += 1
+            self._clean_streak = 0
 
 
 @dataclass
@@ -41,11 +107,38 @@ class ExecutionContext:
     fallback_model: str | None = None
     #: (record uid, error class name) for every degraded record, in order.
     failures: list[tuple[str, str]] = field(default_factory=list)
+    #: Hard spend cap threaded down from the engine so the budget truncates
+    #: the run mid-batch instead of overshooting by a whole operator's cost.
+    max_cost_usd: float | None = None
+    #: Spend already on the tracker when this execution began; the cap
+    #: applies to the delta.
+    cost_baseline_usd: float = 0.0
+    #: Texts per batched embedding request; 1 = legacy per-record calls.
+    embed_batch_size: int = 1
+    #: Live wave-width controller (None = static ``parallelism``).
+    adaptive: AdaptiveParallelism | None = None
+
+    def wave_width(self) -> int:
+        """Concurrency the next wave should be issued at."""
+        if self.adaptive is not None:
+            return self.adaptive.width
+        return self.parallelism
+
+    def check_budget(self) -> None:
+        """Raise :class:`BudgetExceededError` once the spend cap is reached."""
+        if self.max_cost_usd is None:
+            return
+        spent = self.llm.tracker.spent_usd - self.cost_baseline_usd
+        if spent >= self.max_cost_usd:
+            raise BudgetExceededError(
+                f"spent ${spent:.4f} of the ${self.max_cost_usd:.4f} cap"
+            )
 
     def guarded(
         self, uid: str, model: str, call: Callable[[str], T]
     ) -> T | None:
         """Run ``call(model)`` under the failure policy; None means degraded."""
+        self.check_budget()
         try:
             return call(model)
         except TransientLLMError as exc:
@@ -64,8 +157,23 @@ class ExecutionContext:
             return None
 
 
+def _embed_texts(texts: list[str], ctx: ExecutionContext, tag: str) -> list[np.ndarray]:
+    """Embed ``texts`` one batched request per chunk, or one call per text.
+
+    ``ctx.embed_batch_size > 1`` selects the vectorized path (the pipelined
+    executor); 1 keeps the legacy per-record calls and their exact timing.
+    """
+    if ctx.embed_batch_size > 1:
+        return ctx.llm.embed_batch(texts, tag=tag, batch_size=ctx.embed_batch_size)
+    return [ctx.llm.embed(text, tag=tag) for text in texts]
+
+
 class PhysicalOperator(abc.ABC):
     """Executes one logical operator over a batch of records."""
+
+    #: Streamable operators implement the record-at-a-time protocol below
+    #: and can be fused into pipelined sections by the engine.
+    streamable = False
 
     def __init__(self, logical_op: L.LogicalOperator, model: str | None = None) -> None:
         self.logical_op = logical_op
@@ -75,9 +183,62 @@ class PhysicalOperator(abc.ABC):
     def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
         """Transform ``records``; must not mutate the input list."""
 
+    # -- streaming protocol (streamable operators only) -----------------
+
+    def new_state(self, ctx: ExecutionContext) -> dict:
+        """Fresh per-execution mutable state for the streaming protocol."""
+        return {}
+
+    def prepare_batch(
+        self, records: list[DataRecord], ctx: ExecutionContext, state: dict
+    ) -> None:
+        """Batch-level vectorized work (e.g. one embedding request per batch)."""
+
+    def process_record(
+        self, record: DataRecord, ctx: ExecutionContext, state: dict
+    ) -> list[DataRecord]:
+        """Stream one record through; may emit zero or more records."""
+        raise ExecutionError(f"{self.label()} is not streamable")
+
+    def finalize(self, ctx: ExecutionContext, state: dict) -> list[DataRecord]:
+        """Records held back until the stream ends (e.g. top-k winners)."""
+        return []
+
+    def sated(self, state: dict) -> bool:
+        """True once this operator can never emit more records (early exit)."""
+        return False
+
     def label(self) -> str:
         suffix = f" [{self.model}]" if self.model else ""
         return self.logical_op.label() + suffix
+
+
+class StreamingOperator(PhysicalOperator):
+    """Record-at-a-time operator.
+
+    The default :meth:`execute` reproduces the legacy barrier semantics
+    exactly — one parallel section over all records — by driving the
+    streaming protocol itself, so barrier and pipelined modes share one
+    per-record implementation.
+    """
+
+    streamable = True
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        state = self.new_state(ctx)
+        self.prepare_batch(records, ctx, state)
+        output: list[DataRecord] = []
+        with ctx.llm.parallel(ctx.parallelism):
+            for record in records:
+                output.extend(self.process_record(record, ctx, state))
+        output.extend(self.finalize(ctx, state))
+        return output
+
+    @abc.abstractmethod
+    def process_record(
+        self, record: DataRecord, ctx: ExecutionContext, state: dict
+    ) -> list[DataRecord]:
+        ...
 
 
 class PhysScan(PhysicalOperator):
@@ -94,7 +255,9 @@ class PhysRetrieve(PhysicalOperator):
 
     If the scan's source exposes a prebuilt vector index (a Context with a
     registered index), retrieval delegates to it; otherwise records are
-    embedded on the fly (embeddings are cached, so this cost is paid once).
+    embedded on the fly (embeddings are cached, so this cost is paid once),
+    one batched request per ``ctx.embed_batch_size`` texts on the
+    vectorized path.
     """
 
     logical_op: L.RetrieveOp
@@ -115,84 +278,80 @@ class PhysRetrieve(PhysicalOperator):
             return [record for record, _ in hits]
         if not records:
             return []
-        query_vec = ctx.llm.embed(op.query, tag=f"{ctx.tag}:retrieve")
+        tag = f"{ctx.tag}:retrieve"
+        query_vec = ctx.llm.embed(op.query, tag=tag)
         matrix = np.stack(
-            [ctx.llm.embed(record.as_text(), tag=f"{ctx.tag}:retrieve") for record in records]
+            _embed_texts([record.as_text() for record in records], ctx, tag)
         )
         hits = top_k_similar(query_vec, matrix, op.k)
         return [records[index] for index, _ in hits]
 
 
-class PhysSemFilter(PhysicalOperator):
+class PhysSemFilter(StreamingOperator):
     logical_op: L.SemFilterOp
 
-    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+    def process_record(
+        self, record: DataRecord, ctx: ExecutionContext, state: dict
+    ) -> list[DataRecord]:
         op = self.logical_op
         model = self.model or op.model
-        kept: list[DataRecord] = []
-        with ctx.llm.parallel(ctx.parallelism):
-            for record in records:
-                judgment = ctx.guarded(
-                    record.uid,
-                    model,
-                    lambda m, record=record: ctx.llm.judge_filter(
-                        op.instruction, record, model=m, tag=f"{ctx.tag}:filter"
-                    ),
-                )
-                if judgment is not None and judgment.answer:
-                    kept.append(record)
-        return kept
+        judgment = ctx.guarded(
+            record.uid,
+            model,
+            lambda m: ctx.llm.judge_filter(
+                op.instruction, record, model=m, tag=f"{ctx.tag}:filter"
+            ),
+        )
+        if judgment is not None and judgment.answer:
+            return [record]
+        return []
 
 
-class PhysSemMap(PhysicalOperator):
+class PhysSemMap(StreamingOperator):
     logical_op: L.SemMapOp
 
-    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+    def process_record(
+        self, record: DataRecord, ctx: ExecutionContext, state: dict
+    ) -> list[DataRecord]:
         op = self.logical_op
         model = self.model or op.model
-        output: list[DataRecord] = []
-        with ctx.llm.parallel(ctx.parallelism):
-            for record in records:
-                new_fields = {}
-                for schema_field, instruction in op.outputs:
-                    extraction = ctx.guarded(
-                        record.uid,
-                        model,
-                        lambda m, record=record, instruction=instruction: ctx.llm.extract(
-                            instruction, record, model=m, tag=f"{ctx.tag}:map"
-                        ),
-                    )
-                    # Degraded extractions surface as None (flagged in
-                    # ctx.failures), keeping the record and its other fields.
-                    new_fields[schema_field.name] = (
-                        schema_field.coerce(extraction.value)
-                        if extraction is not None
-                        else None
-                    )
-                output.append(record.derive(new_fields))
-        return output
+        new_fields = {}
+        for schema_field, instruction in op.outputs:
+            extraction = ctx.guarded(
+                record.uid,
+                model,
+                lambda m, instruction=instruction: ctx.llm.extract(
+                    instruction, record, model=m, tag=f"{ctx.tag}:map"
+                ),
+            )
+            # Degraded extractions surface as None (flagged in ctx.failures),
+            # keeping the record and its other fields.
+            new_fields[schema_field.name] = (
+                schema_field.coerce(extraction.value)
+                if extraction is not None
+                else None
+            )
+        return [record.derive(new_fields)]
 
 
-class PhysSemClassify(PhysicalOperator):
+class PhysSemClassify(StreamingOperator):
     logical_op: L.SemClassifyOp
 
-    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+    def process_record(
+        self, record: DataRecord, ctx: ExecutionContext, state: dict
+    ) -> list[DataRecord]:
         op = self.logical_op
         model = self.model or op.model
-        output: list[DataRecord] = []
-        with ctx.llm.parallel(ctx.parallelism):
-            for record in records:
-                result = ctx.guarded(
-                    record.uid,
-                    model,
-                    lambda m, record=record: ctx.llm.classify(
-                        op.instruction, list(op.options), record,
-                        model=m, tag=f"{ctx.tag}:classify",
-                    ),
-                )
-                value = result.value if result is not None else None
-                output.append(record.derive({op.output_field: value}))
-        return output
+        result = ctx.guarded(
+            record.uid,
+            model,
+            lambda m: ctx.llm.classify(
+                op.instruction, list(op.options), record,
+                model=m, tag=f"{ctx.tag}:classify",
+            ),
+        )
+        value = result.value if result is not None else None
+        return [record.derive({op.output_field: value})]
 
 
 class PhysSemGroupBy(PhysicalOperator):
@@ -201,6 +360,8 @@ class PhysSemGroupBy(PhysicalOperator):
     logical_op: L.SemGroupByOp
 
     def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        from repro.sem.config import DEFAULT_FALLBACK_MODEL
+
         op = self.logical_op
         model = self.model or op.model
         groups: dict[str, list[DataRecord]] = {}
@@ -230,7 +391,7 @@ class PhysSemGroupBy(PhysicalOperator):
                 )[:AGG_TEXT_BUDGET]
                 completion = ctx.guarded(
                     f"group:{group}",
-                    model or "gpt-4o",
+                    model or DEFAULT_FALLBACK_MODEL,
                     lambda m, group=group, joined_text=joined_text: ctx.llm.complete(
                         f"Summarize the records in group {group!r}: "
                         f"{op.instruction}\n\n{joined_text}",
@@ -284,12 +445,23 @@ class PhysSemJoinBlocked(PhysicalOperator):
         model = self.model or self.logical_op.model
         tag = f"{ctx.tag}:join"
         right_matrix = np.stack(
-            [ctx.llm.embed(record.as_text(), tag=tag) for record in right_records]
+            _embed_texts([record.as_text() for record in right_records], ctx, tag)
+        )
+        # Vectorized path: one batched request for every left vector before
+        # the judgment waves, instead of one embed call inside each slot.
+        left_vectors = (
+            _embed_texts([left.as_text() for left in records], ctx, tag)
+            if ctx.embed_batch_size > 1
+            else None
         )
         joined: list[DataRecord] = []
         with ctx.llm.parallel(ctx.parallelism):
-            for left in records:
-                left_vec = ctx.llm.embed(left.as_text(), tag=tag)
+            for position, left in enumerate(records):
+                left_vec = (
+                    left_vectors[position]
+                    if left_vectors is not None
+                    else ctx.llm.embed(left.as_text(), tag=tag)
+                )
                 hits = top_k_similar(left_vec, right_matrix, self.max_candidates_per_left)
                 for index, similarity in hits:
                     if similarity < self.similarity_floor:
@@ -351,6 +523,8 @@ class PhysSemAgg(PhysicalOperator):
     logical_op: L.SemAggOp
 
     def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        from repro.sem.config import DEFAULT_FALLBACK_MODEL
+
         op = self.logical_op
         model = self.model or op.model
         chunks: list[str] = []
@@ -364,7 +538,7 @@ class PhysSemAgg(PhysicalOperator):
         prompt = op.instruction + "\n\n" + "\n---\n".join(chunks)
         completion = ctx.guarded(
             "agg",
-            model or "gpt-4o",
+            model or DEFAULT_FALLBACK_MODEL,
             lambda m: ctx.llm.complete(prompt, model=m, tag=f"{ctx.tag}:agg"),
         )
         result = DataRecord(
@@ -374,82 +548,132 @@ class PhysSemAgg(PhysicalOperator):
         return [result]
 
 
-class PhysSemTopK(PhysicalOperator):
+class PhysSemTopK(StreamingOperator):
+    """Embedding-ranked top-k with optional LLM reranking.
+
+    Streams: every record is scored (and, for ``method="llm"``, judged) as
+    it arrives, held back, and the top ``k`` are emitted at stream end.
+    The relevance judgment partitions candidates; the embedding score
+    breaks ties within each partition, then arrival order.
+    """
+
     logical_op: L.SemTopKOp
 
-    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
-        op = self.logical_op
+    def new_state(self, ctx: ExecutionContext) -> dict:
+        return {"scored": [], "sims": {}, "arrivals": 0}
+
+    def prepare_batch(
+        self, records: list[DataRecord], ctx: ExecutionContext, state: dict
+    ) -> None:
         if not records:
-            return []
-        query_vec = ctx.llm.embed(op.query, tag=f"{ctx.tag}:topk")
-        matrix = np.stack(
-            [ctx.llm.embed(record.as_text(), tag=f"{ctx.tag}:topk") for record in records]
-        )
-        hits = top_k_similar(query_vec, matrix, len(records))
+            return
+        tag = f"{ctx.tag}:topk"
+        if "query_vec" not in state:
+            state["query_vec"] = ctx.llm.embed(self.logical_op.query, tag=tag)
+        vectors = _embed_texts([record.as_text() for record in records], ctx, tag)
+        for record, vector in zip(records, vectors):
+            state["sims"][record.uid] = cosine_similarity(state["query_vec"], vector)
+
+    def process_record(
+        self, record: DataRecord, ctx: ExecutionContext, state: dict
+    ) -> list[DataRecord]:
+        op = self.logical_op
+        similarity = state["sims"].pop(record.uid)
+        relevant = 1
         if op.method == "llm":
-            # Rerank: an LLM relevance judgment partitions candidates; the
-            # embedding score breaks ties within each partition.
             model = self.model or op.model
-            scored = []
-            with ctx.llm.parallel(ctx.parallelism):
-                for index, similarity in hits:
-                    judgment = ctx.guarded(
-                        records[index].uid,
-                        model,
-                        lambda m, index=index: ctx.llm.judge_filter(
-                            f"The record is relevant to: {op.query}",
-                            records[index],
-                            model=m,
-                            tag=f"{ctx.tag}:topk",
-                        ),
-                    )
-                    # A degraded judgment falls back to the embedding score.
-                    relevant = 1 if (judgment is not None and judgment.answer) else 0
-                    scored.append((relevant, similarity, index))
-            scored.sort(key=lambda item: (-item[0], -item[1]))
-            chosen = [records[index] for _, _, index in scored[: op.k]]
-        else:
-            chosen = [records[index] for index, _ in hits[: op.k]]
-        return chosen
+            judgment = ctx.guarded(
+                record.uid,
+                model,
+                lambda m: ctx.llm.judge_filter(
+                    f"The record is relevant to: {op.query}",
+                    record,
+                    model=m,
+                    tag=f"{ctx.tag}:topk",
+                ),
+            )
+            # A degraded judgment falls back to the embedding score.
+            relevant = 1 if (judgment is not None and judgment.answer) else 0
+        state["scored"].append((relevant, similarity, state["arrivals"], record))
+        state["arrivals"] += 1
+        return []
+
+    def finalize(self, ctx: ExecutionContext, state: dict) -> list[DataRecord]:
+        ranked = sorted(
+            state["scored"], key=lambda item: (-item[0], -item[1], item[2])
+        )
+        return [record for _, _, _, record in ranked[: self.logical_op.k]]
 
 
-class PhysPyFilter(PhysicalOperator):
+class PhysPyFilter(StreamingOperator):
     logical_op: L.PyFilterOp
+
+    def process_record(
+        self, record: DataRecord, ctx: ExecutionContext, state: dict
+    ) -> list[DataRecord]:
+        return [record] if self.logical_op.fn(record) else []
 
     def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
         return [record for record in records if self.logical_op.fn(record)]
 
 
-class PhysPyMap(PhysicalOperator):
+class PhysPyMap(StreamingOperator):
     logical_op: L.PyMapOp
 
+    def process_record(
+        self, record: DataRecord, ctx: ExecutionContext, state: dict
+    ) -> list[DataRecord]:
+        new_fields = self.logical_op.fn(record)
+        if not isinstance(new_fields, dict):
+            raise ExecutionError(
+                f"PyMap function must return a dict of new fields, "
+                f"got {type(new_fields).__name__}"
+            )
+        return [record.derive(new_fields)]
+
     def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
         output = []
         for record in records:
-            new_fields = self.logical_op.fn(record)
-            if not isinstance(new_fields, dict):
-                raise ExecutionError(
-                    f"PyMap function must return a dict of new fields, "
-                    f"got {type(new_fields).__name__}"
-                )
-            output.append(record.derive(new_fields))
+            output.extend(self.process_record(record, ctx, {}))
         return output
 
 
-class PhysProject(PhysicalOperator):
+class PhysProject(StreamingOperator):
     logical_op: L.ProjectOp
 
-    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+    def process_record(
+        self, record: DataRecord, ctx: ExecutionContext, state: dict
+    ) -> list[DataRecord]:
         wanted = set(self.logical_op.fields)
+        drop = [name for name in record.fields if name not in wanted]
+        return [record.derive({}, drop=drop)]
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
         output = []
         for record in records:
-            drop = [name for name in record.fields if name not in wanted]
-            output.append(record.derive({}, drop=drop))
+            output.extend(self.process_record(record, ctx, {}))
         return output
 
 
-class PhysLimit(PhysicalOperator):
+class PhysLimit(StreamingOperator):
+    """Limit with early-exit pushdown: once sated, the engine stops pulling
+    batches from upstream stages instead of truncating after the fact."""
+
     logical_op: L.LimitOp
+
+    def new_state(self, ctx: ExecutionContext) -> dict:
+        return {"remaining": self.logical_op.n}
+
+    def process_record(
+        self, record: DataRecord, ctx: ExecutionContext, state: dict
+    ) -> list[DataRecord]:
+        if state["remaining"] <= 0:
+            return []
+        state["remaining"] -= 1
+        return [record]
+
+    def sated(self, state: dict) -> bool:
+        return state["remaining"] <= 0
 
     def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
         return records[: self.logical_op.n]

@@ -2,9 +2,18 @@
 
 The paper reports runtimes dominated by LLM API latency.  Rather than sleep,
 every simulated LLM call charges seconds to a :class:`VirtualClock`.  The
-clock supports *parallel sections*: semantic operators that issue batched
-calls with ``parallelism=k`` charge ``ceil(n / k)`` waves of the per-call
-latency, mirroring how a real executor overlaps API calls.
+clock supports two overlap models:
+
+- *Parallel sections*: semantic operators that issue batched calls with
+  ``parallelism=k`` charge ``ceil(n / k)`` waves of the per-call latency,
+  mirroring how a real executor overlaps API calls.
+- *Pipeline sections*: a streaming executor pushes record batches through a
+  chain of operator stages; batch *b* can occupy stage *s* while batch
+  *b+1* is still in stage *s-1*.  The charged time is the critical-path
+  makespan of the (batch, stage) grid — not the per-stage sum — computed by
+  :func:`pipeline_makespan` / :class:`PipelineSchedule` under the classic
+  recurrence ``finish[b][s] = max(finish[b][s-1], finish[b-1][s]) + t[b][s]``
+  (a stage processes one batch at a time, a batch visits stages in order).
 """
 
 from __future__ import annotations
@@ -41,6 +50,17 @@ class VirtualClock:
         self.advance(total)
         return total
 
+    def advance_pipeline(self, cells: list[list[float]]) -> float:
+        """Advance by the pipelined makespan of a batch-major duration grid.
+
+        ``cells[b][s]`` is the seconds batch ``b`` spends in stage ``s``.
+        Rows may be ragged (a batch that died at a filter, or early exit,
+        simply has fewer cells).  Returns the seconds charged.
+        """
+        makespan = pipeline_makespan(cells)
+        self.advance(makespan)
+        return makespan
+
     def mark(self, name: str) -> None:
         """Record the current time under ``name`` for later interval reads."""
         self._marks[name] = self.elapsed
@@ -61,3 +81,59 @@ def waves(n_items: int, parallelism: int) -> int:
     if parallelism < 1:
         raise ValueError(f"parallelism must be >= 1, got {parallelism}")
     return math.ceil(n_items / parallelism)
+
+
+class PipelineSchedule:
+    """Online pipelined-makespan accounting for one streaming section.
+
+    The executor measures each (batch, stage) cell as it runs and feeds it
+    in with :meth:`record`; :attr:`makespan` is always the critical-path
+    finish time of everything recorded so far.  Cells must arrive
+    batch-major (all of batch *b*'s stages, in stage order, before batch
+    *b+1*) — exactly the order a depth-first streaming executor produces.
+    Recording the same stage twice within a batch extends that cell (used
+    for wave retries).
+    """
+
+    def __init__(self) -> None:
+        #: When each stage finishes its most recent batch.
+        self._stage_free: list[float] = []
+        #: When the current batch left its most recent stage.
+        self._batch_ready: float = 0.0
+        self.makespan: float = 0.0
+
+    def start_batch(self) -> None:
+        """Begin a new batch; it is available to stage 0 immediately."""
+        self._batch_ready = 0.0
+
+    def record(self, stage: int, seconds: float) -> float:
+        """Schedule ``seconds`` of stage work for the current batch.
+
+        Returns the updated section makespan.
+        """
+        if seconds < 0:
+            raise ValueError(f"cell duration must be >= 0, got {seconds}")
+        if stage < 0:
+            raise ValueError(f"stage index must be >= 0, got {stage}")
+        while len(self._stage_free) <= stage:
+            self._stage_free.append(0.0)
+        start = max(self._batch_ready, self._stage_free[stage])
+        end = start + seconds
+        self._stage_free[stage] = end
+        self._batch_ready = end
+        self.makespan = max(self.makespan, end)
+        return self.makespan
+
+
+def pipeline_makespan(cells: list[list[float]]) -> float:
+    """Critical-path makespan of a batch-major (batch, stage) duration grid.
+
+    Equivalent to replaying ``cells`` through a :class:`PipelineSchedule`.
+    An empty grid (or one of empty rows) has makespan 0.
+    """
+    schedule = PipelineSchedule()
+    for row in cells:
+        schedule.start_batch()
+        for stage, seconds in enumerate(row):
+            schedule.record(stage, seconds)
+    return schedule.makespan

@@ -321,7 +321,7 @@ class _ScriptedFaults:
         self.attempts = 0
         self.injected = 0
 
-    def draw(self, model, is_embedding=False):
+    def draw(self, model, is_embedding=False, width=1, now=0.0):
         self.attempts += 1
         if self.schedule and self.schedule.pop(0):
             self.injected += 1

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.utils.clock import VirtualClock, waves
+from repro.utils.clock import PipelineSchedule, VirtualClock, pipeline_makespan, waves
 
 
 def test_advance_accumulates():
@@ -72,3 +72,96 @@ def test_waves_helper():
     assert waves(5, 4) == 2
     with pytest.raises(ValueError):
         waves(3, 0)
+
+
+def test_parallel_empty_latency_list_charges_nothing():
+    clock = VirtualClock()
+    charged = clock.advance_parallel([], parallelism=4)
+    assert charged == 0.0
+    assert clock.elapsed == 0.0
+
+
+def test_parallel_wider_than_item_count_is_one_wave():
+    clock = VirtualClock()
+    # parallelism far exceeds n_items: everything fits in a single wave,
+    # charged at the slowest item.
+    charged = clock.advance_parallel([1.0, 4.0, 2.0], parallelism=100)
+    assert charged == pytest.approx(4.0)
+    assert clock.elapsed == pytest.approx(4.0)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline sections
+# ---------------------------------------------------------------------------
+
+
+def test_pipeline_makespan_matches_recurrence():
+    # finish[b][s] = max(finish[b][s-1], finish[b-1][s]) + t[b][s].
+    cells = [[2.0, 3.0], [2.0, 3.0], [2.0, 3.0]]
+    # Batch 0: 2 then 3 -> done 5.  Stage 1 is the bottleneck: batches
+    # leave it at 5, 8, 11.
+    assert pipeline_makespan(cells) == pytest.approx(11.0)
+
+
+def test_pipeline_makespan_reduces_to_sum_for_single_batch():
+    assert pipeline_makespan([[1.0, 2.0, 3.0]]) == pytest.approx(6.0)
+
+
+def test_pipeline_makespan_reduces_to_sum_for_single_stage():
+    # One stage: batches serialize on it.
+    assert pipeline_makespan([[2.0], [3.0], [4.0]]) == pytest.approx(9.0)
+
+
+def test_pipeline_makespan_empty_and_ragged():
+    assert pipeline_makespan([]) == 0.0
+    assert pipeline_makespan([[], []]) == 0.0
+    # A batch filtered out after stage 0 just has fewer cells.
+    assert pipeline_makespan([[2.0, 1.0], [2.0]]) == pytest.approx(4.0)
+
+
+def test_pipeline_schedule_is_online_form_of_makespan():
+    cells = [[1.0, 5.0, 2.0], [3.0, 1.0], [2.0, 2.0, 2.0]]
+    schedule = PipelineSchedule()
+    for row in cells:
+        schedule.start_batch()
+        for stage, seconds in enumerate(row):
+            schedule.record(stage, seconds)
+    assert schedule.makespan == pytest.approx(pipeline_makespan(cells))
+
+
+def test_pipeline_schedule_repeat_stage_extends_cell():
+    # Recording the same stage twice within one batch (wave retry) extends
+    # that cell rather than opening a new one.
+    schedule = PipelineSchedule()
+    schedule.start_batch()
+    schedule.record(0, 2.0)
+    schedule.record(0, 1.5)
+    assert schedule.makespan == pytest.approx(3.5)
+
+
+def test_pipeline_schedule_rejects_bad_cells():
+    schedule = PipelineSchedule()
+    schedule.start_batch()
+    with pytest.raises(ValueError):
+        schedule.record(0, -1.0)
+    with pytest.raises(ValueError):
+        schedule.record(-1, 1.0)
+
+
+def test_pipeline_of_parallel_wave_makespans_composes():
+    # Nested accounting: each pipeline cell is itself the makespan of a
+    # parallel section.  The outer grid charges the critical path of the
+    # inner wave makespans.
+    clock = VirtualClock()
+    inner = VirtualClock()
+    cells = []
+    for batch_latencies in ([1.0, 2.0, 3.0, 4.0], [2.0, 2.0], [5.0]):
+        stage0 = inner.advance_parallel(list(batch_latencies), parallelism=2)
+        stage1 = inner.advance_parallel([0.5] * len(batch_latencies), parallelism=2)
+        cells.append([stage0, stage1])
+    charged = clock.advance_pipeline(cells)
+    # Stage-0 cells: [max(1,2)+max(3,4), max(2,2), max(5)] = [6, 2, 5];
+    # stage-1 cells: [1.0, 0.5, 0.5].  Stage 0 serializes to 13, then the
+    # last batch's stage-1 wave lands on top.
+    assert charged == pytest.approx(13.5)
+    assert clock.elapsed == pytest.approx(13.5)
