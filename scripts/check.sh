@@ -18,4 +18,19 @@ echo "== pipelined-execution smoke sweep =="
 python benchmarks/bench_pipeline.py --smoke
 
 echo
+echo "== tracing smoke (query --trace + validation) =="
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+python -m repro query "What is the ratio of identity theft reports?" \
+    --dataset legal --trace "$TRACE_TMP/smoke.trace.json" > /dev/null
+python - "$TRACE_TMP/smoke.trace.json" <<'PY'
+import sys
+from repro.obs import validate_chrome_trace
+
+summary = validate_chrome_trace(sys.argv[1])
+print(f"trace ok: {summary['events']} events, "
+      f"end={summary['trace_end_s']:.2f}s, drift={summary.get('drift', 0.0):.2%}")
+PY
+
+echo
 echo "check.sh: all green"

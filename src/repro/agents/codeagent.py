@@ -114,6 +114,13 @@ class CodeAgent:
         self.tools.reset_counters()
         self.policy.reset(task, rng)
 
+        tracer = self.llm.tracer
+        metrics = self.llm.metrics
+        if tracer.enabled:
+            self.tools.instrument(tracer)
+        if metrics.enabled:
+            metrics.counter("agent.episodes").inc()
+
         start_cost = self.llm.tracker.total().cost_usd
         start_time = self.llm.clock.elapsed
 
@@ -124,66 +131,92 @@ class CodeAgent:
         tool_errors = 0
         consecutive_tool_errors = 0
         pending_code: str | None = None
-        while len(trace) < self.max_steps:
-            if pending_code is not None:
-                code, pending_code = pending_code, None
-            else:
-                code = self.policy.next_code(task, trace, self.tools)
-            if code is None:
-                # The policy has nothing further to try: the premature-
-                # termination failure mode the paper observes in the wild.
-                break
+        with tracer.span(
+            f"agent:{self.name}", kind="agent-episode", model=self.model
+        ) as episode_span:
+            while len(trace) < self.max_steps:
+                if pending_code is not None:
+                    code, pending_code = pending_code, None
+                else:
+                    code = self.policy.next_code(task, trace, self.tools)
+                if code is None:
+                    # The policy has nothing further to try: the premature-
+                    # termination failure mode the paper observes in the wild.
+                    break
 
-            checkpoint = self.llm.tracker.checkpoint()
-            time_before = self.llm.clock.elapsed
-            try:
-                self.llm.complete(
-                    self._prompt(task, trace),
-                    model=self.model,
-                    max_output_tokens=600,
-                    tag=f"{self.name}:step",
-                    expected_output=REASONING_PREAMBLE + code,
+                checkpoint = self.llm.tracker.checkpoint()
+                time_before = self.llm.clock.elapsed
+                with tracer.span(
+                    f"step {len(trace)}", kind="agent-step", step=len(trace)
+                ) as step_span:
+                    if metrics.enabled:
+                        metrics.counter("agent.steps").inc()
+                    try:
+                        self.llm.complete(
+                            self._prompt(task, trace),
+                            model=self.model,
+                            max_output_tokens=600,
+                            tag=f"{self.name}:step",
+                            expected_output=REASONING_PREAMBLE + code,
+                        )
+                    except TransientLLMError:
+                        # The substrate's own retries are exhausted; the failed
+                        # attempts are already charged.  Burn a recovery turn
+                        # and re-issue the same step so the scripted policy
+                        # stays in sync.
+                        llm_failures += 1
+                        step_span.attributes["recovery"] = True
+                        if metrics.enabled:
+                            metrics.counter("agent.recoveries").inc()
+                        if llm_failures > self.max_llm_failures:
+                            aborted = "llm-unavailable"
+                            break
+                        pending_code = code
+                        continue
+                    result = sandbox.execute(code)
+                observation = result.stdout[:OBSERVATION_LIMIT]
+                step = AgentStep(
+                    index=len(trace),
+                    code=code,
+                    observation=observation,
+                    error=result.error,
+                    cost_usd=self.llm.tracker.since(checkpoint).cost_usd,
+                    time_s=self.llm.clock.elapsed - time_before,
                 )
-            except TransientLLMError:
-                # The substrate's own retries are exhausted; the failed
-                # attempts are already charged.  Burn a recovery turn and
-                # re-issue the same step so the scripted policy stays in sync.
-                llm_failures += 1
-                if llm_failures > self.max_llm_failures:
-                    aborted = "llm-unavailable"
+                trace.add(step)
+                if tracer.enabled:
+                    step_span.attributes.update(
+                        cost_usd=round(step.cost_usd, 6),
+                        error=bool(result.error),
+                    )
+                if result.finished:
+                    answer = result.final_answer
+                    finished = True
                     break
-                pending_code = code
-                continue
-            result = sandbox.execute(code)
-            observation = result.stdout[:OBSERVATION_LIMIT]
-            step = AgentStep(
-                index=len(trace),
-                code=code,
-                observation=observation,
-                error=result.error,
-                cost_usd=self.llm.tracker.since(checkpoint).cost_usd,
-                time_s=self.llm.clock.elapsed - time_before,
-            )
-            trace.add(step)
-            if result.finished:
-                answer = result.final_answer
-                finished = True
-                break
-            if result.error:
-                tool_errors += 1
-                consecutive_tool_errors += 1
-                if (
-                    self.max_consecutive_tool_errors is not None
-                    and consecutive_tool_errors >= self.max_consecutive_tool_errors
-                ):
-                    aborted = "tool-errors"
+                if result.error:
+                    tool_errors += 1
+                    consecutive_tool_errors += 1
+                    if metrics.enabled:
+                        metrics.counter("agent.tool_errors").inc()
+                    if (
+                        self.max_consecutive_tool_errors is not None
+                        and consecutive_tool_errors >= self.max_consecutive_tool_errors
+                    ):
+                        aborted = "tool-errors"
+                        break
+                else:
+                    consecutive_tool_errors = 0
+                if self.step_timeout_s is not None and step.time_s > self.step_timeout_s:
+                    aborted = "step-timeout"
                     break
-            else:
-                consecutive_tool_errors = 0
-            if self.step_timeout_s is not None and step.time_s > self.step_timeout_s:
-                aborted = "step-timeout"
-                break
 
+        if tracer.enabled:
+            episode_span.attributes.update(
+                steps=len(trace),
+                finished=finished,
+                aborted=aborted,
+                cost_usd=round(self.llm.tracker.total().cost_usd - start_cost, 6),
+            )
         return AgentResult(
             answer=answer,
             trace=trace,

@@ -23,9 +23,22 @@ class Tool:
     fn: Callable[..., Any]
     #: Number of invocations in the current episode (reset per run).
     calls: int = field(default=0, compare=False)
+    #: Set by :meth:`ToolRegistry.instrument`; wraps invocations in spans.
+    tracer: Any = field(default=None, compare=False, repr=False)
 
     def __call__(self, *args: Any, **kwargs: Any) -> Any:
         self.calls += 1
+        if self.tracer is not None and self.tracer.enabled:
+            with self.tracer.span(f"tool:{self.name}", kind="tool-call") as span:
+                try:
+                    result = self.fn(*args, **kwargs)
+                except ToolError:
+                    span.attributes["error"] = True
+                    raise
+                except Exception as exc:
+                    span.attributes["error"] = True
+                    raise ToolError(f"tool {self.name!r} failed: {exc}") from exc
+            return result
         try:
             return self.fn(*args, **kwargs)
         except ToolError:
@@ -89,6 +102,11 @@ class ToolRegistry:
     def reset_counters(self) -> None:
         for tool in self._tools.values():
             tool.calls = 0
+
+    def instrument(self, tracer: Any) -> None:
+        """Attach ``tracer`` so every tool invocation emits a tool-call span."""
+        for tool in self._tools.values():
+            tool.tracer = tracer
 
     def __len__(self) -> int:
         return len(self._tools)

@@ -8,8 +8,10 @@ tables with the paper's numbers alongside for comparison.
 
 from __future__ import annotations
 
+import re
 import statistics
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.utils.formatting import format_table
@@ -45,10 +47,49 @@ def run_trials(
     system: Callable[[int], TrialOutcome],
     n_trials: int = 3,
     base_seed: int = 0,
+    trace_dir: str | Path | None = None,
 ) -> SystemSummary:
-    """Run ``system`` for ``n_trials`` deterministic trials and average."""
-    outcomes = [system(derive_seed(base_seed, name, trial)) for trial in range(n_trials)]
+    """Run ``system`` for ``n_trials`` deterministic trials and average.
+
+    With ``trace_dir`` set, each trial runs under a fresh default tracer and
+    metrics registry (adopted by any LLM the system constructs) and its
+    Chrome trace is written to ``<trace_dir>/<system>-trial<N>.trace.json``.
+    """
+    outcomes = []
+    for trial in range(n_trials):
+        seed = derive_seed(base_seed, name, trial)
+        if trace_dir is None:
+            outcomes.append(system(seed))
+            continue
+        outcomes.append(_traced_trial(name, system, seed, trial, Path(trace_dir)))
     return summarize(name, outcomes)
+
+
+def _traced_trial(
+    name: str,
+    system: Callable[[int], TrialOutcome],
+    seed: int,
+    trial: int,
+    trace_dir: Path,
+) -> TrialOutcome:
+    from repro import obs
+
+    tracer = obs.Tracer()
+    metrics = obs.MetricsRegistry()
+    prev_tracer = obs.set_default_tracer(tracer)
+    prev_metrics = obs.set_default_metrics(metrics)
+    try:
+        with tracer.span(f"trial:{name}#{trial}", kind="trial", seed=seed):
+            outcome = system(seed)
+    finally:
+        obs.set_default_tracer(prev_tracer)
+        obs.set_default_metrics(prev_metrics)
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "_", name).strip("_").lower()
+    obs.write_chrome_trace(
+        trace_dir / f"{slug}-trial{trial}.trace.json", tracer, metrics=metrics
+    )
+    return outcome
 
 
 def summarize(name: str, outcomes: Sequence[TrialOutcome]) -> SystemSummary:
@@ -84,6 +125,8 @@ def render_report(
     headers = ["System"] + [header for header, _, _ in metric_columns] + [
         "Cost ($)",
         "Time (s)",
+        "Retried",
+        "Failed",
     ]
     rows: list[list[str]] = []
     for summary in summaries:
@@ -92,9 +135,24 @@ def render_report(
             row.append(formatter(summary.quality[key]))
         row.append(f"{summary.cost_usd:.2f}")
         row.append(f"{summary.time_s:.1f}")
+        row.append(_mean_detail(summary, "retried_calls"))
+        row.append(_mean_detail(summary, "failed_records"))
         rows.append(row)
         if paper_rows and summary.name in paper_rows:
-            rows.append(
-                [f"  (paper)"] + [str(cell) for cell in paper_rows[summary.name]]
-            )
+            # The paper predates the fault-tolerance columns; pad its rows.
+            cells = [str(cell) for cell in paper_rows[summary.name]]
+            cells += [""] * (len(headers) - 1 - len(cells))
+            rows.append(["  (paper)"] + cells)
     return format_table(headers, rows, title=title)
+
+
+def _mean_detail(summary: SystemSummary, key: str) -> str:
+    """Mean of a numeric per-trial detail field, or ``-`` when absent."""
+    values = [
+        outcome.detail[key]
+        for outcome in summary.outcomes
+        if isinstance(outcome.detail.get(key), (int, float))
+    ]
+    if not values:
+        return "-"
+    return f"{statistics.mean(values):.1f}"

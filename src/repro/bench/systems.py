@@ -130,6 +130,7 @@ def kramabench_codeagent_system(
                 "answer": result.answer,
                 "steps": result.steps_used,
                 "retried_calls": llm.tracker.failed_calls(),
+                "failed_records": 0,
                 "llm_failures": result.llm_failures,
                 "aborted": result.aborted,
             },
@@ -166,6 +167,9 @@ def kramabench_compute_system(
                 "answer": result.answer,
                 "steps": result.agent.steps_used,
                 "retried_calls": runtime.llm.tracker.failed_calls(),
+                "failed_records": getattr(
+                    runtime.last_program_result, "failed_records", 0
+                ),
             },
         )
 
@@ -205,7 +209,12 @@ def enron_codeagent_system(
             quality=_enron_quality(bundle, returned),
             cost_usd=result.cost_usd,
             time_s=result.time_s,
-            detail={"returned": returned, "steps": result.steps_used},
+            detail={
+                "returned": returned,
+                "steps": result.steps_used,
+                "retried_calls": llm.tracker.failed_calls(),
+                "failed_records": 0,
+            },
         )
 
     return system
@@ -241,7 +250,12 @@ def enron_codeagent_plus_system(
             quality=_enron_quality(bundle, returned),
             cost_usd=result.cost_usd,
             time_s=result.time_s,
-            detail={"returned": returned, "steps": result.steps_used},
+            detail={
+                "returned": returned,
+                "steps": result.steps_used,
+                "retried_calls": llm.tracker.failed_calls(),
+                "failed_records": 0,
+            },
         )
 
     return system
@@ -274,7 +288,14 @@ def enron_compute_system(
             quality=_enron_quality(bundle, returned),
             cost_usd=result.cost_usd,
             time_s=result.time_s,
-            detail={"returned": returned, "steps": result.agent.steps_used},
+            detail={
+                "returned": returned,
+                "steps": result.agent.steps_used,
+                "retried_calls": runtime.llm.tracker.failed_calls(),
+                "failed_records": getattr(
+                    runtime.last_program_result, "failed_records", 0
+                ),
+            },
         )
 
     return system

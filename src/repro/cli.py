@@ -11,6 +11,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from repro.bench.harness import render_report, run_trials
@@ -36,12 +37,56 @@ _DATASETS = {
 }
 
 
+@contextlib.contextmanager
+def _observability(args: argparse.Namespace):
+    """Install default tracer/metrics per ``--trace``/``--metrics``.
+
+    Runtimes built inside the block adopt them (see ``SimulatedLLM``); on
+    exit the previous defaults are restored and, when ``--trace PATH`` was
+    given, the Chrome-trace JSON plus a JSONL sibling are written.  A root
+    ``cli`` span brackets the whole command so the trace's end matches the
+    virtual clock's elapsed time exactly.
+    """
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if not trace_path and not want_metrics:
+        yield
+        return
+    from repro import obs
+
+    tracer = obs.Tracer() if trace_path else obs.NOOP_TRACER
+    metrics = obs.MetricsRegistry()
+    prev_tracer = obs.set_default_tracer(tracer)
+    prev_metrics = obs.set_default_metrics(metrics)
+    try:
+        with tracer.span("cli", kind="cli", command=args.command):
+            yield
+    finally:
+        obs.set_default_tracer(prev_tracer)
+        obs.set_default_metrics(prev_metrics)
+        if trace_path:
+            out = obs.write_chrome_trace(trace_path, tracer, metrics=metrics)
+            jsonl = (
+                out.with_suffix(".jsonl")
+                if out.suffix == ".json"
+                else out.with_name(out.name + ".jsonl")
+            )
+            obs.write_jsonl(jsonl, tracer, metrics=metrics)
+            print(f"trace: {out} ({len(tracer.spans)} spans), events: {jsonl}")
+        if want_metrics:
+            print(metrics.render(title="RUNTIME METRICS"))
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     bundle = generate_legal_corpus()
+    trace_dir = getattr(args, "trace_dir", None)
     summaries = [
-        run_trials("Sem. Ops", kramabench_semops_system(bundle), args.trials, args.seed),
-        run_trials("CodeAgent", kramabench_codeagent_system(bundle), args.trials, args.seed),
-        run_trials("PZ compute", kramabench_compute_system(bundle), args.trials, args.seed),
+        run_trials("Sem. Ops", kramabench_semops_system(bundle), args.trials,
+                   args.seed, trace_dir=trace_dir),
+        run_trials("CodeAgent", kramabench_codeagent_system(bundle), args.trials,
+                   args.seed, trace_dir=trace_dir),
+        run_trials("PZ compute", kramabench_compute_system(bundle), args.trials,
+                   args.seed, trace_dir=trace_dir),
     ]
     print(
         render_report(
@@ -55,10 +100,14 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 def _cmd_table2(args: argparse.Namespace) -> int:
     bundle = generate_enron_corpus()
+    trace_dir = getattr(args, "trace_dir", None)
     summaries = [
-        run_trials("CodeAgent", enron_codeagent_system(bundle), args.trials, args.seed),
-        run_trials("CodeAgent+", enron_codeagent_plus_system(bundle), args.trials, args.seed),
-        run_trials("PZ compute", enron_compute_system(bundle), args.trials, args.seed),
+        run_trials("CodeAgent", enron_codeagent_system(bundle), args.trials,
+                   args.seed, trace_dir=trace_dir),
+        run_trials("CodeAgent+", enron_codeagent_plus_system(bundle), args.trials,
+                   args.seed, trace_dir=trace_dir),
+        run_trials("PZ compute", enron_compute_system(bundle), args.trials,
+                   args.seed, trace_dir=trace_dir),
     ]
     print(
         render_report(
@@ -78,14 +127,15 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.data.datasets.kramabench import QUERY_RATIO
 
     bundle = generate_legal_corpus()
-    runtime = AnalyticsRuntime.for_bundle(bundle, seed=args.seed)
-    context = runtime.make_context(bundle, build_index=True)
-    print(f"Context: {context.name} ({len(context)} files)")
-    found = runtime.search(context, "information on identity theft reports")
-    print(f"search found: {found.findings.get('relevant_items')}")
-    result = runtime.compute(found.output_context, QUERY_RATIO)
-    print(f"compute answer: {result.answer}")
-    print(f"cost=${result.cost_usd:.2f}  simulated time={result.time_s:.0f}s")
+    with _observability(args):
+        runtime = AnalyticsRuntime.for_bundle(bundle, seed=args.seed)
+        context = runtime.make_context(bundle, build_index=True)
+        print(f"Context: {context.name} ({len(context)} files)")
+        found = runtime.search(context, "information on identity theft reports")
+        print(f"search found: {found.findings.get('relevant_items')}")
+        result = runtime.compute(found.output_context, QUERY_RATIO)
+        print(f"compute answer: {result.answer}")
+        print(f"cost=${result.cost_usd:.2f}  simulated time={result.time_s:.0f}s")
     return 0
 
 
@@ -95,12 +145,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"unknown dataset {args.dataset!r}; known: {sorted(_DATASETS)}", file=sys.stderr)
         return 2
     bundle = generator()
-    runtime = AnalyticsRuntime.for_bundle(bundle, seed=args.seed)
-    context = runtime.make_context(bundle)
-    result = runtime.compute(context, args.query)
-    print(f"answer: {result.answer}")
-    print(f"cost=${result.cost_usd:.4f}  simulated time={result.time_s:.1f}s  "
-          f"agent steps={result.agent.steps_used}")
+    with _observability(args):
+        runtime = AnalyticsRuntime.for_bundle(bundle, seed=args.seed)
+        context = runtime.make_context(bundle)
+        result = runtime.compute(context, args.query)
+        print(f"answer: {result.answer}")
+        print(f"cost=${result.cost_usd:.4f}  simulated time={result.time_s:.1f}s  "
+              f"agent steps={result.agent.steps_used}")
     return 0
 
 
@@ -114,21 +165,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     table1 = sub.add_parser("table1", help="reproduce Table 1")
     table1.add_argument("--trials", type=int, default=3)
+    table1.add_argument("--trace-dir", metavar="DIR", default=None,
+                        help="write one Chrome trace per (system, trial)")
     table1.set_defaults(fn=_cmd_table1)
 
     table2 = sub.add_parser("table2", help="reproduce Table 2")
     table2.add_argument("--trials", type=int, default=3)
+    table2.add_argument("--trace-dir", metavar="DIR", default=None,
+                        help="write one Chrome trace per (system, trial)")
     table2.set_defaults(fn=_cmd_table2)
 
     demo = sub.add_parser("demo", help="run the Figure 1/2 walkthrough")
+    _add_obs_flags(demo)
     demo.set_defaults(fn=_cmd_demo)
 
     query = sub.add_parser("query", help="run compute() on a built-in dataset")
     query.add_argument("query")
     query.add_argument("--dataset", default="legal", choices=sorted(_DATASETS))
+    _add_obs_flags(query)
     query.set_defaults(fn=_cmd_query)
 
     return parser
+
+
+def _add_obs_flags(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome-trace JSON (open in ui.perfetto.dev) plus a "
+        "JSONL event log next to it",
+    )
+    sub_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the runtime metrics table after the command",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -58,12 +58,16 @@ class AnalyticsRuntime:
         batch_size: int | None = None,
         embed_batch_size: int | None = None,
         adaptive_parallelism: bool = True,
+        tracer: Any = None,
+        metrics: Any = None,
     ) -> None:
         self.llm = llm or SimulatedLLM(
             oracle=SemanticOracle(registry or IntentRegistry()),
             seed=seed,
             faults=FaultInjector(fault_config, seed=seed) if fault_config else None,
             retry=retry_policy,
+            tracer=tracer,
+            metrics=metrics,
         )
         self.seed = seed
         self.on_failure = on_failure
@@ -234,6 +238,20 @@ class AnalyticsRuntime:
         return self.llm.tracker.render_report(
             title=f"LLM usage (simulated) — elapsed {self.elapsed_s:.1f}s"
         )
+
+    @property
+    def tracer(self) -> Any:
+        """The span tracer the LLM substrate (and everything above) uses."""
+        return self.llm.tracer
+
+    @property
+    def metrics(self) -> Any:
+        """The runtime-wide metrics registry."""
+        return self.llm.metrics
+
+    def metrics_report(self) -> str:
+        """Render the counters/histograms collected so far."""
+        return self.llm.metrics.render(title="RUNTIME METRICS")
 
     @property
     def elapsed_s(self) -> float:

@@ -28,6 +28,10 @@ class GenerationCache:
         self.evictions = 0
         #: Puts that overwrote an existing key (previously silent).
         self.updates = 0
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry`; when attached
+        #: (by an observability-enabled ``SimulatedLLM``) the counters above
+        #: are mirrored into the shared registry.
+        self.metrics = None
 
     @staticmethod
     def key(model: str, *payload: Any) -> str:
@@ -38,18 +42,26 @@ class GenerationCache:
         if key in self._entries:
             self._entries.move_to_end(key)
             self.hits += 1
+            if self.metrics is not None:
+                self.metrics.counter("cache.hits").inc()
             return True, self._entries[key]
         self.misses += 1
+        if self.metrics is not None:
+            self.metrics.counter("cache.misses").inc()
         return False, None
 
     def put(self, key: str, value: Any) -> None:
         if key in self._entries:
             self.updates += 1
+            if self.metrics is not None:
+                self.metrics.counter("cache.updates").inc()
         self._entries[key] = value
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1
+            if self.metrics is not None:
+                self.metrics.counter("cache.evictions").inc()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -136,6 +136,14 @@ class FaultInjector:
         self.injected = 0
         self.injected_by_kind: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
         self._burst_remaining = 0
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry` mirror.
+        self.metrics = None
+
+    def _count(self, kind: str) -> None:
+        self.injected += 1
+        self.injected_by_kind[kind] += 1
+        if self.metrics is not None:
+            self.metrics.counter(f"faults.injected.{kind}").inc()
 
     def draw(
         self,
@@ -159,8 +167,7 @@ class FaultInjector:
             and self.config.in_storm(now)
             and stable_uniform(self.seed, "storm", model, index) < self.config.storm_rate
         ):
-            self.injected += 1
-            self.injected_by_kind["rate_limit"] += 1
+            self._count("rate_limit")
             return RateLimitError(
                 f"simulated 429 storm throttle from {model} "
                 f"(attempt {index}, width {width} at t={now:.1f}s)",
@@ -175,10 +182,9 @@ class FaultInjector:
             return None
         if stable_uniform(self.seed, "fault", model, index) >= rate:
             return None
-        self.injected += 1
         kinds = self.config.kinds
         kind = kinds[stable_hash(self.seed, "fault-kind", index) % len(kinds)]
-        self.injected_by_kind[kind] += 1
+        self._count(kind)
         if self.config.burst_length and self._burst_remaining == 0:
             self._burst_remaining = self.config.burst_length
         if kind == "rate_limit":

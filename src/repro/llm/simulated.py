@@ -41,6 +41,8 @@ from repro.llm.faults import CircuitBreaker, FaultInjector, RetryPolicy
 from repro.llm.models import DEFAULT_MODEL, EMBEDDING_MODEL, ModelCard, get_model
 from repro.llm.oracle import AnnotatedRecord, SemanticOracle
 from repro.llm.usage import UsageEvent, UsageTracker
+from repro.obs.metrics import MetricsRegistry, NullMetrics, get_default_metrics
+from repro.obs.tracer import NoopTracer, Tracer, get_default_tracer
 from repro.utils.clock import VirtualClock
 from repro.utils.hashing import stable_hash, stable_uniform
 from repro.utils.text import approx_token_count, extract_keywords, normalize_text
@@ -78,6 +80,8 @@ class SimulatedLLM:
         use_cache: bool = True,
         faults: FaultInjector | None = None,
         retry: RetryPolicy | None = None,
+        tracer: "Tracer | NoopTracer | None" = None,
+        metrics: "MetricsRegistry | NullMetrics | None" = None,
     ) -> None:
         self.oracle = oracle or SemanticOracle()
         self.tracker = tracker or UsageTracker()
@@ -88,8 +92,22 @@ class SimulatedLLM:
         self.use_cache = use_cache
         self.faults = faults
         self.retry = retry or RetryPolicy()
+        # Observability: adopt the process defaults (no-op singletons unless
+        # the CLI/harness enabled tracing) and bind the tracer to this clock
+        # so span times share the virtual-time axis with all accounting.
+        self.tracer = tracer if tracer is not None else get_default_tracer()
+        if self.tracer.enabled and self.tracer.clock is None:
+            self.tracer.clock = self.clock
+        self.metrics = metrics if metrics is not None else get_default_metrics()
+        if self.metrics.enabled:
+            self.cache.metrics = self.metrics
+            if self.faults is not None:
+                self.faults.metrics = self.metrics
         self._breakers: dict[str, CircuitBreaker] = {}
         self._parallel_stack: list[tuple[int, list[float]]] = []
+        #: Depth of enclosing ``measure`` sections: cell-level spans replace
+        #: per-call spans there (the engine re-times cells on the schedule).
+        self._measure_depth = 0
         #: Monotonic per-call counter: namespaces the backoff-jitter stream.
         self._call_sequence = 0
 
@@ -128,9 +146,11 @@ class SimulatedLLM:
         """
         holder = MeasuredTime()
         self._parallel_stack.append((1, []))
+        self._measure_depth += 1
         try:
             yield holder
         finally:
+            self._measure_depth -= 1
             _, latencies = self._parallel_stack.pop()
             # Width 1: sequential sub-sections within one cell add up.
             holder.seconds = sum(latencies)
@@ -172,6 +192,14 @@ class SimulatedLLM:
         retry saga.  Cache hits cost nothing and never reach the fault path:
         a cached response involves no API round trip.
         """
+        tracer = self.tracer
+        metrics = self.metrics
+        if tracer.enabled and not tag:
+            # Untagged call inside an instrumented scope: attribute it to the
+            # enclosing span so per-operator cost accounting stays whole.
+            current = tracer.current
+            if current is not None:
+                tag = current.name
         if cached:
             event = UsageEvent(
                 model=card.name,
@@ -183,15 +211,40 @@ class SimulatedLLM:
                 cached=True,
             )
             self.tracker.record(event)
+            if metrics.enabled:
+                metrics.counter("llm.calls").inc()
+                metrics.counter("llm.cached_calls").inc()
+            if tracer.enabled and self._measure_depth == 0:
+                now = self.clock.elapsed
+                tracer.add_span(
+                    f"{card.name} (cached)", "llm-call", now, now,
+                    track="llm cached", tag=tag,
+                )
             return event
 
         policy = self.retry
         breaker = self._breaker(card.name)
         if breaker is not None and not breaker.allow(self.clock.elapsed):
+            if metrics.enabled:
+                metrics.counter("llm.breaker_rejections").inc()
             raise CircuitOpenError(
                 f"circuit open for {card.name} "
                 f"(cooldown {policy.breaker_cooldown_s}s from t={breaker.opened_at:.1f}s)"
             )
+
+        # Per-call spans are suppressed inside ``measure`` cells (the engine
+        # re-times those on the pipeline schedule and emits cell spans) and
+        # inside *nested* parallel sections, where a call's absolute start
+        # is only known to the outermost section's scheduler.
+        emit_span = (
+            tracer.enabled
+            and self._measure_depth == 0
+            and len(self._parallel_stack) <= 1
+        )
+        span_start = 0.0
+        span_track: str | None = None
+        if emit_span:
+            span_start, span_track = self._call_span_origin()
 
         self._call_sequence += 1
         sequence = self._call_sequence
@@ -237,32 +290,85 @@ class SimulatedLLM:
                 self.tracker.record(event)
                 if breaker is not None:
                     breaker.record_success()
+                if metrics.enabled:
+                    metrics.counter("llm.calls").inc()
+                    metrics.counter("llm.tokens_in").inc(input_tokens)
+                    metrics.counter("llm.tokens_out").inc(output_tokens)
+                    metrics.counter("llm.cost_usd").inc(event.cost_usd)
+                    if retries:
+                        metrics.counter("llm.retries").inc(retries)
+                    metrics.histogram("llm.latency_s").observe(latency_total + latency)
+                if emit_span:
+                    tracer.add_span(
+                        card.name, "llm-call",
+                        span_start, span_start + latency_total + latency,
+                        track=span_track, tag=tag, cost_usd=event.cost_usd,
+                        tokens_in=input_tokens, tokens_out=output_tokens,
+                        retries=retries,
+                    )
                 self._advance_latency(latency_total + latency)
                 return event
 
             fail_latency, fail_tokens = self._fault_price(card, fault, input_tokens, latency)
+            fail_cost = card.input_cost(fail_tokens)
             self.tracker.record(
                 UsageEvent(
                     model=card.name,
                     input_tokens=fail_tokens,
                     output_tokens=0,
-                    cost_usd=card.input_cost(fail_tokens),
+                    cost_usd=fail_cost,
                     latency_s=fail_latency,
                     tag=tag,
                     failed=True,
                     error=_fault_kind(fault),
                 )
             )
+            if metrics.enabled:
+                metrics.counter("llm.failed_attempts").inc()
+                metrics.counter(f"llm.faults.{_fault_kind(fault)}").inc()
+                metrics.counter("llm.tokens_in").inc(fail_tokens)
+                metrics.counter("llm.cost_usd").inc(fail_cost)
             latency_total += fail_latency
             retries += 1
             if not policy.enabled or retries >= policy.max_attempts:
                 if breaker is not None:
+                    opened_before = breaker.times_opened
                     breaker.record_failure(self.clock.elapsed)
+                    if metrics.enabled and breaker.times_opened > opened_before:
+                        metrics.counter("llm.breaker_opens").inc()
+                if emit_span:
+                    tracer.add_span(
+                        f"{card.name} (gave up)", "llm-call",
+                        span_start, span_start + latency_total,
+                        track=span_track, tag=tag, retries=retries,
+                        error=_fault_kind(fault),
+                    )
                 self._advance_latency(latency_total)
                 raise fault
             latency_total += policy.backoff_s(
                 retries, fault, self.seed, card.name, sequence
             )
+
+    def _call_span_origin(self) -> tuple[float, str | None]:
+        """(start time, export track) for a call issued right now.
+
+        Inside a parallel section the clock is frozen until the section
+        exits, but :func:`_makespan` schedules items positionally: item
+        ``i`` runs in wave ``i // width``, slot ``i % width``, starting
+        when the previous waves' maxima have drained.  Reconstructing that
+        start here makes exported call spans tile the per-slot tracks
+        exactly as the charged makespan implies.
+        """
+        if not self._parallel_stack:
+            return self.clock.elapsed, None
+        width, latencies = self._parallel_stack[-1]
+        index = len(latencies)
+        if width <= 1:
+            return self.clock.elapsed + sum(latencies), None
+        offset = 0.0
+        for wave_start in range(0, (index // width) * width, width):
+            offset += max(latencies[wave_start : wave_start + width])
+        return self.clock.elapsed + offset, f"llm slot {index % width}"
 
     def _fault_price(
         self,

@@ -198,8 +198,21 @@ class Dataset:
     def plan(self) -> L.LogicalPlan:
         return L.LogicalPlan(root=self._root)
 
-    def explain(self) -> str:
-        return self.plan().explain()
+    def explain(
+        self, analyze: bool = False, config: QueryProcessorConfig | None = None
+    ) -> str:
+        """Render the logical plan; with ``analyze=True``, run it and render
+        the EXPLAIN ANALYZE table (per-operator time, $, tokens, cache-hit
+        ratio, retries, records in/out vs. the optimizer's estimates).
+        """
+        if not analyze:
+            return self.plan().explain()
+        if config is None:
+            raise PlanError("explain(analyze=True) requires a QueryProcessorConfig")
+        from repro.sem.explain import explain_analyze
+
+        result, report = self.run_with_report(config)
+        return explain_analyze(result, report)
 
     def run(self, config: QueryProcessorConfig) -> ExecutionResult:
         """Optimize and execute the plan, returning records + accounting."""
@@ -211,33 +224,44 @@ class Dataset:
     ) -> tuple[ExecutionResult, OptimizationReport]:
         """Like :meth:`run` but also returns the optimizer's report."""
         plan = self.plan()
-        operators, report = Optimizer(config).optimize(plan)
-        adaptive = (
-            AdaptiveParallelism(cap=config.parallelism)
-            if config.pipeline and config.adaptive_parallelism
-            else None
-        )
-        engine = Engine(
-            ExecutionContext(
-                llm=config.llm,
-                parallelism=config.parallelism,
-                tag=config.tag,
-                on_failure=config.on_failure,
-                fallback_model=config.resolved_fallback_model(),
+        tracer = config.llm.tracer
+        with tracer.span(
+            f"query:{config.tag}", kind="query", pipeline=config.pipeline
+        ) as query_span:
+            operators, report = Optimizer(config).optimize(plan)
+            adaptive = (
+                AdaptiveParallelism(cap=config.parallelism)
+                if config.pipeline and config.adaptive_parallelism
+                else None
+            )
+            engine = Engine(
+                ExecutionContext(
+                    llm=config.llm,
+                    parallelism=config.parallelism,
+                    tag=config.tag,
+                    on_failure=config.on_failure,
+                    fallback_model=config.resolved_fallback_model(),
+                    max_cost_usd=config.max_cost_usd,
+                    # Batched embeddings ride the pipelined path; barrier mode
+                    # keeps per-record calls (the legacy-exact escape hatch).
+                    embed_batch_size=config.embed_batch_size if config.pipeline else 1,
+                    adaptive=adaptive,
+                ),
                 max_cost_usd=config.max_cost_usd,
-                # Batched embeddings ride the pipelined path; barrier mode
-                # keeps per-record calls (the legacy-exact escape hatch).
-                embed_batch_size=config.embed_batch_size if config.pipeline else 1,
-                adaptive=adaptive,
-            ),
-            max_cost_usd=config.max_cost_usd,
-            pipeline=config.pipeline,
-            batch_size=config.resolved_batch_size(),
-        )
-        result = engine.execute(operators)
-        result.optimization_cost_usd = report.sampling_cost_usd
-        result.optimization_time_s = report.sampling_time_s
-        result.plan_explain = "\n".join(report.final_order) or plan.explain()
+                pipeline=config.pipeline,
+                batch_size=config.resolved_batch_size(),
+            )
+            result = engine.execute(operators)
+            result.optimization_cost_usd = report.sampling_cost_usd
+            result.optimization_time_s = report.sampling_time_s
+            result.plan_explain = "\n".join(report.final_order) or plan.explain()
+        if tracer.enabled:
+            query_span.attributes.update(
+                records=len(result.records),
+                cost_usd=round(result.total_cost_usd, 6),
+                time_s=result.total_time_s,
+                truncated=result.truncated,
+            )
         return result, report
 
     def records(self, config: QueryProcessorConfig) -> list[DataRecord]:

@@ -36,6 +36,7 @@ from repro.errors import BudgetExceededError
 from repro.llm.usage import UsageTracker
 from repro.sem.physical import ExecutionContext, PhysicalOperator
 from repro.utils.clock import PipelineSchedule
+from repro.utils.formatting import format_table
 
 
 @dataclass
@@ -60,6 +61,10 @@ class OperatorStats:
     retried_calls: int = 0
     #: Records degraded (skipped/flagged) after exhausting the retry policy.
     failed_records: int = 0
+    #: Prompt/completion tokens billed to this operator (failed attempts
+    #: included — their prefill is real spend).
+    input_tokens: int = 0
+    output_tokens: int = 0
 
     @property
     def selectivity(self) -> float:
@@ -67,6 +72,17 @@ class OperatorStats:
         if self.records_in == 0:
             return 1.0
         return self.records_out / self.records_in
+
+    @property
+    def total_tokens(self) -> int:
+        return self.input_tokens + self.output_tokens
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of this operator's calls served from the cache."""
+        if self.llm_calls == 0:
+            return 0.0
+        return self.cached_calls / self.llm_calls
 
 
 @dataclass
@@ -120,6 +136,64 @@ class ExecutionResult:
             )
         return "\n".join(lines)
 
+    def report(self) -> str:
+        """Post-run EXPLAIN ANALYZE: the measured per-operator table.
+
+        Unlike :func:`repro.sem.explain.explain_analyze` this needs no
+        optimizer report — it renders exactly what was measured: wall time,
+        dollars, tokens, cache-hit ratio, retries, and records in/out.
+        """
+        rows = []
+        for stats in self.operator_stats:
+            rows.append(
+                [
+                    stats.label,
+                    stats.records_in,
+                    stats.records_out,
+                    f"{stats.time_s:.1f}",
+                    f"{stats.cost_usd:.4f}",
+                    stats.total_tokens,
+                    stats.llm_calls,
+                    f"{stats.cache_hit_ratio * 100:.0f}%",
+                    stats.retried_calls,
+                    stats.failed_records,
+                ]
+            )
+        table = format_table(
+            [
+                "Operator", "In", "Out", "Time (s)", "Cost ($)",
+                "Tokens", "Calls", "Cache", "Retried", "Failed",
+            ],
+            rows,
+            title="EXECUTION REPORT",
+        )
+        footer = (
+            f"\ntotals: {len(self.records)} records, "
+            f"${self.total_cost_usd:.4f} in {self.total_time_s:.1f}s"
+        )
+        if self.retried_calls or self.failed_records:
+            footer += (
+                f"  ({self.retried_calls} retried calls, "
+                f"{self.failed_records} failed records)"
+            )
+        if self.truncated:
+            footer += "\nNOTE: execution truncated by the spend cap"
+        return table + footer
+
+
+def _stats_attrs(stats: OperatorStats) -> dict:
+    """Span attributes summarizing one operator's measured behaviour."""
+    return {
+        "records_in": stats.records_in,
+        "records_out": stats.records_out,
+        "cost_usd": round(stats.cost_usd, 6),
+        "tokens": stats.total_tokens,
+        "llm_calls": stats.llm_calls,
+        "cached_calls": stats.cached_calls,
+        "retried_calls": stats.retried_calls,
+        "failed_records": stats.failed_records,
+    }
+
 
 class _StageAccount:
     """Running per-stage totals for one pipelined section."""
@@ -134,6 +208,8 @@ class _StageAccount:
         self.cached_calls = 0
         self.retried_calls = 0
         self.failed_records = 0
+        self.input_tokens = 0
+        self.output_tokens = 0
 
     def to_stats(self) -> OperatorStats:
         return OperatorStats(
@@ -147,6 +223,8 @@ class _StageAccount:
             cached_calls=self.cached_calls,
             retried_calls=self.retried_calls,
             failed_records=self.failed_records,
+            input_tokens=self.input_tokens,
+            output_tokens=self.output_tokens,
         )
 
 
@@ -169,6 +247,8 @@ class Engine:
 
     def execute(self, operators: list[PhysicalOperator]) -> ExecutionResult:
         llm = self.ctx.llm
+        tracer = llm.tracer
+        metrics = llm.metrics
         records: list[DataRecord] = []
         stats: list[OperatorStats] = []
         run_start_cost = llm.tracker.spent_usd
@@ -189,8 +269,19 @@ class Engine:
 
             section = self._section_at(operators, index)
             if len(section) >= 2:
-                records, section_stats, truncated = self._execute_section(section, records)
+                label = " | ".join(op.label() for op in section)
+                with tracer.span(
+                    f"pipeline[{label}]", kind="pipeline-section",
+                    stages=len(section),
+                ) as section_span:
+                    records, section_stats, truncated = self._execute_section(
+                        section, records, section_span
+                    )
                 stats.extend(section_stats)
+                if metrics.enabled:
+                    metrics.histogram("engine.section_makespan_s").observe(
+                        section_span.duration_s
+                    )
                 index += len(section)
                 if truncated:
                     break
@@ -201,37 +292,45 @@ class Engine:
             time_before = llm.clock.elapsed
             failures_before = len(self.ctx.failures)
             n_in = len(records)
-            try:
-                records = operator.execute(records, self.ctx)
-                n_out = len(records)
-            except BudgetExceededError:
-                # Mid-operator truncation: the partial output is discarded
-                # (records keeps the last finished operator's output), but
-                # the spend and calls the operator burned are accounted.
-                truncated = True
-                n_out = 0
+            with tracer.span(operator.label(), kind="operator") as op_span:
+                try:
+                    records = operator.execute(records, self.ctx)
+                    n_out = len(records)
+                except BudgetExceededError:
+                    # Mid-operator truncation: the partial output is discarded
+                    # (records keeps the last finished operator's output), but
+                    # the spend and calls the operator burned are accounted.
+                    truncated = True
+                    n_out = 0
             usage = llm.tracker.since(checkpoint)
             cached = sum(
                 1 for event in llm.tracker.events[checkpoint:] if event.cached
             )
-            stats.append(
-                OperatorStats(
-                    label=operator.label(),
-                    model=operator.model,
-                    records_in=n_in,
-                    records_out=n_out,
-                    cost_usd=usage.cost_usd,
-                    time_s=llm.clock.elapsed - time_before,
-                    llm_calls=usage.calls,
-                    cached_calls=cached,
-                    retried_calls=llm.tracker.failed_calls(checkpoint),
-                    failed_records=len(self.ctx.failures) - failures_before,
-                )
+            op_stats = OperatorStats(
+                label=operator.label(),
+                model=operator.model,
+                records_in=n_in,
+                records_out=n_out,
+                cost_usd=usage.cost_usd,
+                time_s=llm.clock.elapsed - time_before,
+                llm_calls=usage.calls,
+                cached_calls=cached,
+                retried_calls=llm.tracker.failed_calls(checkpoint),
+                failed_records=len(self.ctx.failures) - failures_before,
+                input_tokens=usage.input_tokens,
+                output_tokens=usage.output_tokens,
             )
+            stats.append(op_stats)
+            if tracer.enabled:
+                op_span.attributes.update(_stats_attrs(op_stats))
+            if metrics.enabled:
+                metrics.histogram("engine.operator_s").observe(op_stats.time_s)
             if truncated:
                 break
             index += 1
 
+        if metrics.enabled and truncated:
+            metrics.counter("engine.truncations").inc()
         return ExecutionResult(
             records=records,
             operator_stats=stats,
@@ -262,21 +361,31 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _execute_section(
-        self, section: list[PhysicalOperator], input_records: list[DataRecord]
+        self,
+        section: list[PhysicalOperator],
+        input_records: list[DataRecord],
+        section_span=None,
     ) -> tuple[list[DataRecord], list[OperatorStats], bool]:
         """Stream ``input_records`` through fused stages in record batches.
 
         Returns (output records, per-stage stats, truncated).  Cells run
         depth-first per batch; the clock advances online by the growth of
-        the section's pipelined makespan after every cell.
+        the section's pipelined makespan after every cell.  Each cell is
+        also exported as a span at its *scheduled* position (section origin
+        + the :class:`PipelineSchedule` placement) on a per-stage track, so
+        a trace shows the overlap the makespan accounting charges for.
         """
         ctx = self.ctx
+        tracer = ctx.llm.tracer
+        metrics = ctx.llm.metrics
+        origin = ctx.llm.clock.elapsed
         states = [operator.new_state(ctx) for operator in section]
         accounts = [_StageAccount(operator) for operator in section]
         schedule = PipelineSchedule()
         charged = 0.0
         outputs: list[DataRecord] = []
         truncated = False
+        batch_no = 0
 
         def charge_progress() -> float:
             nonlocal charged
@@ -285,14 +394,25 @@ class Engine:
                 charged = schedule.makespan
             return charged
 
+        def emit_cell(stage: int, n_records: int) -> None:
+            start, end = schedule.last_cell
+            tracer.add_span(
+                f"{section[stage].label()} b{batch_no}", "cell",
+                origin + start, origin + end,
+                track=f"stage {stage}", parent=section_span,
+                batch=batch_no, stage=stage, records=n_records,
+            )
+
         def run_stages(batch: list[DataRecord], first_stage: int) -> list[DataRecord]:
             """One batch through stages ``first_stage``.. — returns survivors."""
-            nonlocal truncated
+            nonlocal truncated, batch_no
+            batch_no += 1
             schedule.start_batch()
             current = batch
             for stage in range(first_stage, len(section)):
                 if not current:
                     break
+                n_records = len(current)
                 try:
                     current, seconds = self._run_cell(
                         section[stage], current, states[stage], accounts[stage]
@@ -301,9 +421,15 @@ class Engine:
                     truncated = True
                     seconds = exc.cell_seconds if hasattr(exc, "cell_seconds") else 0.0
                     schedule.record(stage, seconds)
+                    if tracer.enabled:
+                        emit_cell(stage, n_records)
                     charge_progress()
                     return []
                 schedule.record(stage, seconds)
+                if tracer.enabled:
+                    emit_cell(stage, n_records)
+                if metrics.enabled:
+                    metrics.histogram("engine.cell_s").observe(seconds)
                 charge_progress()
             return current
 
@@ -330,7 +456,16 @@ class Engine:
                 if truncated:
                     break
 
-        return outputs, [account.to_stats() for account in accounts], truncated
+        section_stats = [account.to_stats() for account in accounts]
+        if tracer.enabled and section_span is not None:
+            section_span.attributes.update(
+                batches=batch_no,
+                makespan_s=schedule.makespan,
+                records_in=len(input_records),
+                records_out=len(outputs),
+                cost_usd=round(sum(s.cost_usd for s in section_stats), 6),
+            )
+        return outputs, section_stats, truncated
 
     def _run_cell(
         self,
@@ -362,6 +497,8 @@ class Engine:
                 pending = list(enumerate(batch))
                 for attempt in range(2):
                     width = ctx.wave_width()
+                    if ctx.llm.metrics.enabled:
+                        ctx.llm.metrics.histogram("engine.wave_width").observe(width)
                     wave_checkpoint = tracker.checkpoint()
                     wave_failures = len(ctx.failures)
                     with ctx.llm.parallel(width):
@@ -403,6 +540,8 @@ class Engine:
         usage = tracker.since(checkpoint)
         account.cost_usd += usage.cost_usd
         account.llm_calls += usage.calls
+        account.input_tokens += usage.input_tokens
+        account.output_tokens += usage.output_tokens
         account.cached_calls += sum(
             1 for event in tracker.events[checkpoint:] if event.cached
         )

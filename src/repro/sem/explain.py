@@ -45,10 +45,17 @@ def explain_analyze(result: ExecutionResult, report: OptimizationReport) -> str:
                 f"{stats.cost_usd:.4f}",
                 f"{stats.time_s:.1f}",
                 stats.llm_calls,
+                stats.total_tokens,
+                f"{stats.cache_hit_ratio * 100:.0f}%",
+                stats.retried_calls,
+                stats.failed_records,
             ]
         )
     table = format_table(
-        ["Operator", "In", "Est. out", "Out", "Est. $", "Actual $", "Time (s)", "Calls"],
+        [
+            "Operator", "In", "Est. out", "Out", "Est. $", "Actual $",
+            "Time (s)", "Calls", "Tokens", "Cache", "Retried", "Failed",
+        ],
         rows,
         title="EXPLAIN ANALYZE",
     )
@@ -56,6 +63,11 @@ def explain_analyze(result: ExecutionResult, report: OptimizationReport) -> str:
         f"\ntotals: ${result.total_cost_usd:.4f} in {result.total_time_s:.1f}s"
         f" (+${report.sampling_cost_usd:.4f} optimizer sampling)"
     )
+    if result.retried_calls or result.failed_records:
+        footer += (
+            f"\nfault tolerance: {result.retried_calls} retried calls, "
+            f"{result.failed_records} records degraded under the failure policy"
+        )
     if report.estimate is not None:
         footer += (
             f"\nplan estimate: ${report.estimate.cost_usd:.4f}, "

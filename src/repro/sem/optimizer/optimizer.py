@@ -104,31 +104,45 @@ class Optimizer:
                 return [config.champion_model]
             return candidates
 
+        tracer = config.llm.tracer
         profiles: dict[int, dict[str, OperatorProfile]] = {}
-        for op in chain:
-            if isinstance(op, L.SemFilterOp):
-                profiles[id(op)] = sampler.profile_filter(
-                    op.instruction, sample, candidate_models(op), config.champion_model
-                )
-            elif isinstance(op, L.SemMapOp):
-                profiles[id(op)] = sampler.profile_map(
-                    op.outputs, sample, candidate_models(op), config.champion_model
-                )
-            elif isinstance(op, L.SemClassifyOp):
-                profiles[id(op)] = sampler.profile_classify(
-                    op.instruction, list(op.options), sample,
-                    candidate_models(op), config.champion_model,
-                )
-            elif isinstance(op, L.SemGroupByOp):
-                profiles[id(op)] = sampler.profile_classify(
-                    op.instruction, list(op.groups), sample,
-                    candidate_models(op), config.champion_model,
-                )
-            elif isinstance(op, L.PyFilterOp):
-                profiles[id(op)] = {"python": _python_filter_profile(op, sample)}
+        with tracer.span(
+            "optimize", kind="optimize", sample_size=len(sample)
+        ) as optimize_span:
+            for op in chain:
+                if not isinstance(op, _PROFILED_OPS + (L.PyFilterOp,)):
+                    continue
+                with tracer.span(f"profile:{op.label()}", kind="profile"):
+                    if isinstance(op, L.SemFilterOp):
+                        profiles[id(op)] = sampler.profile_filter(
+                            op.instruction, sample, candidate_models(op),
+                            config.champion_model,
+                        )
+                    elif isinstance(op, L.SemMapOp):
+                        profiles[id(op)] = sampler.profile_map(
+                            op.outputs, sample, candidate_models(op),
+                            config.champion_model,
+                        )
+                    elif isinstance(op, L.SemClassifyOp):
+                        profiles[id(op)] = sampler.profile_classify(
+                            op.instruction, list(op.options), sample,
+                            candidate_models(op), config.champion_model,
+                        )
+                    elif isinstance(op, L.SemGroupByOp):
+                        profiles[id(op)] = sampler.profile_classify(
+                            op.instruction, list(op.groups), sample,
+                            candidate_models(op), config.champion_model,
+                        )
+                    elif isinstance(op, L.PyFilterOp):
+                        profiles[id(op)] = {"python": _python_filter_profile(op, sample)}
 
         sampling_usage = config.llm.tracker.since(checkpoint)
         sampling_time = config.llm.clock.elapsed - time_before
+        if tracer.enabled:
+            optimize_span.attributes.update(
+                sampling_cost_usd=round(sampling_usage.cost_usd, 6),
+                sampling_time_s=sampling_time,
+            )
 
         chosen: dict[int, str] = {}
         for op in chain:

@@ -101,6 +101,9 @@ class PipelineSchedule:
         #: When the current batch left its most recent stage.
         self._batch_ready: float = 0.0
         self.makespan: float = 0.0
+        #: Scheduled (start, end) of the most recently recorded cell —
+        #: section-relative seconds, read by the tracer to place cell spans.
+        self.last_cell: tuple[float, float] = (0.0, 0.0)
 
     def start_batch(self) -> None:
         """Begin a new batch; it is available to stage 0 immediately."""
@@ -122,6 +125,7 @@ class PipelineSchedule:
         self._stage_free[stage] = end
         self._batch_ready = end
         self.makespan = max(self.makespan, end)
+        self.last_cell = (start, end)
         return self.makespan
 
 
