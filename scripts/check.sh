@@ -1,10 +1,22 @@
 #!/usr/bin/env bash
 # Fast correctness gate: tier-1 test suite + the fault-tolerance smoke sweep.
 # Runs in well under a minute; use before pushing.
+#
+#   scripts/check.sh          full gate (all tests + smoke sweeps + fuzz lane)
+#   scripts/check.sh --fast   unit tests only, skipping slow property/
+#                             integration modules and the smoke sweeps
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
+
+if [[ "${1:-}" == "--fast" ]]; then
+    echo "== fast lane: tier-1 tests (-m 'not slow') =="
+    python -m pytest -x -q -m "not slow"
+    echo
+    echo "check.sh --fast: all green"
+    exit 0
+fi
 
 echo "== tier-1 tests =="
 python -m pytest -x -q
@@ -16,6 +28,11 @@ python benchmarks/bench_fault_tolerance.py --smoke
 echo
 echo "== pipelined-execution smoke sweep =="
 python benchmarks/bench_pipeline.py --smoke
+
+echo
+echo "== differential-testing fuzz lane =="
+python -m repro.qa fuzz --n 15 --seed 0
+python -m repro.qa selftest --n 10
 
 echo
 echo "== tracing smoke (query --trace + validation) =="

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Regenerate every file under ``tests/goldens/`` deterministically.
+
+Usage::
+
+    PYTHONPATH=src python scripts/update_goldens.py          # rewrite
+    PYTHONPATH=src python scripts/update_goldens.py --check  # verify only
+
+The builders live in ``tests/golden_builders.py`` and are pure functions,
+so running this script twice always produces identical bytes.  ``--check``
+exits non-zero if any golden on disk differs from its builder's output —
+the same comparison ``test_goldens_are_up_to_date`` makes in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from tests.golden_builders import GOLDEN_BUILDERS, render_golden  # noqa: E402
+
+GOLDEN_DIR = REPO_ROOT / "tests" / "goldens"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify goldens match their builders instead of rewriting",
+    )
+    args = parser.parse_args(argv)
+
+    stale = []
+    for filename, builder in sorted(GOLDEN_BUILDERS.items()):
+        path = GOLDEN_DIR / filename
+        rendered = render_golden(builder())
+        on_disk = path.read_text(encoding="utf-8") if path.exists() else None
+        if on_disk == rendered:
+            print(f"  up to date: {path.relative_to(REPO_ROOT)}")
+            continue
+        if args.check:
+            stale.append(filename)
+            state = "MISSING" if on_disk is None else "STALE"
+            print(f"  {state}: {path.relative_to(REPO_ROOT)}")
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(rendered, encoding="utf-8")
+            print(f"  rewrote: {path.relative_to(REPO_ROOT)}")
+
+    if stale:
+        print(
+            f"{len(stale)} golden(s) out of date; "
+            "run: PYTHONPATH=src python scripts/update_goldens.py"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

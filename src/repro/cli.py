@@ -185,7 +185,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(query)
     query.set_defaults(fn=_cmd_query)
 
+    qa = sub.add_parser(
+        "qa",
+        help="differential-testing harness (same as python -m repro.qa)",
+        add_help=False,
+    )
+    qa.add_argument("qa_args", nargs=argparse.REMAINDER)
+    qa.set_defaults(fn=_cmd_qa)
+
     return parser
+
+
+def _cmd_qa(args: argparse.Namespace) -> int:
+    """Delegate to the fuzz/replay/selftest harness CLI."""
+    from repro.qa.cli import main as qa_main
+
+    return qa_main(args.qa_args)
 
 
 def _add_obs_flags(sub_parser: argparse.ArgumentParser) -> None:

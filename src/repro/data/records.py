@@ -77,14 +77,30 @@ class DataRecord:
 
         Annotations are inherited so downstream semantic operators can still
         be judged by the oracle after projections and maps.
+
+        The child's uid is a pure function of the parent uid and the shape
+        of the change (field names added/dropped), NOT of a global counter.
+        The simulated LLM keys its noise on record uids, so counter-drawn
+        uids made answers depend on *when* a record was derived — pipelined
+        and barrier executions interleave derivations differently and
+        silently disagreed on plans with two or more deriving operators.
+        Deterministic uids make the cross-mode bit-identical contract hold
+        structurally.
         """
+        from repro.utils.hashing import stable_digest
+
+        dropped = set(drop)
         fields = {
-            name: value for name, value in self.fields.items() if name not in set(drop)
+            name: value for name, value in self.fields.items() if name not in dropped
         }
         if new_fields:
             fields.update(new_fields)
+        suffix = stable_digest(
+            self.uid, tuple(sorted(new_fields or ())), tuple(sorted(dropped))
+        )[:6]
         return DataRecord(
             fields=fields,
+            uid=f"{self.uid}.{suffix}",
             annotations=self.annotations,
             source_id=self.source_id,
             parent_uids=(self.uid,),
@@ -92,13 +108,20 @@ class DataRecord:
 
     @staticmethod
     def merge(left: "DataRecord", right: "DataRecord") -> "DataRecord":
-        """Join two records; right-hand fields win on name collisions."""
+        """Join two records; right-hand fields win on name collisions.
+
+        As with :meth:`derive`, the merged uid is a pure function of the
+        parent uids so join outputs are identical across execution modes.
+        """
+        from repro.utils.hashing import stable_digest
+
         fields = dict(left.fields)
         fields.update(right.fields)
         annotations = dict(left.annotations)
         annotations.update(right.annotations)
         return DataRecord(
             fields=fields,
+            uid=f"{left.uid}*{stable_digest(left.uid, right.uid)[:6]}",
             annotations=annotations,
             source_id=left.source_id or right.source_id,
             parent_uids=(left.uid, right.uid),
@@ -122,7 +145,15 @@ class DataRecord:
         if not self.parent_uids:
             return (self.uid,)
         if resolver is None:
-            return self.parent_uids
+            # Order-preserving dedup: self-joins can list a parent twice
+            # (derived uids are deterministic, so equal derivations of the
+            # same parent share a uid).
+            seen_parents: set[str] = set()
+            return tuple(
+                uid
+                for uid in self.parent_uids
+                if not (uid in seen_parents or seen_parents.add(uid))
+            )
         roots: list[str] = []
         for parent_uid in self.parent_uids:
             parent = resolver.get(parent_uid)

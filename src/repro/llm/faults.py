@@ -112,6 +112,33 @@ class FaultConfig:
         """Whether virtual time ``now`` falls inside a storm window."""
         return any(start <= now < end for start, end in self.rate_limit_storms)
 
+    def to_dict(self) -> dict:
+        """JSON-friendly form (tuples become lists); see :meth:`from_dict`."""
+        return {
+            "rate": self.rate,
+            "per_model_rates": dict(self.per_model_rates),
+            "include_embeddings": self.include_embeddings,
+            "burst_length": self.burst_length,
+            "burst_rate": self.burst_rate,
+            "kinds": list(self.kinds),
+            "retry_after_s": self.retry_after_s,
+            "rate_limit_storms": [list(window) for window in self.rate_limit_storms],
+            "storm_rate": self.storm_rate,
+            "storm_safe_parallelism": self.storm_safe_parallelism,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultConfig":
+        """Rebuild a config serialized with :meth:`to_dict` (replay bundles)."""
+        data = dict(payload)
+        if "kinds" in data:
+            data["kinds"] = tuple(data["kinds"])
+        if "rate_limit_storms" in data:
+            data["rate_limit_storms"] = tuple(
+                tuple(window) for window in data["rate_limit_storms"]
+            )
+        return cls(**data)
+
     def model_rate(self, model: str, is_embedding: bool) -> float:
         if model in self.per_model_rates:
             return self.per_model_rates[model]
@@ -229,6 +256,25 @@ class RetryPolicy:
             raise ConfigurationError("backoff seconds must be >= 0")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ConfigurationError(f"timeout_s must be positive, got {self.timeout_s}")
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form; see :meth:`from_dict`."""
+        return {
+            "enabled": self.enabled,
+            "max_attempts": self.max_attempts,
+            "base_backoff_s": self.base_backoff_s,
+            "backoff_multiplier": self.backoff_multiplier,
+            "max_backoff_s": self.max_backoff_s,
+            "jitter": self.jitter,
+            "timeout_s": self.timeout_s,
+            "breaker_threshold": self.breaker_threshold,
+            "breaker_cooldown_s": self.breaker_cooldown_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RetryPolicy":
+        """Rebuild a policy serialized with :meth:`to_dict` (replay bundles)."""
+        return cls(**payload)
 
     def backoff_s(
         self,

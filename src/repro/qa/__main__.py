@@ -1,0 +1,7 @@
+"""``python -m repro.qa`` — differential-testing harness entry point."""
+
+import sys
+
+from repro.qa.cli import main
+
+sys.exit(main())

@@ -1,0 +1,211 @@
+"""Serializable execution configurations and the differential matrix.
+
+A :class:`ConfigSpec` is the JSON form of one way to run a plan.  The
+matrix builder groups specs into *answer classes* — sets of configurations
+the runtime promises produce the same answer:
+
+- ``exec`` — same plan, same models, different execution mechanics
+  (pipeline on/off, batch size, parallelism, embedding batching, adaptive
+  wave control).  Contract: bit-identical records and dollar cost.
+- ``opt`` — the optimizer with the max-quality policy against the naive
+  plan.  Filter reordering within commuting runs and champion-model
+  selection must not change the answer; sampling spend means cost may
+  legitimately differ.  Applies to linear plans only (joins are bound
+  without sampling).
+- ``probe`` — cost-seeking policies (min-cost, balanced).  These may
+  legally change answers; only well-formedness and determinism oracles
+  apply.
+- ``budget`` — a spend cap at a fraction of the measured baseline cost.
+  Contract: overshoot bounded by one guarded call saga.
+- ``fault`` — seeded fault schedules with retries.  Fault draws depend on
+  attempt ordering, so the only cross-run promise is determinism: the
+  identical config must reproduce the identical result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.llm.faults import FaultConfig, FaultInjector, RetryPolicy
+from repro.llm.oracle import SemanticOracle
+from repro.llm.simulated import SimulatedLLM
+from repro.sem.config import QueryProcessorConfig
+from repro.sem.optimizer.policies import policy_by_name
+
+
+@dataclass(frozen=True)
+class ConfigSpec:
+    """One serializable way to execute a fuzzed plan."""
+
+    name: str
+    #: Which equivalence contract this spec participates in (see module doc).
+    answer_class: str = "exec"
+    pipeline: bool = True
+    optimize: bool = False
+    policy: str = "max-quality"
+    select_models: bool = True
+    reorder_filters: bool = True
+    parallelism: int = 4
+    batch_size: int | None = None
+    embed_batch_size: int | None = None
+    adaptive: bool = True
+    join_method: str = "nested"
+    on_failure: str = "skip"
+    sample_size: int = 6
+    llm_seed: int = 0
+    #: Spend cap as a fraction of the measured baseline cost (budget class).
+    budget_fraction: float | None = None
+    #: Fault schedule for the substrate (``FaultConfig.to_dict`` form).
+    fault: dict | None = None
+    #: Retry policy override (``RetryPolicy.to_dict`` form).
+    retry: dict | None = None
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        payload = {
+            "name": self.name,
+            "answer_class": self.answer_class,
+            "pipeline": self.pipeline,
+            "optimize": self.optimize,
+            "policy": self.policy,
+            "select_models": self.select_models,
+            "reorder_filters": self.reorder_filters,
+            "parallelism": self.parallelism,
+            "batch_size": self.batch_size,
+            "embed_batch_size": self.embed_batch_size,
+            "adaptive": self.adaptive,
+            "join_method": self.join_method,
+            "on_failure": self.on_failure,
+            "sample_size": self.sample_size,
+            "llm_seed": self.llm_seed,
+            "budget_fraction": self.budget_fraction,
+            "fault": self.fault,
+            "retry": self.retry,
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ConfigSpec":
+        return cls(**payload)
+
+    # -- realization ----------------------------------------------------
+
+    def make_llm(self, bundle, tracer=None) -> SimulatedLLM:
+        """A fresh simulated substrate for one run of this spec."""
+        faults = (
+            FaultInjector(FaultConfig.from_dict(self.fault), seed=self.llm_seed)
+            if self.fault
+            else None
+        )
+        retry = RetryPolicy.from_dict(self.retry) if self.retry else None
+        kwargs = {}
+        if tracer is not None:
+            kwargs["tracer"] = tracer
+        return SimulatedLLM(
+            oracle=SemanticOracle(bundle.registry),
+            seed=self.llm_seed,
+            faults=faults,
+            retry=retry,
+            **kwargs,
+        )
+
+    def build(
+        self, llm: SimulatedLLM, max_cost_usd: float | None = None
+    ) -> QueryProcessorConfig:
+        """Materialize the query-processor config around a substrate."""
+        kwargs = {}
+        if self.embed_batch_size is not None:
+            kwargs["embed_batch_size"] = self.embed_batch_size
+        return QueryProcessorConfig(
+            llm=llm,
+            policy=policy_by_name(self.policy),
+            optimize=self.optimize,
+            reorder_filters=self.reorder_filters,
+            select_models=self.select_models,
+            sample_size=self.sample_size,
+            parallelism=self.parallelism,
+            seed=self.llm_seed,
+            tag=f"qa:{self.name}",
+            join_method=self.join_method,
+            max_cost_usd=max_cost_usd,
+            on_failure=self.on_failure,
+            pipeline=self.pipeline,
+            batch_size=self.batch_size,
+            adaptive_parallelism=self.adaptive,
+            **kwargs,
+        )
+
+
+#: The baseline every differential comparison anchors on.
+BASELINE = ConfigSpec(name="baseline", answer_class="exec")
+
+
+def config_matrix(plan, case_seed: int = 0) -> list[ConfigSpec]:
+    """The configuration matrix exercised for one fuzzed plan.
+
+    ``plan`` decides which classes apply: join plans skip the optimizer
+    classes (the optimizer binds them without sampling, making ``opt``
+    trivially identical and the probes uninteresting).
+    """
+    specs: list[ConfigSpec] = [BASELINE]
+
+    # exec class: execution mechanics must not change the answer.
+    specs.append(replace(BASELINE, name="barrier", pipeline=False))
+    specs.append(replace(BASELINE, name="small-batch", batch_size=4))
+    specs.append(replace(BASELINE, name="serial", parallelism=1, batch_size=6))
+    specs.append(replace(BASELINE, name="tight-embed", embed_batch_size=2))
+    specs.append(replace(BASELINE, name="no-adaptive", adaptive=False))
+
+    if not plan.has_join():
+        # opt class: max-quality optimization preserves the answer.
+        specs.append(
+            ConfigSpec(
+                name="optimized-maxq",
+                answer_class="opt",
+                optimize=True,
+                policy="max-quality",
+            )
+        )
+        # probes: answer-changing policies, weak oracles only.
+        specs.append(
+            ConfigSpec(name="probe-mincost", answer_class="probe",
+                       optimize=True, policy="min-cost")
+        )
+        specs.append(
+            ConfigSpec(name="probe-balanced", answer_class="probe",
+                       optimize=True, policy="balanced")
+        )
+    else:
+        specs.append(
+            replace(BASELINE, name="blocked-join", answer_class="probe",
+                    join_method="blocked")
+        )
+
+    if plan.semantic_op_count() > 0:
+        # budget class: cap at a fraction of the measured baseline spend.
+        specs.append(
+            ConfigSpec(name="budget-half", answer_class="budget",
+                       budget_fraction=0.5)
+        )
+        specs.append(
+            ConfigSpec(name="budget-tight", answer_class="budget",
+                       budget_fraction=0.15)
+        )
+        # fault class: seeded faults + retries; determinism only.
+        specs.append(
+            ConfigSpec(
+                name="faulty",
+                answer_class="fault",
+                llm_seed=case_seed % 1000,
+                fault=FaultConfig(
+                    rate=0.08,
+                    kinds=("rate_limit", "api"),
+                    rate_limit_storms=((5.0, 20.0),),
+                    storm_rate=0.5,
+                ).to_dict(),
+                retry=RetryPolicy(max_attempts=3, base_backoff_s=0.5).to_dict(),
+            )
+        )
+
+    return specs

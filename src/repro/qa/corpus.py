@@ -1,0 +1,174 @@
+"""Seeded synthetic corpora for plan-space differential testing.
+
+The fuzz harness needs corpora it can regenerate bit-identically from a
+tiny JSON spec (seed + size), with a rich enough intent surface that random
+plans exercise every semantic operator: boolean filter intents, numeric and
+string extraction intents, classification/group-by intents, and an
+equality-style join intent.  Records carry explicit uids (``qa-<n>``) so
+corpus generation never consumes the global derived-record uid counter —
+runs that compare uid sequences across executions depend on that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.datasets.base import DatasetBundle
+from repro.data.corpus import FileCorpus
+from repro.data.records import DataRecord
+from repro.data.schemas import Field, Schema
+from repro.llm.oracle import DIFFICULTY_PREFIX, IntentRegistry
+from repro.llm.simulated import DISTRACTOR_PREFIX
+from repro.utils.hashing import stable_hash, stable_uniform
+
+#: Intent keys -> (keywords, canonical instruction).  Instructions are what
+#: the fuzzer puts on plan operators; every instruction resolves to its
+#: intent with keyword score 1.0 (all keywords present as tokens).
+INTENTS: dict[str, tuple[tuple[str, ...], str]] = {
+    "qa.flag_urgent": (
+        ("ticket", "marked", "urgent"),
+        "The ticket is marked urgent.",
+    ),
+    "qa.flag_security": (
+        ("mentions", "security", "incident"),
+        "The ticket mentions a security incident.",
+    ),
+    "qa.flag_refund": (
+        ("requests", "refund", "payment"),
+        "The ticket requests a refund of a payment.",
+    ),
+    "qa.amount": (
+        ("total", "invoice", "dollars"),
+        "Extract the total invoice amount in dollars.",
+    ),
+    "qa.customer": (
+        ("name", "account", "holder"),
+        "Extract the name of the account holder.",
+    ),
+    "qa.department": (
+        ("department", "responsible", "handling"),
+        "Which department is responsible for handling this ticket?",
+    ),
+    "qa.region": (
+        ("sales", "region", "office"),
+        "Which sales region office filed this ticket?",
+    ),
+    "qa.same_customer": (
+        ("records", "same", "customer"),
+        "The two records concern the same customer.",
+    ),
+}
+
+DEPARTMENTS = ("engineering", "finance", "support", "legal")
+REGIONS = ("north", "south", "east", "west")
+CUSTOMERS = ("acme", "globex", "initech", "umbrella", "stark", "wayne")
+
+_TOPIC_WORDS = (
+    "outage", "invoice", "renewal", "login", "latency", "migration",
+    "contract", "audit", "backup", "quota", "upgrade", "alert",
+)
+
+
+def instruction_for(intent_key: str) -> str:
+    """Canonical natural-language instruction for a registered QA intent."""
+    return INTENTS[intent_key][1]
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Everything needed to regenerate a QA corpus bit-identically."""
+
+    seed: int = 0
+    n_records: int = 24
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "n_records": self.n_records}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CorpusSpec":
+        return cls(seed=int(payload["seed"]), n_records=int(payload["n_records"]))
+
+
+def _difficulty(seed: int, index: int, intent: str) -> float:
+    """Mostly easy-to-medium difficulties, occasionally ambiguous."""
+    draw = stable_uniform(seed, "qa-difficulty", index, intent)
+    if draw > 0.9:  # ~10% genuinely ambiguous records per intent
+        return round(0.7 + 0.25 * stable_uniform(seed, "qa-hard", index, intent), 3)
+    return round(0.05 + 0.55 * draw, 3)
+
+
+def build_corpus(spec: CorpusSpec) -> DatasetBundle:
+    """Generate the QA ticket corpus described by ``spec``.
+
+    Deterministic: two calls with equal specs produce records with identical
+    uids, fields, and annotations.
+    """
+    seed, n = spec.seed, spec.n_records
+    registry = IntentRegistry()
+    for key, (keywords, description) in INTENTS.items():
+        registry.register(key, keywords, description)
+
+    records: list[DataRecord] = []
+    for index in range(n):
+        customer = CUSTOMERS[stable_hash(seed, "qa-cust", index) % len(CUSTOMERS)]
+        department = DEPARTMENTS[stable_hash(seed, "qa-dept", index) % len(DEPARTMENTS)]
+        region = REGIONS[stable_hash(seed, "qa-region", index) % len(REGIONS)]
+        priority = 1 + stable_hash(seed, "qa-priority", index) % 4
+        amount = round(10.0 + 990.0 * stable_uniform(seed, "qa-amount", index), 2)
+        urgent = stable_uniform(seed, "qa-urgent", index) < 0.4
+        security = stable_uniform(seed, "qa-security", index) < 0.3
+        refund = stable_uniform(seed, "qa-refund", index) < 0.35
+        topic_a = _TOPIC_WORDS[stable_hash(seed, "qa-topic-a", index) % len(_TOPIC_WORDS)]
+        topic_b = _TOPIC_WORDS[stable_hash(seed, "qa-topic-b", index) % len(_TOPIC_WORDS)]
+
+        body = (
+            f"Ticket {index} from {customer} about {topic_a} and {topic_b}. "
+            f"Priority {priority}, routed via the {region} office to "
+            f"{department}. Invoice total ${amount:.2f}."
+        )
+        annotations = {
+            "qa.flag_urgent": urgent,
+            "qa.flag_security": security,
+            "qa.flag_refund": refund,
+            "qa.amount": amount,
+            "qa.customer": customer,
+            "qa.department": department,
+            "qa.region": region,
+            "qa.same_customer": customer,
+        }
+        for intent in list(annotations):
+            annotations[DIFFICULTY_PREFIX + intent] = _difficulty(seed, index, intent)
+        # A plausible wrong amount that actually appears in the corpus.
+        if stable_uniform(seed, "qa-distract", index) < 0.5:
+            annotations[DISTRACTOR_PREFIX + "qa.amount"] = round(amount * 0.1, 2)
+        records.append(
+            DataRecord(
+                fields={
+                    "title": f"{topic_a}-{index}",
+                    "body": body,
+                    "priority": priority,
+                },
+                uid=f"qa-{index:04d}",
+                annotations=annotations,
+                source_id=f"qa-corpus-{seed}",
+            )
+        )
+
+    schema = Schema(
+        [
+            Field("title", str, "short ticket title"),
+            Field("body", str, "full ticket text"),
+            Field("priority", int, "priority 1 (low) to 4 (critical)"),
+        ],
+        name="QATicket",
+        desc="synthetic support tickets for the fuzz harness",
+    )
+    corpus = FileCorpus(name=f"qa-corpus-{seed}")
+    return DatasetBundle(
+        name=f"qa-corpus-{seed}",
+        corpus=corpus,
+        schema=schema,
+        registry=registry,
+        description="Synthetic support-ticket corpus for plan-space fuzzing.",
+        record_list=records,
+    )

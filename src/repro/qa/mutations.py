@@ -1,0 +1,89 @@
+"""Seeded runtime mutations for the harness's self-test.
+
+A differential harness is only trustworthy if it *fails* when the runtime
+is broken.  Each mutation here monkeypatches one guard or invariant out of
+the live runtime — inside a context manager, so the patch never leaks —
+and the self-test asserts that the oracles catch it and that the shrinker
+reduces the failing case to a minimal repro.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One deliberate runtime defect, applied for the duration of a block."""
+
+    name: str
+    description: str
+    #: Which oracle family is expected to catch this defect.
+    expected_oracle: str
+    _apply: Callable
+
+    @contextlib.contextmanager
+    def applied(self) -> Iterator[None]:
+        with self._apply():
+            yield
+
+
+@contextlib.contextmanager
+def _drop_budget_check() -> Iterator[None]:
+    """Disable the per-call budget guard (engine boundary checks remain)."""
+    from repro.sem.physical import ExecutionContext
+
+    original = ExecutionContext.check_budget
+    ExecutionContext.check_budget = lambda self: None
+    try:
+        yield
+    finally:
+        ExecutionContext.check_budget = original
+
+
+@contextlib.contextmanager
+def _scramble_cell_order() -> Iterator[None]:
+    """Reverse each pipelined cell's emitted records (an ordering bug)."""
+    from repro.sem.execution import Engine
+
+    original = Engine._run_cell
+
+    def scrambled(self, operator, batch, state, account):
+        records, seconds = original(self, operator, batch, state, account)
+        return list(reversed(records)), seconds
+
+    Engine._run_cell = scrambled
+    try:
+        yield
+    finally:
+        Engine._run_cell = original
+
+
+MUTATIONS: dict[str, Mutation] = {
+    mutation.name: mutation
+    for mutation in (
+        Mutation(
+            name="drop-budget-check",
+            description="per-call spend-cap guard removed from ExecutionContext",
+            expected_oracle="budget-cap",
+            _apply=_drop_budget_check,
+        ),
+        Mutation(
+            name="scramble-cell-order",
+            description="pipelined cells emit records in reversed order",
+            expected_oracle="exec-equivalence",
+            _apply=_scramble_cell_order,
+        ),
+    )
+}
+
+
+def mutation_by_name(name: str) -> Mutation:
+    try:
+        return MUTATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation {name!r}; known: {sorted(MUTATIONS)}"
+        ) from None

@@ -1,0 +1,274 @@
+"""Equivalence and invariant oracles over a case's observation matrix.
+
+Each oracle inspects a :class:`~repro.qa.runner.CaseRun` and yields
+:class:`Violation` objects.  An honest runtime produces none; the oracles
+are calibrated so that every asserted property is a *contract* of the
+runtime (documented in ``configs.py``'s answer classes), not a statistical
+tendency — a violation is a bug, never noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import isfinite
+
+#: Slack for float comparisons on dollar totals.
+COST_EPS = 1e-9
+#: Slack for virtual-time comparisons.
+TIME_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle failure for one matrix cell."""
+
+    oracle: str
+    spec: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.spec}: {self.message}"
+
+
+def check_no_errors(run) -> list[Violation]:
+    """No configuration may raise out of the runtime."""
+    violations = []
+    for name, observations in run.observations.items():
+        for observation in observations:
+            if observation.error is not None:
+                violations.append(
+                    Violation("no-errors", name, observation.error)
+                )
+    return violations
+
+
+def check_determinism(run) -> list[Violation]:
+    """Re-running the identical config must reproduce the identical result."""
+    violations = []
+    for name, observations in run.observations.items():
+        if len(observations) < 2:
+            continue
+        first, second = observations[0], observations[1]
+        if first.error or second.error:
+            continue  # no-errors already flags these
+        if first.records != second.records:
+            violations.append(
+                Violation("determinism", name, "records differ between reruns")
+            )
+        if abs(first.total_cost_usd - second.total_cost_usd) > COST_EPS:
+            violations.append(
+                Violation(
+                    "determinism", name,
+                    f"cost differs between reruns: "
+                    f"{first.total_cost_usd} vs {second.total_cost_usd}",
+                )
+            )
+        if abs(first.total_time_s - second.total_time_s) > TIME_EPS:
+            violations.append(
+                Violation(
+                    "determinism", name,
+                    f"time differs between reruns: "
+                    f"{first.total_time_s} vs {second.total_time_s}",
+                )
+            )
+    return violations
+
+
+def check_exec_equivalence(run) -> list[Violation]:
+    """Execution mechanics must not change the answer.
+
+    Records (uids and fields, in order) are bit-identical across the exec
+    class.  Cost is compared against the barrier run as an upper bound:
+    pipelined early-exit pushdown may only ever *save* calls.
+    """
+    violations = []
+    baseline = run.first("baseline")
+    if baseline is None or baseline.error:
+        return violations
+    barrier = run.first("barrier")
+    for observation in run.by_class("exec"):
+        name = observation.spec.name
+        if name == "baseline" or observation.error:
+            continue
+        if observation.records != baseline.records:
+            detail = _first_diff(baseline.records, observation.records)
+            violations.append(
+                Violation("exec-equivalence", name, f"records differ: {detail}")
+            )
+        if observation.truncated:
+            violations.append(
+                Violation("exec-equivalence", name, "truncated without a cap")
+            )
+        if barrier is not None and not barrier.error:
+            if observation.total_cost_usd > barrier.total_cost_usd + COST_EPS:
+                violations.append(
+                    Violation(
+                        "exec-equivalence", name,
+                        f"cost {observation.total_cost_usd} exceeds barrier "
+                        f"cost {barrier.total_cost_usd}",
+                    )
+                )
+    # Note: wall-time is deliberately NOT compared across modes.  Batches
+    # round up to whole waves, so an upstream filter that thins a batch can
+    # legally make the pipelined makespan exceed the barrier stage-sum
+    # (see ``QueryProcessorConfig.resolved_batch_size``).  Cost has no wave
+    # rounding, so the dollar bound above is a real contract.
+    return violations
+
+
+def check_opt_equivalence(run) -> list[Violation]:
+    """The max-quality optimizer must preserve the naive plan's answer."""
+    violations = []
+    baseline = run.first("baseline")
+    if baseline is None or baseline.error:
+        return violations
+    for observation in run.by_class("opt"):
+        if observation.error:
+            continue
+        if observation.records != baseline.records:
+            detail = _first_diff(baseline.records, observation.records)
+            violations.append(
+                Violation(
+                    "opt-equivalence", observation.spec.name,
+                    f"optimized records differ from naive: {detail}",
+                )
+            )
+    return violations
+
+
+def check_policy_cost(run) -> list[Violation]:
+    """Cost-seeking policies never choose a model pricier than the champion.
+
+    The champion always meets its own agreement floor, so min-cost and
+    balanced selection have it as a candidate — the chosen model's sampled
+    cost-per-record is bounded by the champion's on every operator.
+    """
+    violations = []
+    for observation in run.by_class("probe"):
+        if observation.error or not observation.optimized:
+            continue
+        for label, chosen in observation.chosen_models.items():
+            profiles = observation.profiles.get(label, {})
+            champion = profiles.get(observation.champion_model)
+            picked = profiles.get(chosen)
+            if champion is None or picked is None:
+                continue
+            if picked.cost_per_record > champion.cost_per_record + COST_EPS:
+                violations.append(
+                    Violation(
+                        "policy-cost", observation.spec.name,
+                        f"{label}: chose {chosen} at "
+                        f"{picked.cost_per_record}/record over champion at "
+                        f"{champion.cost_per_record}/record",
+                    )
+                )
+    return violations
+
+
+def check_estimates(run) -> list[Violation]:
+    """Optimizer estimates are finite and non-negative when present."""
+    violations = []
+    for answer_class in ("opt", "probe"):
+        for observation in run.by_class(answer_class):
+            if observation.error or observation.estimate_cost_usd is None:
+                continue
+            name = observation.spec.name
+            for attr in ("estimate_cost_usd", "estimate_time_s",
+                         "estimate_cardinality"):
+                value = getattr(observation, attr)
+                if value is None:
+                    continue
+                if not isfinite(value) or value < 0:
+                    violations.append(
+                        Violation("estimates", name, f"{attr} = {value}")
+                    )
+    return violations
+
+
+def check_budget(run) -> list[Violation]:
+    """Spend caps bound actual spend up to one guarded call saga.
+
+    A guarded call may legally overshoot by its own saga — up to
+    ``max_attempts`` billed attempts plus a fallback re-ask — so the
+    allowance is ``2 * max_attempts * max_event_cost``.  Anything beyond
+    that means a budget check was skipped.
+    """
+    violations = []
+    budget_runs = sorted(
+        (obs for obs in run.by_class("budget") if not obs.error),
+        key=lambda obs: obs.spec.budget_fraction or 0.0,
+    )
+    for observation in budget_runs:
+        cap = observation.max_cost_usd
+        if cap is None:
+            continue
+        allowance = 2 * observation.max_attempts * observation.max_event_cost_usd
+        if observation.total_cost_usd > cap + allowance + COST_EPS:
+            violations.append(
+                Violation(
+                    "budget-cap", observation.spec.name,
+                    f"spent {observation.total_cost_usd:.6f} against cap "
+                    f"{cap:.6f} (allowance {allowance:.6f})",
+                )
+            )
+    # Monotonicity: a tighter cap can never spend more than a looser one.
+    for tighter, looser in zip(budget_runs, budget_runs[1:]):
+        if tighter.total_cost_usd > looser.total_cost_usd + COST_EPS:
+            violations.append(
+                Violation(
+                    "budget-monotonic", tighter.spec.name,
+                    f"cap {tighter.max_cost_usd:.6f} spent "
+                    f"{tighter.total_cost_usd:.6f} but looser cap "
+                    f"{looser.max_cost_usd:.6f} spent "
+                    f"{looser.total_cost_usd:.6f}",
+                )
+            )
+    return violations
+
+
+def check_trace(run) -> list[Violation]:
+    """The traced baseline run must export a structurally valid span tree."""
+    from repro.obs.export import validate_spans
+
+    observations = run.observations.get("baseline", [])
+    traced = next((obs for obs in observations if obs.spans is not None), None)
+    if traced is None or traced.error:
+        return []
+    if not traced.spans:
+        return [Violation("trace", "baseline", "traced run produced no spans")]
+    try:
+        validate_spans(traced.spans)
+    except ValueError as exc:
+        return [Violation("trace", "baseline", str(exc))]
+    if not any(span.kind == "query" for span in traced.spans):
+        return [Violation("trace", "baseline", "no query span recorded")]
+    return []
+
+
+ORACLES = (
+    check_no_errors,
+    check_determinism,
+    check_exec_equivalence,
+    check_opt_equivalence,
+    check_policy_cost,
+    check_estimates,
+    check_budget,
+    check_trace,
+)
+
+
+def evaluate(run) -> list[Violation]:
+    """Run every oracle over one case's observations."""
+    violations: list[Violation] = []
+    for oracle in ORACLES:
+        violations.extend(oracle(run))
+    return violations
+
+
+def _first_diff(expected: list, actual: list) -> str:
+    if len(expected) != len(actual):
+        return f"{len(expected)} records vs {len(actual)}"
+    for index, (left, right) in enumerate(zip(expected, actual)):
+        if left != right:
+            return f"record {index}: {left!r} vs {right!r}"
+    return "unknown difference"

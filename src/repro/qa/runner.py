@@ -1,0 +1,160 @@
+"""Execute one fuzz case under its configuration matrix.
+
+The runner is the bridge between serializable specs and the live runtime:
+it rebuilds the corpus, constructs a fresh simulated substrate per run (so
+no cache or usage state leaks between matrix cells), executes the plan,
+and captures an :class:`Observation` — everything the oracles need without
+holding the live objects.
+
+Run order per case:
+
+1. ``baseline`` twice (same-config determinism), the second time traced.
+2. Every other non-budget spec once (``fault`` specs twice, for their own
+   determinism check).
+3. Budget specs, whose spend caps are fractions of the measured baseline
+   cost — a two-phase design so caps track plan size automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.records import reset_uid_counter
+from repro.obs.tracer import Tracer
+from repro.qa.configs import ConfigSpec, config_matrix
+from repro.qa.corpus import build_corpus
+from repro.qa.fuzzer import FuzzCase
+from repro.qa.plans import normalized_records
+
+
+@dataclass
+class Observation:
+    """What one execution of one (case, config) cell produced."""
+
+    spec: ConfigSpec
+    #: ``(uid, sorted field items)`` per output record, in output order.
+    records: list = field(default_factory=list)
+    total_cost_usd: float = 0.0
+    total_time_s: float = 0.0
+    truncated: bool = False
+    retried_calls: int = 0
+    failed_records: int = 0
+    #: The spend cap this run executed under (budget class only).
+    max_cost_usd: float | None = None
+    #: Largest single usage-event cost (bounds legal budget overshoot).
+    max_event_cost_usd: float = 0.0
+    #: Retry attempts allowed per call (bounds legal budget overshoot).
+    max_attempts: int = 1
+    #: Optimizer report extracts (opt/probe classes).
+    optimized: bool = False
+    chosen_models: dict = field(default_factory=dict)
+    profiles: dict = field(default_factory=dict)
+    champion_model: str = ""
+    estimate_cost_usd: float | None = None
+    estimate_time_s: float | None = None
+    estimate_cardinality: float | None = None
+    #: Spans captured when the run was traced (baseline only).
+    spans: list | None = None
+    #: Exception repr when the run blew up (oracles flag it).
+    error: str | None = None
+
+
+@dataclass
+class CaseRun:
+    """All observations for one fuzz case, keyed for the oracles."""
+
+    case: FuzzCase
+    #: Spec name -> list of observations (two entries = determinism pair).
+    observations: dict = field(default_factory=dict)
+
+    def first(self, name: str) -> Observation | None:
+        runs = self.observations.get(name)
+        return runs[0] if runs else None
+
+    def by_class(self, answer_class: str) -> list[Observation]:
+        return [
+            runs[0]
+            for runs in self.observations.values()
+            if runs and runs[0].spec.answer_class == answer_class
+        ]
+
+
+def run_spec(
+    case: FuzzCase,
+    spec: ConfigSpec,
+    max_cost_usd: float | None = None,
+    traced: bool = False,
+    mutation=None,
+) -> Observation:
+    """Execute ``case.plan`` under ``spec`` with a fresh substrate."""
+    reset_uid_counter()
+    bundle = build_corpus(case.corpus)
+    tracer = Tracer() if traced else None
+    llm = spec.make_llm(bundle, tracer=tracer)
+    config = spec.build(llm, max_cost_usd=max_cost_usd)
+    observation = Observation(spec=spec, max_cost_usd=max_cost_usd)
+    try:
+        dataset = case.plan.build(bundle)
+        if mutation is not None:
+            with mutation.applied():
+                result, report = dataset.run_with_report(config)
+        else:
+            result, report = dataset.run_with_report(config)
+    except Exception as exc:  # noqa: BLE001 — oracles judge the failure
+        observation.error = f"{type(exc).__name__}: {exc}"
+        return observation
+
+    observation.records = normalized_records(result.records)
+    observation.total_cost_usd = result.total_cost_usd
+    observation.total_time_s = result.total_time_s
+    observation.truncated = result.truncated
+    observation.retried_calls = result.retried_calls
+    observation.failed_records = result.failed_records
+    observation.max_event_cost_usd = max(
+        (event.cost_usd for event in llm.tracker.events), default=0.0
+    )
+    observation.max_attempts = llm.retry.max_attempts
+    observation.optimized = report.optimized
+    observation.chosen_models = dict(report.chosen_models)
+    observation.profiles = report.profiles
+    observation.champion_model = config.champion_model
+    if report.estimate is not None:
+        observation.estimate_cost_usd = report.estimate.cost_usd
+        observation.estimate_time_s = report.estimate.time_s
+        observation.estimate_cardinality = report.estimate.cardinality
+    if tracer is not None:
+        observation.spans = tracer.spans
+    return observation
+
+
+def run_case(case: FuzzCase, mutation=None) -> CaseRun:
+    """Run the full configuration matrix for one fuzz case."""
+    specs = config_matrix(case.plan, case_seed=case.case_seed)
+    run = CaseRun(case=case)
+
+    baseline_cost = 0.0
+    for spec in specs:
+        if spec.answer_class == "budget":
+            continue  # second phase: needs the measured baseline cost
+        observations = [run_spec(case, spec, mutation=mutation)]
+        if spec.name == "baseline":
+            # Same-config determinism + the traced run for the trace oracle.
+            observations.append(
+                run_spec(case, spec, traced=True, mutation=mutation)
+            )
+            baseline_cost = observations[0].total_cost_usd
+        elif spec.answer_class == "fault":
+            observations.append(run_spec(case, spec, mutation=mutation))
+        run.observations[spec.name] = observations
+
+    for spec in specs:
+        if spec.answer_class != "budget":
+            continue
+        if baseline_cost <= 0.0:
+            continue  # free plan: a fractional cap would be invalid
+        cap = spec.budget_fraction * baseline_cost
+        run.observations[spec.name] = [
+            run_spec(case, spec, max_cost_usd=cap, mutation=mutation)
+        ]
+
+    return run

@@ -1,0 +1,140 @@
+"""Delta-debugging minimizer for failing fuzz cases.
+
+Given a (case, mutation) pair whose oracle evaluation produced violations,
+the shrinker searches for the smallest case that still fails:
+
+1. drop top-level plan operators one at a time, to a fixpoint;
+2. drop operators from a join's right-hand sub-chain;
+3. shrink the corpus record count (geometric, then linear).
+
+Every candidate is judged by *re-running the full matrix and oracles* —
+the only ground truth — so shrinking is slow but honest.  The result is
+typically a 1-3 operator plan over a dozen records: small enough to read,
+replay, and fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.qa.corpus import CorpusSpec
+from repro.qa.fuzzer import FuzzCase
+from repro.qa.oracles import Violation, evaluate
+from repro.qa.plans import PlanSpec
+from repro.qa.runner import run_case
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized case and the violations it still produces."""
+
+    case: FuzzCase
+    violations: list[Violation]
+    #: Matrix executions spent shrinking (a cost/benefit signal for tuning).
+    evaluations: int = 0
+
+
+def failing_violations(case: FuzzCase, mutation=None) -> list[Violation]:
+    """Run the matrix and oracles once; empty list means the case passes."""
+    return evaluate(run_case(case, mutation=mutation))
+
+
+def shrink(case: FuzzCase, mutation=None) -> ShrinkResult:
+    """Minimize ``case`` while it keeps failing at least one oracle.
+
+    Candidates must fail one of the *original* oracles: dropping operators
+    can manufacture fresh, unrelated failures (a projection whose source
+    map was dropped), and latching onto those would shrink toward the
+    wrong bug.
+    """
+    evaluations = 0
+    target_oracles: set[str] = set()
+
+    def fails(candidate: FuzzCase) -> list[Violation]:
+        nonlocal evaluations
+        evaluations += 1
+        found = failing_violations(candidate, mutation=mutation)
+        if target_oracles and not {v.oracle for v in found} & target_oracles:
+            return []
+        return found
+
+    violations = fails(case)
+    if not violations:
+        return ShrinkResult(case=case, violations=[], evaluations=evaluations)
+    target_oracles = {violation.oracle for violation in violations}
+
+    current, violations = _shrink_plan(case, violations, fails)
+    current, violations = _shrink_join(current, violations, fails)
+    current, violations = _shrink_corpus(current, violations, fails)
+    return ShrinkResult(
+        case=current, violations=violations, evaluations=evaluations
+    )
+
+
+def _shrink_plan(case, violations, fails):
+    """Drop top-level operators one at a time until no drop still fails."""
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(case.plan.ops)):
+            candidate = replace(case, plan=case.plan.without_op(index))
+            if not candidate.plan.ops:
+                continue
+            result = fails(candidate)
+            if result:
+                case, violations = candidate, result
+                changed = True
+                break
+    return case, violations
+
+
+def _shrink_join(case, violations, fails):
+    """Drop operators inside a join's right-hand chain."""
+    changed = True
+    while changed:
+        changed = False
+        for position, op in enumerate(case.plan.ops):
+            if op["op"] != "sem_join" or not op.get("right"):
+                continue
+            for sub_index in range(len(op["right"])):
+                right = [
+                    sub for i, sub in enumerate(op["right"]) if i != sub_index
+                ]
+                new_op = dict(op)
+                new_op["right"] = right
+                ops = list(case.plan.ops)
+                ops[position] = new_op
+                candidate = replace(case, plan=PlanSpec(ops=tuple(ops)))
+                result = fails(candidate)
+                if result:
+                    case, violations = candidate, result
+                    changed = True
+                    break
+            if changed:
+                break
+    return case, violations
+
+
+def _shrink_corpus(case, violations, fails):
+    """Shrink the record count: halve while failing, then step down."""
+    n = case.corpus.n_records
+    while n > 2:
+        half = max(2, n // 2)
+        if half == n:
+            break
+        candidate = replace(
+            case, corpus=CorpusSpec(seed=case.corpus.seed, n_records=half)
+        )
+        result = fails(candidate)
+        if not result:
+            break
+        case, violations, n = candidate, result, half
+    while n > 2:
+        candidate = replace(
+            case, corpus=CorpusSpec(seed=case.corpus.seed, n_records=n - 1)
+        )
+        result = fails(candidate)
+        if not result:
+            break
+        case, violations, n = candidate, result, n - 1
+    return case, violations

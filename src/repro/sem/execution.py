@@ -113,6 +113,23 @@ class ExecutionResult:
     def field_values(self, name: str) -> list:
         return [record.get(name) for record in self.records]
 
+    def fingerprint(self) -> str:
+        """Stable digest of the *answer* this execution produced.
+
+        Covers record uids, field names and values (in record order), the
+        total dollar cost, and the truncation flag — everything the
+        bit-identical equivalence contract promises is mode-independent.
+        Virtual time is deliberately excluded: execution modes are allowed
+        to (and should) differ on time, never on the fingerprint.
+        """
+        from repro.utils.hashing import stable_digest
+
+        rows = [
+            (record.uid, tuple(sorted(record.fields.items(), key=lambda kv: kv[0])))
+            for record in self.records
+        ]
+        return stable_digest(rows, round(self.total_cost_usd, 9), self.truncated)
+
     def summary(self) -> str:
         lines = [
             f"records: {len(self.records)}  cost: ${self.total_cost_usd:.4f}  "

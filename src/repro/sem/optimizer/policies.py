@@ -79,3 +79,23 @@ class Balanced(OptimizationPolicy):
         if not candidates:
             return champion
         return min(candidates, key=lambda p: (p.cost_per_record, p.model)).model
+
+
+#: Name -> class for every built-in policy (keys match ``Policy.name``).
+POLICIES: dict[str, type[OptimizationPolicy]] = {
+    cls.name: cls for cls in (MaxQuality, MinCost, Balanced)
+}
+
+
+def policy_by_name(name: str) -> OptimizationPolicy:
+    """Instantiate a built-in policy from its name.
+
+    Replay bundles and config specs store policies by name; this is the
+    single place that mapping lives.
+    """
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown optimization policy {name!r}; known: {sorted(POLICIES)}"
+        ) from None

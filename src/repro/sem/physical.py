@@ -26,6 +26,7 @@ from repro.errors import BudgetExceededError, ExecutionError, TransientLLMError
 from repro.llm.embeddings import cosine_similarity, top_k_similar
 from repro.llm.simulated import SimulatedLLM
 from repro.sem import logical as L
+from repro.utils.hashing import stable_digest
 
 import numpy as np
 
@@ -400,10 +401,14 @@ class PhysSemGroupBy(PhysicalOperator):
                     ),
                 )
                 fields["summary"] = completion.text if completion is not None else None
+            member_uids = tuple(member.uid for member in members)
             output.append(
                 DataRecord(
                     fields=fields,
-                    parent_uids=tuple(member.uid for member in members),
+                    # Deterministic group-record uid: pure function of the
+                    # label and membership, identical across execution modes.
+                    uid=f"group:{group}:{stable_digest(member_uids)[:6]}",
+                    parent_uids=member_uids,
                 )
             )
         return output
@@ -541,9 +546,11 @@ class PhysSemAgg(PhysicalOperator):
             model or DEFAULT_FALLBACK_MODEL,
             lambda m: ctx.llm.complete(prompt, model=m, tag=f"{ctx.tag}:agg"),
         )
+        input_uids = tuple(record.uid for record in records)
         result = DataRecord(
             fields={op.output_field: completion.text if completion is not None else None},
-            parent_uids=tuple(record.uid for record in records),
+            uid=f"agg:{stable_digest(input_uids)[:6]}",
+            parent_uids=input_uids,
         )
         return [result]
 
@@ -560,7 +567,7 @@ class PhysSemTopK(StreamingOperator):
     logical_op: L.SemTopKOp
 
     def new_state(self, ctx: ExecutionContext) -> dict:
-        return {"scored": [], "sims": {}, "arrivals": 0}
+        return {"scored": {}, "sims": {}, "arrivals": 0}
 
     def prepare_batch(
         self, records: list[DataRecord], ctx: ExecutionContext, state: dict
@@ -578,7 +585,16 @@ class PhysSemTopK(StreamingOperator):
         self, record: DataRecord, ctx: ExecutionContext, state: dict
     ) -> list[DataRecord]:
         op = self.logical_op
-        similarity = state["sims"].pop(record.uid)
+        previous = state["scored"].get(record.uid)
+        if previous is None:
+            similarity = state["sims"].pop(record.uid)
+            arrival = state["arrivals"]
+            state["arrivals"] += 1
+        else:
+            # Resubmission after a withdrawn rate-limit failure: replace the
+            # degraded judgment, keeping the original score and arrival slot
+            # so the ranking matches a fault-free run.
+            _, similarity, arrival, _ = previous
         relevant = 1
         if op.method == "llm":
             model = self.model or op.model
@@ -594,13 +610,12 @@ class PhysSemTopK(StreamingOperator):
             )
             # A degraded judgment falls back to the embedding score.
             relevant = 1 if (judgment is not None and judgment.answer) else 0
-        state["scored"].append((relevant, similarity, state["arrivals"], record))
-        state["arrivals"] += 1
+        state["scored"][record.uid] = (relevant, similarity, arrival, record)
         return []
 
     def finalize(self, ctx: ExecutionContext, state: dict) -> list[DataRecord]:
         ranked = sorted(
-            state["scored"], key=lambda item: (-item[0], -item[1], item[2])
+            state["scored"].values(), key=lambda item: (-item[0], -item[1], item[2])
         )
         return [record for _, _, _, record in ranked[: self.logical_op.k]]
 

@@ -1,4 +1,5 @@
-"""Shared fixtures: dataset bundles are expensive enough to build once."""
+"""Shared fixtures: dataset bundles are expensive enough to build once,
+and the toy single-record world is duplicated across substrate tests."""
 
 from __future__ import annotations
 
@@ -9,7 +10,9 @@ from repro.data.datasets import (
     generate_legal_corpus,
     generate_realestate_corpus,
 )
-from repro.llm.oracle import SemanticOracle
+from repro.data.records import DataRecord
+from repro.llm.faults import FaultConfig, FaultInjector, RetryPolicy
+from repro.llm.oracle import DIFFICULTY_PREFIX, IntentRegistry, SemanticOracle
 from repro.llm.simulated import SimulatedLLM
 
 
@@ -35,5 +38,72 @@ def make_llm():
     def factory(bundle=None, seed: int = 0, **kwargs) -> SimulatedLLM:
         oracle = SemanticOracle(bundle.registry) if bundle is not None else None
         return SimulatedLLM(oracle=oracle, seed=seed, **kwargs)
+
+    return factory
+
+
+# ---------------------------------------------------------------------------
+# Toy world: one hand-annotated record shape for substrate-level tests
+# ---------------------------------------------------------------------------
+
+
+def build_toy_registry() -> IntentRegistry:
+    """A two-intent registry: a boolean flag and a numeric count."""
+    registry = IntentRegistry()
+    registry.register("t.flag", ["special", "flag"])
+    registry.register("t.count", ["number", "widgets"])
+    return registry
+
+
+@pytest.fixture
+def toy_registry() -> IntentRegistry:
+    return build_toy_registry()
+
+
+@pytest.fixture
+def toy_record():
+    """Factory for a single annotated record over the toy registry.
+
+    ``difficulty`` feeds the oracle's noise model: 0.1 is effectively
+    deterministic, 1.0 makes the simulated answer genuinely ambiguous.
+    """
+
+    def factory(flag=True, count=42, difficulty=0.1, uid=None) -> DataRecord:
+        return DataRecord(
+            {"body": "a record about widgets"},
+            uid=uid,
+            annotations={
+                "t.flag": flag,
+                DIFFICULTY_PREFIX + "t.flag": difficulty,
+                "t.count": count,
+                DIFFICULTY_PREFIX + "t.count": difficulty,
+            },
+        )
+
+    return factory
+
+
+@pytest.fixture
+def make_toy_llm():
+    """Factory for simulated LLMs bound to the toy registry's oracle."""
+
+    def factory(seed: int = 0, **kwargs) -> SimulatedLLM:
+        return SimulatedLLM(
+            oracle=SemanticOracle(build_toy_registry()), seed=seed, **kwargs
+        )
+
+    return factory
+
+
+@pytest.fixture
+def make_faulty_llm(make_toy_llm):
+    """Toy LLM with a seeded fault injector and a patient retry policy."""
+
+    def factory(rate=0.3, seed=0, retry=None, **fault_kwargs) -> SimulatedLLM:
+        return make_toy_llm(
+            seed=seed,
+            faults=FaultInjector(FaultConfig(rate=rate, **fault_kwargs), seed=seed),
+            retry=retry or RetryPolicy(max_attempts=6),
+        )
 
     return factory

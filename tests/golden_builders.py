@@ -1,0 +1,56 @@
+"""Deterministic builders for the files under ``tests/goldens/``.
+
+Shared between the golden-comparison tests (``test_obs_export.py``) and
+``scripts/update_goldens.py`` so that regeneration and verification can
+never drift apart: both sides call the same builder and the same
+serializer.  Every builder must be a pure function of nothing — no seeds
+taken from the environment, no wall-clock reads — so the goldens are
+byte-reproducible on any machine.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import MetricsRegistry, Tracer, chrome_trace
+from repro.utils.clock import VirtualClock
+
+
+def hand_built_tracer() -> tuple[Tracer, MetricsRegistry]:
+    """A small deterministic span tree: query > operator > 2 wave calls,
+    plus a pipelined cell on its own track."""
+    clock = VirtualClock()
+    tracer = Tracer(clock)
+    metrics = MetricsRegistry()
+    metrics.counter("llm.calls").inc(3)
+    metrics.histogram("llm.latency_s").observe(2.0)
+    with tracer.span("query:test", kind="query", pipeline=False):
+        with tracer.span("SemFilter('x')", kind="operator"):
+            tracer.add_span(
+                "gpt-4o", "llm-call", 0.0, 2.0, track="llm slot 0", tag="t"
+            )
+            tracer.add_span(
+                "gpt-4o", "llm-call", 0.0, 1.5, track="llm slot 1", tag="t"
+            )
+            clock.advance(2.0)
+        tracer.add_span("SemFilter('x') b0", "cell", 2.0, 3.0, track="stage 0")
+        clock.advance(1.0)
+    return tracer, metrics
+
+
+def build_chrome_trace_golden() -> dict:
+    """The payload stored in ``goldens/chrome_trace_golden.json``."""
+    tracer, metrics = hand_built_tracer()
+    return chrome_trace(tracer, metrics=metrics)
+
+
+def render_golden(payload: dict) -> str:
+    """Serialize a golden payload exactly as stored on disk."""
+    return json.dumps(payload, indent=1) + "\n"
+
+
+#: filename -> builder; ``scripts/update_goldens.py`` and the up-to-date
+#: test iterate this table, so adding a golden means adding one entry.
+GOLDEN_BUILDERS = {
+    "chrome_trace_golden.json": build_chrome_trace_golden,
+}

@@ -6,13 +6,7 @@ from repro.bench.harness import TrialOutcome, render_report, summarize
 from repro.data.datasets import enron as en
 from repro.errors import PlanError
 from repro.llm.faults import FaultConfig, FaultInjector, RetryPolicy
-from repro.llm.oracle import SemanticOracle
-from repro.llm.simulated import SimulatedLLM
 from repro.sem import Dataset, QueryProcessorConfig
-
-
-def _llm(bundle, seed=2, **kwargs):
-    return SimulatedLLM(oracle=SemanticOracle(bundle.registry), seed=seed, **kwargs)
 
 
 def _dataset(bundle):
@@ -28,8 +22,8 @@ def _dataset(bundle):
 # ---------------------------------------------------------------------------
 
 
-def test_explain_analyze_snapshot_columns(enron_bundle):
-    llm = _llm(enron_bundle)
+def test_explain_analyze_snapshot_columns(make_llm, enron_bundle):
+    llm = make_llm(enron_bundle, seed=2)
     config = QueryProcessorConfig(llm=llm, seed=2)
     text = _dataset(enron_bundle).explain(analyze=True, config=config)
     header = next(
@@ -57,8 +51,8 @@ def test_explain_analyze_requires_config(enron_bundle):
         _dataset(enron_bundle).explain(analyze=True)
 
 
-def test_explain_analyze_surfaces_faults(enron_bundle):
-    llm = _llm(
+def test_explain_analyze_surfaces_faults(make_llm, enron_bundle):
+    llm = make_llm(
         enron_bundle,
         seed=5,
         faults=FaultInjector(FaultConfig(rate=0.3), seed=5),
@@ -75,8 +69,8 @@ def test_explain_analyze_surfaces_faults(enron_bundle):
 # ---------------------------------------------------------------------------
 
 
-def test_execution_report_renders_per_operator_rows(enron_bundle):
-    llm = _llm(enron_bundle)
+def test_execution_report_renders_per_operator_rows(make_llm, enron_bundle):
+    llm = make_llm(enron_bundle, seed=2)
     config = QueryProcessorConfig(llm=llm, seed=2)
     result = _dataset(enron_bundle).run(config)
     report = result.report()
@@ -89,8 +83,8 @@ def test_execution_report_renders_per_operator_rows(enron_bundle):
     assert "total" in report
 
 
-def test_operator_stats_track_tokens_and_cache(enron_bundle):
-    llm = _llm(enron_bundle)
+def test_operator_stats_track_tokens_and_cache(make_llm, enron_bundle):
+    llm = make_llm(enron_bundle, seed=2)
     config = QueryProcessorConfig(llm=llm, seed=2)
     result = _dataset(enron_bundle).run(config)
     semantic = [s for s in result.operator_stats if s.llm_calls > 0]

@@ -5,6 +5,9 @@ The resilience contract under test (see DESIGN.md §5): with retries on,
 answers are bit-identical to the fault-free run while cost and virtual
 time rise; with retries off, execution degrades gracefully (records are
 flagged and skipped, agents burn recovery turns) instead of crashing.
+
+Toy-world setup (registry, record, LLM factories) comes from
+``conftest.py``: ``toy_record``, ``make_toy_llm``, ``make_faulty_llm``.
 """
 
 import pytest
@@ -13,40 +16,12 @@ from repro.agents.codeagent import CodeAgent
 from repro.agents.policies.base import ScriptedPolicy
 from repro.agents.tools import ToolRegistry
 from repro.data.datasets import enron as en
-from repro.data.records import DataRecord
 from repro.errors import CircuitOpenError, TransientAPIError, TransientLLMError
 from repro.llm.faults import FaultConfig, FaultInjector, RetryPolicy
-from repro.llm.oracle import DIFFICULTY_PREFIX, IntentRegistry, SemanticOracle
 from repro.llm.simulated import SimulatedLLM
 from repro.sem import Dataset, MaxQuality, QueryProcessorConfig
 
 NO_RETRY = RetryPolicy(enabled=False)
-
-
-def _registry():
-    registry = IntentRegistry()
-    registry.register("t.flag", ["special", "flag"])
-    return registry
-
-
-def _record(flag=True, difficulty=0.1, uid=None):
-    return DataRecord(
-        {"body": "a record about widgets"},
-        uid=uid,
-        annotations={"t.flag": flag, DIFFICULTY_PREFIX + "t.flag": difficulty},
-    )
-
-
-def _llm(seed=0, **kwargs):
-    return SimulatedLLM(oracle=SemanticOracle(_registry()), seed=seed, **kwargs)
-
-
-def _faulty_llm(rate=0.3, seed=0, retry=None, **fault_kwargs):
-    return _llm(
-        seed=seed,
-        faults=FaultInjector(FaultConfig(rate=rate, **fault_kwargs), seed=seed),
-        retry=retry or RetryPolicy(max_attempts=6),
-    )
 
 
 # ---------------------------------------------------------------------------
@@ -55,10 +30,12 @@ def _faulty_llm(rate=0.3, seed=0, retry=None, **fault_kwargs):
 
 
 @pytest.mark.smoke
-def test_retries_recover_with_identical_answers_at_a_cost():
-    clean = _llm(seed=3)
-    faulty = _faulty_llm(rate=0.4, seed=3)
-    records = [_record(difficulty=1.0, uid=f"u{i}") for i in range(20)]
+def test_retries_recover_with_identical_answers_at_a_cost(
+    make_toy_llm, make_faulty_llm, toy_record
+):
+    clean = make_toy_llm(seed=3)
+    faulty = make_faulty_llm(rate=0.4, seed=3)
+    records = [toy_record(difficulty=1.0, uid=f"u{i}") for i in range(20)]
 
     clean_answers = [clean.judge_filter("special flag", r).answer for r in records]
     faulty_answers = [faulty.judge_filter("special flag", r).answer for r in records]
@@ -72,21 +49,21 @@ def test_retries_recover_with_identical_answers_at_a_cost():
     assert faulty.clock.elapsed > clean.clock.elapsed
 
 
-def test_success_events_carry_retry_count():
-    llm = _faulty_llm(rate=0.5, seed=2)
+def test_success_events_carry_retry_count(make_faulty_llm, toy_record):
+    llm = make_faulty_llm(rate=0.5, seed=2)
     for i in range(20):
-        llm.judge_filter("special flag", _record(uid=f"u{i}"))
+        llm.judge_filter("special flag", toy_record(uid=f"u{i}"))
     succeeded = [e for e in llm.tracker.events if not e.failed and not e.cached]
     assert sum(e.retries for e in succeeded) == llm.faults.injected
     assert any(e.retries > 0 for e in succeeded)
 
 
 @pytest.mark.smoke
-def test_same_seed_identical_faulty_runs():
+def test_same_seed_identical_faulty_runs(make_faulty_llm, toy_record):
     def run():
-        llm = _faulty_llm(rate=0.4, seed=11)
+        llm = make_faulty_llm(rate=0.4, seed=11)
         answers = [
-            llm.judge_filter("special flag", _record(difficulty=1.0, uid=f"u{i}")).answer
+            llm.judge_filter("special flag", toy_record(difficulty=1.0, uid=f"u{i}")).answer
             for i in range(25)
         ]
         return (
@@ -101,59 +78,59 @@ def test_same_seed_identical_faulty_runs():
     assert run() == run()
 
 
-def test_retries_off_raises_first_fault():
-    llm = _faulty_llm(rate=1.0, seed=0, retry=NO_RETRY)
+def test_retries_off_raises_first_fault(make_faulty_llm, toy_record):
+    llm = make_faulty_llm(rate=1.0, seed=0, retry=NO_RETRY)
     with pytest.raises(TransientLLMError):
-        llm.judge_filter("special flag", _record())
+        llm.judge_filter("special flag", toy_record())
     # The single failed attempt is charged before the raise.
     assert llm.tracker.failed_calls() == 1
     assert llm.clock.elapsed > 0
 
 
-def test_exhausted_attempts_raise_and_charge_every_attempt():
-    llm = _faulty_llm(rate=1.0, seed=0, retry=RetryPolicy(max_attempts=3))
+def test_exhausted_attempts_raise_and_charge_every_attempt(make_faulty_llm, toy_record):
+    llm = make_faulty_llm(rate=1.0, seed=0, retry=RetryPolicy(max_attempts=3))
     with pytest.raises(TransientLLMError):
-        llm.judge_filter("special flag", _record())
+        llm.judge_filter("special flag", toy_record())
     assert llm.tracker.failed_calls() == 3
 
 
-def test_backoff_waits_reach_the_virtual_clock():
-    slow = _faulty_llm(
+def test_backoff_waits_reach_the_virtual_clock(make_faulty_llm, toy_record):
+    slow = make_faulty_llm(
         rate=1.0,
         seed=0,
         retry=RetryPolicy(
             max_attempts=2, base_backoff_s=50.0, max_backoff_s=50.0, jitter=0.0
         ),
     )
-    fast = _faulty_llm(
+    fast = make_faulty_llm(
         rate=1.0, seed=0, retry=RetryPolicy(max_attempts=2, base_backoff_s=0.0, jitter=0.0)
     )
     for llm in (slow, fast):
         with pytest.raises(TransientLLMError):
-            llm.judge_filter("special flag", _record())
+            llm.judge_filter("special flag", toy_record())
     # Both runs share the fault schedule and attempt latencies; the fast
     # policy still waits the rate-limit's retry_after_s floor, so the delta
     # is the extra backoff (50s minus that floor).
     assert slow.clock.elapsed >= fast.clock.elapsed + 40.0
 
 
-def test_per_call_timeout_synthesizes_timeouts():
+def test_per_call_timeout_synthesizes_timeouts(make_toy_llm, toy_record):
     from repro.errors import TimeoutError as LLMTimeoutError
 
-    llm = _llm(seed=0, retry=RetryPolicy(max_attempts=2, timeout_s=1e-6, jitter=0.0))
+    llm = make_toy_llm(seed=0, retry=RetryPolicy(max_attempts=2, timeout_s=1e-6, jitter=0.0))
     with pytest.raises(LLMTimeoutError):
-        llm.judge_filter("special flag", _record())
+        llm.judge_filter("special flag", toy_record())
 
 
-def test_embeddings_exempt_from_faults_by_default():
-    llm = _faulty_llm(rate=1.0, seed=0, retry=NO_RETRY)
+def test_embeddings_exempt_from_faults_by_default(make_faulty_llm):
+    llm = make_faulty_llm(rate=1.0, seed=0, retry=NO_RETRY)
     llm.embed("identity theft")  # must not raise
     assert llm.tracker.failed_calls() == 0
 
 
-def test_cache_hits_bypass_the_fault_path():
-    llm = _faulty_llm(rate=0.5, seed=4)
-    record = _record(uid="warm")
+def test_cache_hits_bypass_the_fault_path(make_faulty_llm, toy_record):
+    llm = make_faulty_llm(rate=0.5, seed=4)
+    record = toy_record(uid="warm")
     llm.judge_filter("special flag", record)
     attempts_before = llm.faults.attempts
     second = llm.judge_filter("special flag", record)
@@ -161,18 +138,18 @@ def test_cache_hits_bypass_the_fault_path():
     assert llm.faults.attempts == attempts_before
 
 
-def test_retry_saga_occupies_one_parallel_slot():
+def test_retry_saga_occupies_one_parallel_slot(make_faulty_llm, toy_record):
     # A call that retries inside a parallel section charges its whole saga
     # (failed attempts + backoffs + success) as a single wave item.
     patient = RetryPolicy(max_attempts=12)
-    llm = _faulty_llm(rate=0.5, seed=5, retry=patient)
+    llm = make_faulty_llm(rate=0.5, seed=5, retry=patient)
     with llm.parallel(4):
         for i in range(4):
-            llm.judge_filter("special flag", _record(uid=f"u{i}"))
+            llm.judge_filter("special flag", toy_record(uid=f"u{i}"))
     assert llm.faults.injected > 0
-    sequential = _faulty_llm(rate=0.5, seed=5, retry=patient)
+    sequential = make_faulty_llm(rate=0.5, seed=5, retry=patient)
     for i in range(4):
-        sequential.judge_filter("special flag", _record(uid=f"u{i}"))
+        sequential.judge_filter("special flag", toy_record(uid=f"u{i}"))
     assert llm.clock.elapsed < sequential.clock.elapsed
 
 
@@ -181,26 +158,26 @@ def test_retry_saga_occupies_one_parallel_slot():
 # ---------------------------------------------------------------------------
 
 
-def test_breaker_trips_then_recovers_after_cooldown():
+def test_breaker_trips_then_recovers_after_cooldown(make_toy_llm, toy_record):
     policy = RetryPolicy(enabled=False, breaker_threshold=2, breaker_cooldown_s=60.0)
-    llm = _llm(
+    llm = make_toy_llm(
         seed=0,
         faults=FaultInjector(FaultConfig(rate=1.0), seed=0),
         retry=policy,
     )
     for i in range(2):
         with pytest.raises(TransientLLMError):
-            llm.judge_filter("special flag", _record(uid=f"u{i}"))
+            llm.judge_filter("special flag", toy_record(uid=f"u{i}"))
     # Breaker is open: fail fast without consuming a fault-schedule draw.
     attempts = llm.faults.attempts
     with pytest.raises(CircuitOpenError):
-        llm.judge_filter("special flag", _record(uid="u2"))
+        llm.judge_filter("special flag", toy_record(uid="u2"))
     assert llm.faults.attempts == attempts
 
     # The provider recovers; after the cooldown the half-open probe succeeds.
     llm.faults = None
     llm.clock.advance(60.0)
-    judgment = llm.judge_filter("special flag", _record(uid="u3"))
+    judgment = llm.judge_filter("special flag", toy_record(uid="u3"))
     assert judgment.event.cost_usd > 0
     breaker = llm._breakers["gpt-4o"]
     assert breaker.state == "closed"
@@ -212,18 +189,22 @@ def test_breaker_trips_then_recovers_after_cooldown():
 # ---------------------------------------------------------------------------
 
 
-def _config(bundle, seed=0, **kwargs):
-    fault = kwargs.pop("fault_config", None)
-    retry = kwargs.pop("retry", None)
-    llm = SimulatedLLM(
-        oracle=SemanticOracle(bundle.registry),
-        seed=seed,
-        faults=FaultInjector(fault, seed=seed) if fault else None,
-        retry=retry,
-    )
-    defaults = dict(llm=llm, policy=MaxQuality(), seed=seed)
-    defaults.update(kwargs)
-    return QueryProcessorConfig(**defaults)
+@pytest.fixture
+def make_config(make_llm):
+    def factory(bundle, seed=0, **kwargs):
+        fault = kwargs.pop("fault_config", None)
+        retry = kwargs.pop("retry", None)
+        llm = make_llm(
+            bundle,
+            seed=seed,
+            faults=FaultInjector(fault, seed=seed) if fault else None,
+            retry=retry,
+        )
+        defaults = dict(llm=llm, policy=MaxQuality(), seed=seed)
+        defaults.update(kwargs)
+        return QueryProcessorConfig(**defaults)
+
+    return factory
 
 
 def _filter_run(config, bundle):
@@ -234,9 +215,9 @@ def _filter_run(config, bundle):
     )
 
 
-def test_operators_identical_output_under_faults_with_retries(enron_bundle):
-    clean = _config(enron_bundle, seed=7)
-    faulty = _config(
+def test_operators_identical_output_under_faults_with_retries(make_config, enron_bundle):
+    clean = make_config(enron_bundle, seed=7)
+    faulty = make_config(
         enron_bundle,
         seed=7,
         fault_config=FaultConfig(rate=0.15),
@@ -253,8 +234,8 @@ def test_operators_identical_output_under_faults_with_retries(enron_bundle):
     assert result_faulty.total_time_s > result_clean.total_time_s
 
 
-def test_skip_mode_flags_records_instead_of_crashing(enron_bundle):
-    config = _config(
+def test_skip_mode_flags_records_instead_of_crashing(make_config, enron_bundle):
+    config = make_config(
         enron_bundle,
         fault_config=FaultConfig(rate=0.3),
         retry=NO_RETRY,
@@ -270,8 +251,8 @@ def test_skip_mode_flags_records_instead_of_crashing(enron_bundle):
     assert result.retried_calls == config.llm.tracker.failed_calls()
 
 
-def test_raise_mode_propagates(enron_bundle):
-    config = _config(
+def test_raise_mode_propagates(make_config, enron_bundle):
+    config = make_config(
         enron_bundle,
         fault_config=FaultConfig(rate=1.0),
         retry=NO_RETRY,
@@ -282,10 +263,10 @@ def test_raise_mode_propagates(enron_bundle):
         _filter_run(config, enron_bundle)
 
 
-def test_fallback_mode_reroutes_to_healthy_model(enron_bundle):
+def test_fallback_mode_reroutes_to_healthy_model(make_config, enron_bundle):
     # The champion model always faults; the cheap tier never does.  Every
     # record is answered by the fallback, so nothing is dropped.
-    config = _config(
+    config = make_config(
         enron_bundle,
         fault_config=FaultConfig(rate=0.0, per_model_rates={"gpt-4o": 1.0}),
         retry=NO_RETRY,
@@ -301,11 +282,11 @@ def test_fallback_mode_reroutes_to_healthy_model(enron_bundle):
     assert "gpt-4o-mini" in models
 
 
-def test_config_rejects_unknown_failure_mode(enron_bundle):
+def test_config_rejects_unknown_failure_mode(make_config, enron_bundle):
     from repro.errors import ConfigurationError
 
     with pytest.raises(ConfigurationError):
-        _config(enron_bundle, on_failure="explode")
+        make_config(enron_bundle, on_failure="explode")
 
 
 # ---------------------------------------------------------------------------

@@ -10,6 +10,8 @@ from repro.core.runtime import AnalyticsRuntime
 from repro.data.datasets import enron as en
 from repro.data.datasets import kramabench as kb
 
+pytestmark = pytest.mark.slow
+
 
 def test_full_pipeline_legal(legal_bundle):
     runtime = AnalyticsRuntime.for_bundle(legal_bundle, seed=2024)

@@ -16,6 +16,8 @@ from repro.bench.systems import (
     kramabench_semops_system,
 )
 
+pytestmark = pytest.mark.slow
+
 SEED = 1
 
 

@@ -1,53 +1,32 @@
-"""Tests for the simulated LLM service."""
+"""Tests for the simulated LLM service.
+
+The toy registry/record/LLM setup lives in ``conftest.py`` as the
+``toy_registry``, ``toy_record``, and ``make_toy_llm`` fixtures.
+"""
 
 import pytest
 
 from repro.data.records import DataRecord
-from repro.llm.oracle import DIFFICULTY_PREFIX, IntentRegistry, SemanticOracle
-from repro.llm.simulated import SimulatedLLM
+from repro.llm.oracle import DIFFICULTY_PREFIX, SemanticOracle
 
 
-def _registry():
-    registry = IntentRegistry()
-    registry.register("t.flag", ["special", "flag"])
-    registry.register("t.count", ["number", "widgets"])
-    return registry
+def test_judge_filter_easy_record_matches_truth(make_toy_llm, toy_record):
+    llm = make_toy_llm()
+    assert llm.judge_filter("has the special flag", toy_record(flag=True)).answer is True
+    assert llm.judge_filter("has the special flag", toy_record(flag=False, uid="n")).answer is False
 
 
-def _record(flag=True, count=42, difficulty=0.1, uid=None):
-    return DataRecord(
-        {"body": "a record about widgets"},
-        uid=uid,
-        annotations={
-            "t.flag": flag,
-            DIFFICULTY_PREFIX + "t.flag": difficulty,
-            "t.count": count,
-            DIFFICULTY_PREFIX + "t.count": difficulty,
-        },
-    )
-
-
-def _llm(seed=0, **kwargs):
-    return SimulatedLLM(oracle=SemanticOracle(_registry()), seed=seed, **kwargs)
-
-
-def test_judge_filter_easy_record_matches_truth():
-    llm = _llm()
-    assert llm.judge_filter("has the special flag", _record(flag=True)).answer is True
-    assert llm.judge_filter("has the special flag", _record(flag=False, uid="n")).answer is False
-
-
-def test_judge_filter_charges_cost_and_latency():
-    llm = _llm()
-    judgment = llm.judge_filter("special flag", _record())
+def test_judge_filter_charges_cost_and_latency(make_toy_llm, toy_record):
+    llm = make_toy_llm()
+    judgment = llm.judge_filter("special flag", toy_record())
     assert judgment.event.cost_usd > 0
     assert llm.clock.elapsed > 0
     assert llm.tracker.total().calls == 1
 
 
-def test_judgment_cached_second_call_free():
-    llm = _llm()
-    record = _record()
+def test_judgment_cached_second_call_free(make_toy_llm, toy_record):
+    llm = make_toy_llm()
+    record = toy_record()
     first = llm.judge_filter("special flag", record)
     elapsed = llm.clock.elapsed
     second = llm.judge_filter("special flag", record)
@@ -57,39 +36,47 @@ def test_judgment_cached_second_call_free():
     assert first.answer == second.answer
 
 
-def test_cache_can_be_disabled():
-    llm = _llm(use_cache=False)
-    record = _record()
+def test_cache_can_be_disabled(make_toy_llm, toy_record):
+    llm = make_toy_llm(use_cache=False)
+    record = toy_record()
     llm.judge_filter("special flag", record)
     second = llm.judge_filter("special flag", record)
     assert not second.event.cached
     assert second.event.cost_usd > 0
 
 
-def test_same_seed_same_answers_across_instances():
-    record = _record(difficulty=1.0)  # ambiguous: noise matters
-    answers1 = [_llm(seed=5).judge_filter("special flag", _record(difficulty=1.0, uid=f"u{i}")).answer for i in range(20)]
-    answers2 = [_llm(seed=5).judge_filter("special flag", _record(difficulty=1.0, uid=f"u{i}")).answer for i in range(20)]
+def test_same_seed_same_answers_across_instances(make_toy_llm, toy_record):
+    answers1 = [
+        make_toy_llm(seed=5).judge_filter(
+            "special flag", toy_record(difficulty=1.0, uid=f"u{i}")
+        ).answer
+        for i in range(20)
+    ]
+    answers2 = [
+        make_toy_llm(seed=5).judge_filter(
+            "special flag", toy_record(difficulty=1.0, uid=f"u{i}")
+        ).answer
+        for i in range(20)
+    ]
     assert answers1 == answers2
-    assert record is not None
 
 
-def test_different_seeds_can_differ_on_ambiguous_records():
+def test_different_seeds_can_differ_on_ambiguous_records(make_toy_llm, toy_record):
     outcomes = set()
     for seed in range(12):
-        answer = _llm(seed=seed).judge_filter(
-            "special flag", _record(flag=False, difficulty=1.0, uid="amb")
+        answer = make_toy_llm(seed=seed).judge_filter(
+            "special flag", toy_record(flag=False, difficulty=1.0, uid="amb")
         ).answer
         outcomes.add(answer)
     assert outcomes == {True, False}
 
 
-def test_cheap_model_errs_more_than_champion():
+def test_cheap_model_errs_more_than_champion(make_toy_llm, toy_record):
     def error_count(model):
         errors = 0
         for i in range(60):
-            llm = _llm(seed=i)
-            record = _record(flag=True, difficulty=0.6, uid=f"r{i}")
+            llm = make_toy_llm(seed=i)
+            record = toy_record(flag=True, difficulty=0.6, uid=f"r{i}")
             if llm.judge_filter("special flag", record, model=model).answer is not True:
                 errors += 1
         return errors
@@ -97,25 +84,25 @@ def test_cheap_model_errs_more_than_champion():
     assert error_count("gpt-3.5-turbo") > error_count("gpt-4o")
 
 
-def test_extract_returns_truth_on_easy_record():
-    llm = _llm()
-    result = llm.extract("extract the number of widgets", _record(count=42))
+def test_extract_returns_truth_on_easy_record(make_toy_llm, toy_record):
+    llm = make_toy_llm()
+    result = llm.extract("extract the number of widgets", toy_record(count=42))
     assert result.value == 42
     assert result.resolved
 
 
-def test_extract_unresolved_returns_none():
-    llm = _llm()
-    result = llm.extract("extract the blorbification factor xyzzy", _record())
+def test_extract_unresolved_returns_none(make_toy_llm, toy_record):
+    llm = make_toy_llm()
+    result = llm.extract("extract the blorbification factor xyzzy", toy_record())
     assert result.value is None
     assert not result.resolved
 
 
-def test_extract_corruption_on_hard_records_is_plausible():
+def test_extract_corruption_on_hard_records_is_plausible(make_toy_llm, toy_record):
     values = set()
     for seed in range(30):
-        llm = _llm(seed=seed)
-        record = _record(count=100, difficulty=1.0, uid="hard")
+        llm = make_toy_llm(seed=seed)
+        record = toy_record(count=100, difficulty=1.0, uid="hard")
         values.add(llm.extract("extract the number of widgets", record).value)
     assert 100 in values  # usually right
     corrupted = values - {100}
@@ -123,61 +110,60 @@ def test_extract_corruption_on_hard_records_is_plausible():
     assert all(isinstance(value, (int, float)) for value in corrupted)
 
 
-def test_classify_picks_among_options():
-    llm = _llm()
-    registry = _registry()
-    registry.register("t.style", ["architectural", "style"])
-    llm.oracle = SemanticOracle(registry)
+def test_classify_picks_among_options(make_toy_llm, toy_registry):
+    llm = make_toy_llm()
+    toy_registry.register("t.style", ["architectural", "style"])
+    llm.oracle = SemanticOracle(toy_registry)
     record = DataRecord({"body": "x"}, annotations={"t.style": "modern"})
     result = llm.classify("what architectural style", ["modern", "ranch"], record)
     assert result.value in ("modern", "ranch")
 
 
-def test_classify_requires_options():
-    llm = _llm()
+def test_classify_requires_options(make_toy_llm, toy_record):
+    llm = make_toy_llm()
     with pytest.raises(ValueError):
-        llm.classify("anything", [], _record())
+        llm.classify("anything", [], toy_record())
 
 
-def test_complete_uses_expected_output_and_charges():
-    llm = _llm()
+def test_complete_uses_expected_output_and_charges(make_toy_llm):
+    llm = make_toy_llm()
     result = llm.complete("write a plan", expected_output="the plan text")
     assert result.text == "the plan text"
     assert result.event.output_tokens > 0
     assert result.event.cost_usd > 0
 
 
-def test_complete_without_expected_output_echoes_keywords():
-    llm = _llm()
+def test_complete_without_expected_output_echoes_keywords(make_toy_llm):
+    llm = make_toy_llm()
     result = llm.complete("summarize identity theft statistics")
     assert "identity" in result.text
 
 
-def test_parallel_section_charges_makespan():
-    llm_sequential = _llm()
+def test_parallel_section_charges_makespan(make_toy_llm, toy_record):
+    llm_sequential = make_toy_llm()
     for i in range(4):
-        llm_sequential.judge_filter("special flag", _record(uid=f"s{i}"))
+        llm_sequential.judge_filter("special flag", toy_record(uid=f"s{i}"))
     sequential_time = llm_sequential.clock.elapsed
 
-    llm_parallel = _llm()
+    llm_parallel = make_toy_llm()
     with llm_parallel.parallel(4):
         for i in range(4):
-            llm_parallel.judge_filter("special flag", _record(uid=f"s{i}"))
+            llm_parallel.judge_filter("special flag", toy_record(uid=f"s{i}"))
     parallel_time = llm_parallel.clock.elapsed
 
     assert parallel_time < sequential_time
     assert parallel_time > 0
 
 
-def test_parallel_rejects_bad_width():
-    llm = _llm()
+def test_parallel_rejects_bad_width(make_toy_llm):
+    llm = make_toy_llm()
     with pytest.raises(ValueError):
         with llm.parallel(0):
             pass
 
 
-def test_embed_charges_and_caches():
-    llm = _llm()
+def test_embed_charges_and_caches(make_toy_llm):
+    llm = make_toy_llm()
     llm.embed("identity theft")
     cost_first = llm.tracker.total().cost_usd
     assert cost_first > 0
@@ -185,47 +171,47 @@ def test_embed_charges_and_caches():
     assert llm.tracker.total().cost_usd == cost_first  # cached
 
 
-def test_nested_parallel_inner_makespan_is_one_outer_item():
+def test_nested_parallel_inner_makespan_is_one_outer_item(make_toy_llm, toy_record):
     """Regression: a nested section's makespan must ride as a single item in
     the enclosing section's waves, not advance the clock directly (which
     double-scheduled nested sections against their parent)."""
-    single = _llm()
-    single.judge_filter("special flag", _record(uid="a"))
+    single = make_toy_llm()
+    single.judge_filter("special flag", toy_record(uid="a"))
     one_call = single.clock.elapsed
 
-    llm = _llm()
+    llm = make_toy_llm()
     with llm.parallel(2):
-        llm.judge_filter("special flag", _record(uid="a"))
+        llm.judge_filter("special flag", toy_record(uid="a"))
         with llm.parallel(2):
-            llm.judge_filter("special flag", _record(uid="b"))
-            llm.judge_filter("special flag", _record(uid="c"))
+            llm.judge_filter("special flag", toy_record(uid="b"))
+            llm.judge_filter("special flag", toy_record(uid="c"))
     # All three calls are identically priced; the inner pair collapses to one
     # makespan L, and the outer wave of [L, L] at width 2 is just L.
     assert llm.clock.elapsed == pytest.approx(one_call)
 
 
-def test_cached_calls_do_not_occupy_wave_slots():
+def test_cached_calls_do_not_occupy_wave_slots(make_toy_llm, toy_record):
     """Regression: zero-latency cache hits must not displace real calls in
     the positional wave chunking of a parallel section."""
-    llm = _llm()
-    record = _record(uid="warm")
+    llm = make_toy_llm()
+    record = toy_record(uid="warm")
     llm.judge_filter("special flag", record)  # warm the cache
     one_call = llm.clock.elapsed
 
     with llm.parallel(2):
         llm.judge_filter("special flag", record)  # cache hit: free, instant
-        llm.judge_filter("special flag", _record(uid="cold1"))
-        llm.judge_filter("special flag", _record(uid="cold2"))
+        llm.judge_filter("special flag", toy_record(uid="cold1"))
+        llm.judge_filter("special flag", toy_record(uid="cold2"))
     # The two cold calls share one wave of width 2; the buggy accounting put
     # the cached call in the first slot and charged a second wave.
     assert llm.clock.elapsed - one_call == pytest.approx(one_call)
 
 
-def test_distractor_annotation_steers_corruption():
+def test_distractor_annotation_steers_corruption(make_toy_llm):
     from repro.llm.simulated import DISTRACTOR_PREFIX
 
     for seed in range(40):
-        llm = _llm(seed=seed)
+        llm = make_toy_llm(seed=seed)
         record = DataRecord(
             {"body": "widgets"},
             uid="d",

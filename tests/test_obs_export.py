@@ -20,29 +20,13 @@ from repro.obs import (
 from repro.sem import Dataset, QueryProcessorConfig
 from repro.utils.clock import VirtualClock
 
-GOLDEN = Path(__file__).parent / "goldens" / "chrome_trace_golden.json"
+from tests.golden_builders import GOLDEN_BUILDERS, hand_built_tracer, render_golden
 
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+GOLDEN = GOLDEN_DIR / "chrome_trace_golden.json"
 
-def _hand_built_tracer():
-    """A small deterministic span tree: query > operator > 2 wave calls,
-    plus a pipelined cell on its own track."""
-    clock = VirtualClock()
-    tracer = Tracer(clock)
-    metrics = MetricsRegistry()
-    metrics.counter("llm.calls").inc(3)
-    metrics.histogram("llm.latency_s").observe(2.0)
-    with tracer.span("query:test", kind="query", pipeline=False):
-        with tracer.span("SemFilter('x')", kind="operator"):
-            tracer.add_span(
-                "gpt-4o", "llm-call", 0.0, 2.0, track="llm slot 0", tag="t"
-            )
-            tracer.add_span(
-                "gpt-4o", "llm-call", 0.0, 1.5, track="llm slot 1", tag="t"
-            )
-            clock.advance(2.0)
-        tracer.add_span("SemFilter('x') b0", "cell", 2.0, 3.0, track="stage 0")
-        clock.advance(1.0)
-    return tracer, metrics
+# The deterministic span tree shared with scripts/update_goldens.py.
+_hand_built_tracer = hand_built_tracer
 
 
 def test_chrome_trace_matches_golden_file():
@@ -50,6 +34,16 @@ def test_chrome_trace_matches_golden_file():
     payload = chrome_trace(tracer, metrics=metrics)
     expected = json.loads(GOLDEN.read_text(encoding="utf-8"))
     assert payload == expected
+
+
+@pytest.mark.parametrize("filename", sorted(GOLDEN_BUILDERS))
+def test_goldens_are_up_to_date(filename):
+    # Byte-for-byte: scripts/update_goldens.py must be a no-op on a clean
+    # tree.  A parse-level match with different formatting still fails here.
+    on_disk = (GOLDEN_DIR / filename).read_text(encoding="utf-8")
+    assert on_disk == render_golden(GOLDEN_BUILDERS[filename]()), (
+        f"{filename} is stale; run: PYTHONPATH=src python scripts/update_goldens.py"
+    )
 
 
 def test_chrome_trace_structure():

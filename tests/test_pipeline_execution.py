@@ -15,17 +15,12 @@ from repro.data.records import reset_uid_counter
 from repro.data.schemas import Field
 from repro.llm.faults import FaultConfig, FaultInjector, RetryPolicy
 from repro.llm.models import EMBEDDING_MODEL
-from repro.llm.oracle import SemanticOracle
 from repro.llm.simulated import SimulatedLLM
 from repro.sem.config import QueryProcessorConfig
 from repro.sem.dataset import Dataset
 from repro.sem.physical import AdaptiveParallelism
 
 PARALLELISM = 8
-
-
-def _llm(bundle, seed=0, **kwargs):
-    return SimulatedLLM(oracle=SemanticOracle(bundle.registry), seed=seed, **kwargs)
 
 
 def _three_stage(bundle):
@@ -38,11 +33,11 @@ def _three_stage(bundle):
     )
 
 
-def _run_three_stage(bundle, pipeline, seed=0, llm=None):
-    # Derived-record uids come from a process-global counter and seed the
+def _run_three_stage(make_llm, bundle, pipeline, seed=0, llm=None):
+    # Source-record uids come from a process-global counter and seed the
     # simulated noise; reset so both modes see identical uid sequences.
     reset_uid_counter()
-    llm = llm or _llm(bundle, seed=seed)
+    llm = llm or make_llm(bundle, seed=seed)
     config = QueryProcessorConfig(
         llm=llm, optimize=False, parallelism=PARALLELISM, seed=seed, pipeline=pipeline
     )
@@ -55,9 +50,9 @@ def _run_three_stage(bundle, pipeline, seed=0, llm=None):
 
 
 @pytest.mark.parametrize("seed", [0, 1])
-def test_pipelined_matches_barrier_and_is_faster(enron_bundle, seed):
-    barrier, _ = _run_three_stage(enron_bundle, pipeline=False, seed=seed)
-    pipelined, _ = _run_three_stage(enron_bundle, pipeline=True, seed=seed)
+def test_pipelined_matches_barrier_and_is_faster(make_llm, enron_bundle, seed):
+    barrier, _ = _run_three_stage(make_llm, enron_bundle, pipeline=False, seed=seed)
+    pipelined, _ = _run_three_stage(make_llm, enron_bundle, pipeline=True, seed=seed)
 
     assert [(r.uid, r.fields) for r in pipelined.records] == [
         (r.uid, r.fields) for r in barrier.records
@@ -69,9 +64,9 @@ def test_pipelined_matches_barrier_and_is_faster(enron_bundle, seed):
 
 
 @pytest.mark.parametrize("seed", [0, 1])
-def test_operator_stats_exact_across_modes(enron_bundle, seed):
-    barrier, _ = _run_three_stage(enron_bundle, pipeline=False, seed=seed)
-    pipelined, _ = _run_three_stage(enron_bundle, pipeline=True, seed=seed)
+def test_operator_stats_exact_across_modes(make_llm, enron_bundle, seed):
+    barrier, _ = _run_three_stage(make_llm, enron_bundle, pipeline=False, seed=seed)
+    pipelined, _ = _run_three_stage(make_llm, enron_bundle, pipeline=True, seed=seed)
 
     assert len(barrier.operator_stats) == len(pipelined.operator_stats)
     for b, p in zip(barrier.operator_stats, pipelined.operator_stats):
@@ -86,10 +81,10 @@ def test_operator_stats_exact_across_modes(enron_bundle, seed):
         assert b.cost_usd == pytest.approx(p.cost_usd, abs=1e-9)
 
 
-def test_escape_hatch_runs_single_parallel_sections(enron_bundle):
+def test_escape_hatch_runs_single_parallel_sections(make_llm, enron_bundle):
     # pipeline=False must reproduce the legacy call shape: one per-record
     # embed call per topk input instead of batched embeds.
-    _, llm = _run_three_stage(enron_bundle, pipeline=False)
+    _, llm = _run_three_stage(make_llm, enron_bundle, pipeline=False)
     embed_events = [e for e in llm.tracker.events if e.model == EMBEDDING_MODEL]
     topk_inputs = 84  # FILTER_MENTIONS survivors at seed 0
     # one per record + one for the query
@@ -132,9 +127,9 @@ def test_embed_batch_matches_per_text_embeddings_and_skips_cached():
     assert new_events and all(e.cached and e.cost_usd == 0.0 for e in new_events)
 
 
-def test_pipelined_topk_batches_embeddings(enron_bundle):
-    _, barrier_llm = _run_three_stage(enron_bundle, pipeline=False)
-    _, pipelined_llm = _run_three_stage(enron_bundle, pipeline=True)
+def test_pipelined_topk_batches_embeddings(make_llm, enron_bundle):
+    _, barrier_llm = _run_three_stage(make_llm, enron_bundle, pipeline=False)
+    _, pipelined_llm = _run_three_stage(make_llm, enron_bundle, pipeline=True)
 
     def charged_embeds(llm):
         return len(
@@ -158,10 +153,10 @@ def test_pipelined_topk_batches_embeddings(enron_bundle):
 # ---------------------------------------------------------------------------
 
 
-def test_limit_short_circuits_upstream_waves(enron_bundle):
+def test_limit_short_circuits_upstream_waves(make_llm, enron_bundle):
     def run(pipeline):
         reset_uid_counter()
-        llm = _llm(enron_bundle)
+        llm = make_llm(enron_bundle)
         config = QueryProcessorConfig(
             llm=llm, optimize=False, parallelism=PARALLELISM, pipeline=pipeline
         )
@@ -199,7 +194,7 @@ def test_limit_short_circuits_upstream_waves(enron_bundle):
 STORMS = ((0.0, 2.5), (8.0, 10.0))
 
 
-def _run_bursty(bundle, storms, adaptive, seed=0):
+def _run_bursty(make_llm, bundle, storms, adaptive, seed=0):
     reset_uid_counter()
     faults = None
     if storms:
@@ -209,7 +204,7 @@ def _run_bursty(bundle, storms, adaptive, seed=0):
             ),
             seed=seed,
         )
-    llm = _llm(
+    llm = make_llm(
         bundle,
         seed=seed,
         faults=faults,
@@ -237,9 +232,9 @@ def _run_bursty(bundle, storms, adaptive, seed=0):
     return plan.run(config), llm
 
 
-def test_adaptive_parallelism_recovers_within_ten_percent(enron_bundle):
-    fault_free, _ = _run_bursty(enron_bundle, (), adaptive=True)
-    stormy, _ = _run_bursty(enron_bundle, STORMS, adaptive=True)
+def test_adaptive_parallelism_recovers_within_ten_percent(make_llm, enron_bundle):
+    fault_free, _ = _run_bursty(make_llm, enron_bundle, (), adaptive=True)
+    stormy, _ = _run_bursty(make_llm, enron_bundle, STORMS, adaptive=True)
 
     # Backing off rescued every record: output is bit-identical to the
     # fault-free run, and the makespan lands within 10% of it.
@@ -249,9 +244,9 @@ def test_adaptive_parallelism_recovers_within_ten_percent(enron_bundle):
     assert stormy.total_time_s <= 1.1 * fault_free.total_time_s
 
 
-def test_static_width_degrades_under_bursts(enron_bundle):
-    fault_free, _ = _run_bursty(enron_bundle, (), adaptive=False)
-    stormy, _ = _run_bursty(enron_bundle, STORMS, adaptive=False)
+def test_static_width_degrades_under_bursts(make_llm, enron_bundle):
+    fault_free, _ = _run_bursty(make_llm, enron_bundle, (), adaptive=False)
+    stormy, _ = _run_bursty(make_llm, enron_bundle, STORMS, adaptive=False)
 
     # Without the controller, waves stay at the cap, keep drawing 429s,
     # and records are dropped after retry exhaustion.

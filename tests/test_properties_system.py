@@ -19,6 +19,8 @@ from repro.llm.oracle import SemanticOracle
 from repro.llm.simulated import SimulatedLLM
 from repro.sem import Dataset, MaxQuality, QueryProcessorConfig
 
+pytestmark = pytest.mark.slow
+
 
 # ---------------------------------------------------------------------------
 # Optimizer consistency

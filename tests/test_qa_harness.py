@@ -1,0 +1,307 @@
+"""Tests for the plan-space differential-testing harness (``repro.qa``)."""
+
+import json
+
+import pytest
+
+from repro.qa.bundle import ReplayBundle
+from repro.qa.configs import ConfigSpec, config_matrix
+from repro.qa.corpus import CorpusSpec, build_corpus
+from repro.qa.fuzzer import FuzzCase, PlanFuzzer
+from repro.qa.mutations import MUTATIONS, mutation_by_name
+from repro.qa.oracles import (
+    Violation,
+    check_budget,
+    check_determinism,
+    check_exec_equivalence,
+    evaluate,
+)
+from repro.qa.runner import CaseRun, Observation, run_case, run_spec
+from repro.qa.shrinker import shrink
+
+
+# ---------------------------------------------------------------------------
+# Fuzzer: determinism, serde, structural invariants
+# ---------------------------------------------------------------------------
+
+
+def test_fuzzer_is_a_pure_function_of_seed_and_index():
+    first = [case.to_dict() for case in PlanFuzzer(seed=7).cases(6)]
+    second = [case.to_dict() for case in PlanFuzzer(seed=7).cases(6)]
+    assert first == second
+
+
+def test_fuzzer_seeds_explore_different_plan_spaces():
+    plans_a = [case.plan.to_dict() for case in PlanFuzzer(seed=0).cases(8)]
+    plans_b = [case.plan.to_dict() for case in PlanFuzzer(seed=1).cases(8)]
+    assert plans_a != plans_b
+
+
+def test_case_serde_round_trips_through_json():
+    case = PlanFuzzer(seed=3).case(2)
+    payload = json.loads(json.dumps(case.to_dict()))
+    assert FuzzCase.from_dict(payload) == case
+
+
+def test_generated_plans_respect_structural_invariants():
+    fuzzer = PlanFuzzer(seed=1, max_ops=4)
+    for case in fuzzer.cases(25):
+        ops = case.plan.ops
+        assert ops, "plans are never empty"
+        joins = [op for op in ops if op["op"] == "sem_join"]
+        assert len(joins) <= 1
+        # retrieve prefix + body + terminal decoration; join sub-ops ride
+        # inside the one join entry.
+        assert case.plan.op_count() <= fuzzer.max_ops + 2 + 2
+
+
+def test_corpus_generation_is_deterministic():
+    spec = CorpusSpec(seed=42, n_records=16)
+    first = [(r.uid, dict(r.fields)) for r in build_corpus(spec).source()]
+    second = [(r.uid, dict(r.fields)) for r in build_corpus(spec).source()]
+    assert first == second
+    assert len(first) == 16
+
+
+# ---------------------------------------------------------------------------
+# Config matrix
+# ---------------------------------------------------------------------------
+
+
+def _matrix_for(seed, index=0):
+    case = PlanFuzzer(seed=seed).case(index)
+    return case, config_matrix(case.plan, case.case_seed)
+
+
+def test_config_specs_serde_round_trip():
+    _, specs = _matrix_for(seed=0)
+    for spec in specs:
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert ConfigSpec.from_dict(payload) == spec
+
+
+def test_matrix_always_contains_the_exec_class_core():
+    _, specs = _matrix_for(seed=0)
+    names = {spec.name for spec in specs}
+    assert {"baseline", "barrier", "small-batch", "serial"} <= names
+    assert sum(1 for spec in specs if spec.name == "baseline") == 1
+
+
+def test_matrix_budget_and_fault_cells_require_semantic_ops():
+    fuzzer = PlanFuzzer(seed=2)
+    for index in range(10):
+        case = fuzzer.case(index)
+        specs = config_matrix(case.plan, case.case_seed)
+        has_budget = any(spec.answer_class == "budget" for spec in specs)
+        has_fault = any(spec.answer_class == "fault" for spec in specs)
+        semantic = case.plan.semantic_op_count() > 0
+        assert has_budget == semantic
+        assert has_fault == semantic
+
+
+def test_matrix_optimizer_cells_skip_join_plans():
+    fuzzer = PlanFuzzer(seed=4)
+    for index in range(12):
+        case = fuzzer.case(index)
+        specs = config_matrix(case.plan, case.case_seed)
+        opt_names = {s.name for s in specs if s.optimize}
+        if case.plan.has_join():
+            # Joins are bounded without sampling; only the probe cell runs.
+            assert "optimized-maxq" not in opt_names
+        else:
+            assert "optimized-maxq" in opt_names
+
+
+# ---------------------------------------------------------------------------
+# Runner + oracles on real cases
+# ---------------------------------------------------------------------------
+
+
+def test_run_spec_is_deterministic_for_the_baseline():
+    case, specs = _matrix_for(seed=5, index=1)
+    baseline = next(spec for spec in specs if spec.name == "baseline")
+    first = run_spec(case, baseline)
+    second = run_spec(case, baseline)
+    assert first.error is None
+    assert first.records == second.records
+    assert first.total_cost_usd == second.total_cost_usd
+    assert first.total_time_s == second.total_time_s
+
+
+@pytest.mark.parametrize("index", [0, 1, 2])
+def test_oracles_pass_on_healthy_cases(index):
+    case = PlanFuzzer(seed=0).case(index)
+    violations = evaluate(run_case(case))
+    assert violations == [], [str(v) for v in violations]
+
+
+# ---------------------------------------------------------------------------
+# Oracle unit behavior on synthetic observations
+# ---------------------------------------------------------------------------
+
+
+def _obs(name, answer_class, **kwargs):
+    spec = ConfigSpec(name=name, answer_class=answer_class)
+    return Observation(spec=spec, **kwargs)
+
+
+def test_check_determinism_flags_diverging_reruns():
+    run = CaseRun(
+        case=None,
+        observations={
+            "baseline": [
+                _obs("baseline", "exec", records=[("a", ())]),
+                _obs("baseline", "exec", records=[("b", ())]),
+            ]
+        },
+    )
+    assert any(v.oracle == "determinism" for v in check_determinism(run))
+
+
+def test_check_exec_equivalence_flags_record_mismatch():
+    run = CaseRun(
+        case=None,
+        observations={
+            "baseline": [_obs("baseline", "exec", records=[("a", ())])],
+            "barrier": [_obs("barrier", "exec", records=[("z", ())])],
+        },
+    )
+    fired = {v.oracle for v in check_exec_equivalence(run)}
+    assert fired == {"exec-equivalence"}
+
+
+def test_check_budget_flags_overshoot_beyond_the_saga_allowance():
+    over = _obs(
+        "budget-tight",
+        "budget",
+        total_cost_usd=1.0,
+        max_cost_usd=0.1,
+        max_event_cost_usd=0.01,
+        max_attempts=3,
+    )
+    run = CaseRun(case=None, observations={"budget-tight": [over]})
+    assert any(v.oracle == "budget-cap" for v in check_budget(run))
+
+    # Within cap + allowance: legal.
+    within = _obs(
+        "budget-tight",
+        "budget",
+        total_cost_usd=0.12,
+        max_cost_usd=0.1,
+        max_event_cost_usd=0.01,
+        max_attempts=3,
+    )
+    run = CaseRun(case=None, observations={"budget-tight": [within]})
+    assert check_budget(run) == []
+
+
+# ---------------------------------------------------------------------------
+# Mutations, shrinking, replay bundles
+# ---------------------------------------------------------------------------
+
+
+def test_mutation_registry_and_lookup():
+    assert "drop-budget-check" in MUTATIONS
+    assert "scramble-cell-order" in MUTATIONS
+    assert mutation_by_name("drop-budget-check").expected_oracle == "budget-cap"
+    with pytest.raises(ValueError):
+        mutation_by_name("no-such-mutation")
+
+
+@pytest.mark.slow
+def test_seeded_mutation_is_caught_and_shrinks_small():
+    # The acceptance bug: a dropped budget check must be caught by the
+    # budget oracle and delta-debugged down to a tiny repro.
+    mutation = mutation_by_name("drop-budget-check")
+    case = PlanFuzzer(seed=0).case(0)
+    violations = evaluate(run_case(case, mutation=mutation))
+    assert any(v.oracle == mutation.expected_oracle for v in violations)
+
+    result = shrink(case, mutation=mutation)
+    assert result.violations, "shrunk case must still fail"
+    assert result.case.plan.op_count() <= 3
+    assert {v.oracle for v in result.violations} & {mutation.expected_oracle}
+
+
+@pytest.mark.slow
+def test_replay_bundle_round_trips_and_reproduces(tmp_path):
+    mutation = mutation_by_name("drop-budget-check")
+    case = PlanFuzzer(seed=0).case(0)
+    violations = evaluate(run_case(case, mutation=mutation))
+    bundle = ReplayBundle.capture(case, violations, mutation=mutation.name)
+
+    path = bundle.save(tmp_path / "bundle.json")
+    loaded = ReplayBundle.load(path)
+    assert loaded.case == case
+    assert loaded.mutation == mutation.name
+    assert loaded.expected_oracles == sorted({v.oracle for v in violations})
+
+    replayed, reproduced = loaded.replay()
+    assert reproduced
+    assert {v.oracle for v in replayed} & set(loaded.expected_oracles)
+
+
+def test_clean_capture_replays_clean():
+    case = PlanFuzzer(seed=0).case(1)
+    bundle = ReplayBundle.capture(case, [])
+    replayed, reproduced = bundle.replay()
+    assert reproduced and replayed == []
+
+
+def test_violation_formatting_names_oracle_and_cell():
+    violation = Violation("budget-cap", "budget-tight", "spent too much")
+    assert str(violation) == "[budget-cap] budget-tight: spent too much"
+
+
+# ---------------------------------------------------------------------------
+# CLI: fuzz -> bundle -> replay, in-process
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_cli_fuzz_is_clean_and_deterministic(tmp_path, capsys):
+    from repro.qa.cli import main
+
+    argv = ["fuzz", "--n", "3", "--seed", "0", "--out", str(tmp_path)]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "0 failing" in first
+    # Identical modulo the wall-clock timing suffix.
+    strip = lambda out: [line.split(" (")[0] for line in out.splitlines()]  # noqa: E731
+    assert strip(first) == strip(second)
+    assert not list(tmp_path.iterdir()), "clean fuzz writes no bundles"
+
+
+@pytest.mark.slow
+def test_cli_mutated_fuzz_writes_bundle_that_replays(tmp_path, capsys):
+    from repro.qa.cli import main
+
+    code = main(
+        ["fuzz", "--n", "1", "--seed", "0", "--mutate", "drop-budget-check",
+         "--out", str(tmp_path)]
+    )
+    assert code == 1
+    bundles = sorted(tmp_path.glob("*.json"))
+    assert bundles, "failing fuzz must capture a replay bundle"
+    capsys.readouterr()
+
+    assert main(["replay", str(bundles[0])]) == 0
+    out = capsys.readouterr().out
+    assert "reproduced" in out
+
+
+def test_cli_rejects_unknown_mutation(capsys):
+    from repro.qa.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["fuzz", "--n", "1", "--mutate", "nope"])
+
+
+def test_main_cli_delegates_qa_subcommand(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["qa", "fuzz", "--n", "1", "--seed", "0",
+                 "--out", str(tmp_path)]) == 0
+    assert "fuzz:" in capsys.readouterr().out

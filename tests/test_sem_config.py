@@ -4,16 +4,11 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.llm.models import DEFAULT_MODEL
-from repro.llm.simulated import SimulatedLLM
 from repro.sem.config import QueryProcessorConfig
 
 
-def _llm():
-    return SimulatedLLM(seed=0)
-
-
-def test_defaults_are_sane():
-    config = QueryProcessorConfig(llm=_llm())
+def test_defaults_are_sane(make_llm):
+    config = QueryProcessorConfig(llm=make_llm())
     assert config.optimize and config.reorder_filters and config.select_models
     assert config.champion_model == DEFAULT_MODEL
     assert config.parallelism == 1  # iterator semantics by default
@@ -21,29 +16,29 @@ def test_defaults_are_sane():
     assert config.max_cost_usd is None
 
 
-def test_sample_size_validated():
+def test_sample_size_validated(make_llm):
     with pytest.raises(ConfigurationError):
-        QueryProcessorConfig(llm=_llm(), sample_size=0)
+        QueryProcessorConfig(llm=make_llm(), sample_size=0)
 
 
-def test_parallelism_validated():
+def test_parallelism_validated(make_llm):
     with pytest.raises(ConfigurationError):
-        QueryProcessorConfig(llm=_llm(), parallelism=0)
+        QueryProcessorConfig(llm=make_llm(), parallelism=0)
 
 
-def test_candidate_models_default_sorted_by_cost():
-    config = QueryProcessorConfig(llm=_llm())
+def test_candidate_models_default_sorted_by_cost(make_llm):
+    config = QueryProcessorConfig(llm=make_llm())
     models = config.candidate_models()
     assert models[0] == "gpt-4o-mini"
     assert models[-1] == "gpt-4o"
 
 
-def test_candidate_models_override():
-    config = QueryProcessorConfig(llm=_llm(), available_models=["gpt-4o"])
+def test_candidate_models_override(make_llm):
+    config = QueryProcessorConfig(llm=make_llm(), available_models=["gpt-4o"])
     assert config.candidate_models() == ["gpt-4o"]
 
 
-def test_candidate_models_override_returns_copy():
-    config = QueryProcessorConfig(llm=_llm(), available_models=["gpt-4o"])
+def test_candidate_models_override_returns_copy(make_llm):
+    config = QueryProcessorConfig(llm=make_llm(), available_models=["gpt-4o"])
     config.candidate_models().append("mutated")
     assert config.candidate_models() == ["gpt-4o"]

@@ -1,9 +1,13 @@
 """Property-based tests for UPDATE/DELETE consistency."""
 
+import pytest
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sql import Database
+
+pytestmark = pytest.mark.slow
 
 rows_strategy = st.lists(
     st.integers(min_value=-50, max_value=50), min_size=0, max_size=20

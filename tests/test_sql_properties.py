@@ -4,10 +4,14 @@ These check engine invariants against a reference implementation in plain
 Python over randomly generated tables.
 """
 
+import pytest
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sql import Database
+
+pytestmark = pytest.mark.slow
 
 rows_strategy = st.lists(
     st.tuples(
