@@ -30,6 +30,10 @@ echo "== pipelined-execution smoke sweep =="
 python benchmarks/bench_pipeline.py --smoke
 
 echo
+echo "== materialization-reuse smoke sweep =="
+python benchmarks/bench_context_reuse.py --smoke
+
+echo
 echo "== differential-testing fuzz lane =="
 python -m repro.qa fuzz --n 15 --seed 0
 python -m repro.qa selftest --n 10

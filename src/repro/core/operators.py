@@ -118,6 +118,32 @@ def _run_agent_op(
     return agent.run(compiled.logical.instruction, context_note=context.desc)
 
 
+def _seed_context(
+    context: Context, instruction: str, runtime: "AnalyticsRuntime"
+) -> tuple[Context, str]:
+    """Swap in a previously materialized Context for a near-miss instruction.
+
+    When ``reuse_contexts`` is on, the ContextManager's similarity index is
+    consulted before the agent episode starts; a cached Context materialized
+    for a similar instruction, derived from the *same* base data (root
+    lineage guard) and strictly narrower than the input, seeds the operator
+    instead.  The agent then reads the already-filtered view rather than
+    re-deriving it.  Returns ``(context, note)`` where the note documents
+    the substitution in the output Context's description.
+    """
+    if not runtime.reuse_contexts:
+        return context, ""
+    entry, score = runtime.context_manager.find_similar(instruction)
+    if entry is None or len(entry.context) == 0:
+        return context, ""
+    if entry.context.lineage()[-1].name != context.lineage()[-1].name:
+        return context, ""  # different base data; not a view of this input
+    if len(entry.context) >= len(context):
+        return context, ""  # no narrowing: seeding would not save work
+    note = f"\nSeeded from cached context {entry.context.name} (similarity {score:.2f})"
+    return entry.context, note
+
+
 def compute(
     context: Context,
     instruction: str,
@@ -126,6 +152,7 @@ def compute(
     policy: AgentPolicy | None = None,
 ) -> ComputeResult:
     """Execute a compute operator: agent + optimized semantic programs."""
+    context, seed_note = _seed_context(context, instruction, runtime)
     logical = LogicalAgentOp("compute", instruction, context.name)
     compiled = compile_operator(logical, runtime, max_steps)
     agent_result = _run_agent_op(compiled, context, runtime, policy or ComputeAgentPolicy())
@@ -134,7 +161,7 @@ def compute(
     output_records = _records_from_answer(answer, context)
     output_context = context.derived(
         description=(
-            f"{context.desc}\nComputed for: {instruction}\n"
+            f"{context.desc}{seed_note}\nComputed for: {instruction}\n"
             f"Result: {snippet(repr(answer), 300)}\n"
             f"Trace: {agent_result.trace.summary()}"
         ),
@@ -158,6 +185,7 @@ def search(
     policy: AgentPolicy | None = None,
 ) -> SearchResult:
     """Execute a search operator: enrich the Context's description."""
+    context, seed_note = _seed_context(context, instruction, runtime)
     logical = LogicalAgentOp("search", instruction, context.name)
     compiled = compile_operator(logical, runtime, max_steps)
     agent_result = _run_agent_op(compiled, context, runtime, policy or SearchAgentPolicy())
@@ -167,7 +195,7 @@ def search(
     notes = findings.get("notes", "")
     output_context = context.derived(
         description=(
-            f"{context.desc}\nSearch for: {instruction}\n"
+            f"{context.desc}{seed_note}\nSearch for: {instruction}\n"
             f"Relevant items: {', '.join(map(str, relevant_keys)) or '(none found)'}\n"
             f"Notes: {snippet(str(notes), 400)}"
         )

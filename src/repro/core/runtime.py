@@ -31,6 +31,7 @@ from repro.llm.oracle import IntentRegistry, SemanticOracle
 from repro.llm.simulated import SimulatedLLM
 from repro.llm.usage import Usage
 from repro.sem.config import QueryProcessorConfig
+from repro.sem.materialize import MaterializationStore
 from repro.sem.optimizer.policies import Balanced, OptimizationPolicy
 from repro.sql.database import Database
 from repro.sql.executor import ResultSet
@@ -82,6 +83,12 @@ class AnalyticsRuntime:
         self.champion_model = champion_model
         self.reuse_contexts = reuse_contexts
         self.context_manager = ContextManager(self.llm, threshold=context_threshold)
+        #: Runtime-wide sub-plan materialization store.  Semantic programs
+        #: launched by compute/search agents share it (when
+        #: ``reuse_contexts`` is on), so fingerprint-matched plan prefixes
+        #: replay across queries; ContextManager.invalidate cascades into it.
+        self.materialization_store = MaterializationStore()
+        self.context_manager.materialization_store = self.materialization_store
         self.db = Database()
         #: Execution result of the most recent optimized program (debugging).
         self.last_program_result = None
@@ -177,6 +184,8 @@ class AnalyticsRuntime:
         kwargs = {}
         if self.embed_batch_size is not None:
             kwargs["embed_batch_size"] = self.embed_batch_size
+        if self.reuse_contexts:
+            kwargs["materialization_store"] = self.materialization_store
         return QueryProcessorConfig(
             llm=self.llm,
             policy=self.policy,

@@ -28,6 +28,13 @@ class GenerationCache:
         self.evictions = 0
         #: Puts that overwrote an existing key (previously silent).
         self.updates = 0
+        #: Times :meth:`clear` ran, and entries it dropped.  Clearing is not
+        #: eviction (no capacity pressure), so it gets its own counters.
+        self.clears = 0
+        self.cleared_entries = 0
+        #: Window counters archived by ``clear(reset_stats=True)`` — the
+        #: lifetime totals survive any number of clears.
+        self._lifetime = {"hits": 0, "misses": 0, "evictions": 0, "updates": 0}
         #: Optional :class:`repro.obs.metrics.MetricsRegistry`; when attached
         #: (by an observability-enabled ``SimulatedLLM``) the counters above
         #: are mirrored into the shared registry.
@@ -70,11 +77,39 @@ class GenerationCache:
         """Drop all entries; pass ``reset_stats=False`` to keep the counters.
 
         Clearing entries does not count as eviction — stats resetting is an
-        explicit choice, not a side effect.
+        explicit choice, not a side effect.  Either way the window counters
+        are archived into the lifetime totals (``reset_stats=True`` then
+        zeroes the window), so accounting is never silently lost: the
+        mirrored ``MetricsRegistry`` counters and :meth:`lifetime_stats`
+        both survive any number of clears.
         """
+        self.clears += 1
+        self.cleared_entries += len(self._entries)
+        if self.metrics is not None:
+            self.metrics.counter("cache.clears").inc()
+            self.metrics.counter("cache.cleared_entries").inc(len(self._entries))
         self._entries.clear()
         if reset_stats:
-            self.hits = 0
-            self.misses = 0
-            self.evictions = 0
-            self.updates = 0
+            for name in self._lifetime:
+                self._lifetime[name] += getattr(self, name)
+                setattr(self, name, 0)
+
+    def lifetime_stats(self) -> dict:
+        """Counters accumulated across clears (archived + current window)."""
+        return {
+            name: archived + getattr(self, name)
+            for name, archived in self._lifetime.items()
+        }
+
+    def stats(self) -> dict:
+        """Snapshot of the window counters plus lifetime totals."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "updates": self.updates,
+            "clears": self.clears,
+            "cleared_entries": self.cleared_entries,
+            "lifetime": self.lifetime_stats(),
+        }

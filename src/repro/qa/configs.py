@@ -20,6 +20,11 @@ the runtime promises produce the same answer:
 - ``fault`` — seeded fault schedules with retries.  Fault draws depend on
   attempt ordering, so the only cross-run promise is determinism: the
   identical config must reproduce the identical result.
+- ``reuse`` — the same spec run twice against a shared
+  :class:`~repro.sem.materialize.MaterializationStore` (fresh substrate
+  each time).  Contract: the warm run's records are bit-identical to the
+  cold run's (and to the baseline's), and the warm run never costs more
+  than the cold run.
 """
 
 from __future__ import annotations
@@ -53,6 +58,9 @@ class ConfigSpec:
     on_failure: str = "skip"
     sample_size: int = 6
     llm_seed: int = 0
+    #: Run cold-then-warm against a shared MaterializationStore; the warm
+    #: run is the recorded observation (reuse class).
+    reuse: bool = False
     #: Spend cap as a fraction of the measured baseline cost (budget class).
     budget_fraction: float | None = None
     #: Fault schedule for the substrate (``FaultConfig.to_dict`` form).
@@ -79,6 +87,7 @@ class ConfigSpec:
             "on_failure": self.on_failure,
             "sample_size": self.sample_size,
             "llm_seed": self.llm_seed,
+            "reuse": self.reuse,
             "budget_fraction": self.budget_fraction,
             "fault": self.fault,
             "retry": self.retry,
@@ -166,6 +175,11 @@ def config_matrix(plan, case_seed: int = 0) -> list[ConfigSpec]:
                 optimize=True,
                 policy="max-quality",
             )
+        )
+        # reuse class: warm-vs-cold identity against a shared
+        # materialization store (baseline execution semantics).
+        specs.append(
+            replace(BASELINE, name="warm-reuse", answer_class="reuse", reuse=True)
         )
         # probes: answer-changing policies, weak oracles only.
         specs.append(

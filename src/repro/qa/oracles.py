@@ -226,6 +226,55 @@ def check_budget(run) -> list[Violation]:
     return violations
 
 
+def check_reuse_equivalence(run) -> list[Violation]:
+    """Warm runs against a primed MaterializationStore change nothing but cost.
+
+    The reuse class runs the same spec cold then warm with a shared store
+    and a fresh substrate per pass, so any difference is attributable to
+    materialization replay.  Contract: the warm records are bit-identical
+    to the cold records (and to the baseline's, since the spec shares the
+    baseline's execution semantics), and replaying a materialized prefix
+    can only ever save money.
+    """
+    violations = []
+    baseline = run.first("baseline")
+    for observation in run.by_class("reuse"):
+        name = observation.spec.name
+        if observation.error or observation.reuse_cold_records is None:
+            continue
+        if observation.records != observation.reuse_cold_records:
+            detail = _first_diff(observation.reuse_cold_records, observation.records)
+            violations.append(
+                Violation(
+                    "reuse-equivalence", name,
+                    f"warm records differ from cold: {detail}",
+                )
+            )
+        if observation.truncated:
+            violations.append(
+                Violation("reuse-equivalence", name, "truncated without a cap")
+            )
+        cold_cost = observation.reuse_cold_cost_usd or 0.0
+        if observation.total_cost_usd > cold_cost + COST_EPS:
+            violations.append(
+                Violation(
+                    "reuse-equivalence", name,
+                    f"warm cost {observation.total_cost_usd} exceeds cold "
+                    f"cost {cold_cost}",
+                )
+            )
+        if baseline is not None and not baseline.error:
+            if observation.records != baseline.records:
+                detail = _first_diff(baseline.records, observation.records)
+                violations.append(
+                    Violation(
+                        "reuse-equivalence", name,
+                        f"warm records differ from baseline: {detail}",
+                    )
+                )
+    return violations
+
+
 def check_trace(run) -> list[Violation]:
     """The traced baseline run must export a structurally valid span tree."""
     from repro.obs.export import validate_spans
@@ -253,6 +302,7 @@ ORACLES = (
     check_policy_cost,
     check_estimates,
     check_budget,
+    check_reuse_equivalence,
     check_trace,
 )
 

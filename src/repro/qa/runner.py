@@ -17,6 +17,7 @@ Run order per case:
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 
 from repro.data.records import reset_uid_counter
@@ -25,6 +26,7 @@ from repro.qa.configs import ConfigSpec, config_matrix
 from repro.qa.corpus import build_corpus
 from repro.qa.fuzzer import FuzzCase
 from repro.qa.plans import normalized_records
+from repro.sem.materialize import MaterializationStore
 
 
 @dataclass
@@ -55,6 +57,13 @@ class Observation:
     estimate_cardinality: float | None = None
     #: Spans captured when the run was traced (baseline only).
     spans: list | None = None
+    #: Cold-pass capture for the reuse class: the priming run's normalized
+    #: records and cost, against which the warm observation is compared.
+    reuse_cold_records: list | None = None
+    reuse_cold_cost_usd: float | None = None
+    #: Materialization reuse achieved by the warm run (0 = no reuse).
+    reused_prefix: int = 0
+    reuse_kind: str = ""
     #: Exception repr when the run blew up (oracles flag it).
     error: str | None = None
 
@@ -95,10 +104,22 @@ def run_spec(
     observation = Observation(spec=spec, max_cost_usd=max_cost_usd)
     try:
         dataset = case.plan.build(bundle)
-        if mutation is not None:
-            with mutation.applied():
-                result, report = dataset.run_with_report(config)
-        else:
+        guard = mutation.applied() if mutation is not None else contextlib.nullcontext()
+        with guard:
+            if spec.reuse:
+                # Cold pass primes a shared store with a fresh substrate so
+                # the warm (recorded) run can only benefit from the store,
+                # never from a shared generation cache.
+                store = MaterializationStore()
+                cold_llm = spec.make_llm(bundle)
+                cold_config = spec.build(cold_llm, max_cost_usd=max_cost_usd)
+                cold_config.materialization_store = store
+                cold_result, _cold_report = dataset.run_with_report(cold_config)
+                observation.reuse_cold_records = normalized_records(
+                    cold_result.records
+                )
+                observation.reuse_cold_cost_usd = cold_result.total_cost_usd
+                config.materialization_store = store
             result, report = dataset.run_with_report(config)
     except Exception as exc:  # noqa: BLE001 — oracles judge the failure
         observation.error = f"{type(exc).__name__}: {exc}"
@@ -122,6 +143,8 @@ def run_spec(
         observation.estimate_cost_usd = report.estimate.cost_usd
         observation.estimate_time_s = report.estimate.time_s
         observation.estimate_cardinality = report.estimate.cardinality
+    observation.reused_prefix = report.reused_prefix
+    observation.reuse_kind = report.reuse_kind
     if tracer is not None:
         observation.spans = tracer.spans
     return observation

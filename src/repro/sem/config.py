@@ -8,6 +8,7 @@ from repro.errors import ConfigurationError
 from repro.llm.embeddings import DEFAULT_EMBED_BATCH
 from repro.llm.models import DEFAULT_MODEL, completion_models_by_cost
 from repro.llm.simulated import SimulatedLLM
+from repro.sem.materialize import MaterializationStore
 from repro.sem.optimizer.policies import MaxQuality, OptimizationPolicy
 
 #: Model used when an operator is bound without an explicit model choice
@@ -70,6 +71,12 @@ class QueryProcessorConfig:
     #: again on success, capped at ``parallelism``.  Fault-free runs stay
     #: at the cap, so this is a no-op without an injector.
     adaptive_parallelism: bool = True
+    #: Cross-query sub-plan reuse: a shared
+    #: :class:`~repro.sem.materialize.MaterializationStore` makes the
+    #: optimizer replay fingerprint-matched plan prefixes (and run appended
+    #: source deltas through them) instead of recomputing.  None disables
+    #: materialization entirely.
+    materialization_store: "MaterializationStore | None" = None
 
     def __post_init__(self) -> None:
         if self.sample_size < 1:

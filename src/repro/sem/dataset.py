@@ -250,6 +250,7 @@ class Dataset:
                 max_cost_usd=config.max_cost_usd,
                 pipeline=config.pipeline,
                 batch_size=config.resolved_batch_size(),
+                capture=report.capture,
             )
             result = engine.execute(operators)
             result.optimization_cost_usd = report.sampling_cost_usd
@@ -262,6 +263,11 @@ class Dataset:
                 time_s=result.total_time_s,
                 truncated=result.truncated,
             )
+            if report.reused_prefix:
+                query_span.attributes.update(
+                    reused_prefix=report.reused_prefix,
+                    reuse_kind=report.reuse_kind,
+                )
         return result, report
 
     def records(self, config: QueryProcessorConfig) -> list[DataRecord]:

@@ -65,6 +65,8 @@ class OperatorStats:
     #: included — their prefill is real spend).
     input_tokens: int = 0
     output_tokens: int = 0
+    #: True when this operator replayed a materialized sub-plan prefix.
+    reused: bool = False
 
     @property
     def selectivity(self) -> float:
@@ -174,12 +176,13 @@ class ExecutionResult:
                     f"{stats.cache_hit_ratio * 100:.0f}%",
                     stats.retried_calls,
                     stats.failed_records,
+                    "yes" if stats.reused else "-",
                 ]
             )
         table = format_table(
             [
                 "Operator", "In", "Out", "Time (s)", "Cost ($)",
-                "Tokens", "Calls", "Cache", "Retried", "Failed",
+                "Tokens", "Calls", "Cache", "Retried", "Failed", "Reused",
             ],
             rows,
             title="EXECUTION REPORT",
@@ -200,7 +203,7 @@ class ExecutionResult:
 
 def _stats_attrs(stats: OperatorStats) -> dict:
     """Span attributes summarizing one operator's measured behaviour."""
-    return {
+    attrs = {
         "records_in": stats.records_in,
         "records_out": stats.records_out,
         "cost_usd": round(stats.cost_usd, 6),
@@ -210,6 +213,9 @@ def _stats_attrs(stats: OperatorStats) -> dict:
         "retried_calls": stats.retried_calls,
         "failed_records": stats.failed_records,
     }
+    if stats.reused:
+        attrs["reused"] = True
+    return attrs
 
 
 class _StageAccount:
@@ -232,6 +238,7 @@ class _StageAccount:
         return OperatorStats(
             label=self.operator.label(),
             model=self.operator.model,
+            reused=getattr(self.operator, "reused", False),
             records_in=self.records_in,
             records_out=self.records_out,
             cost_usd=self.cost_usd,
@@ -254,6 +261,7 @@ class Engine:
         max_cost_usd: float | None = None,
         pipeline: bool = True,
         batch_size: int | None = None,
+        capture=None,
     ) -> None:
         self.ctx = ctx
         self.max_cost_usd = max_cost_usd
@@ -261,6 +269,9 @@ class Engine:
         self.batch_size = batch_size if batch_size is not None else max(2 * ctx.parallelism, 16)
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        #: Optional :class:`repro.sem.materialize.CapturePlan`: operator
+        #: boundaries to materialize into the store after they complete.
+        self.capture = capture
 
     def execute(self, operators: list[PhysicalOperator]) -> ExecutionResult:
         llm = self.ctx.llm
@@ -270,6 +281,7 @@ class Engine:
         stats: list[OperatorStats] = []
         run_start_cost = llm.tracker.spent_usd
         run_start_time = llm.clock.elapsed
+        run_checkpoint = llm.tracker.checkpoint()
         # Thread the spend cap into the context so operators can truncate
         # mid-batch instead of overshooting to the next operator boundary.
         self.ctx.cost_baseline_usd = run_start_cost
@@ -299,9 +311,13 @@ class Engine:
                     metrics.histogram("engine.section_makespan_s").observe(
                         section_span.duration_s
                     )
-                index += len(section)
                 if truncated:
                     break
+                self._maybe_capture(
+                    index + len(section) - 1, records, llm,
+                    run_start_cost, run_start_time, run_checkpoint,
+                )
+                index += len(section)
                 continue
 
             operator = operators[index]
@@ -326,6 +342,7 @@ class Engine:
             op_stats = OperatorStats(
                 label=operator.label(),
                 model=operator.model,
+                reused=getattr(operator, "reused", False),
                 records_in=n_in,
                 records_out=n_out,
                 cost_usd=usage.cost_usd,
@@ -344,6 +361,9 @@ class Engine:
                 metrics.histogram("engine.operator_s").observe(op_stats.time_s)
             if truncated:
                 break
+            self._maybe_capture(
+                index, records, llm, run_start_cost, run_start_time, run_checkpoint
+            )
             index += 1
 
         if metrics.enabled and truncated:
@@ -356,6 +376,41 @@ class Engine:
             truncated=truncated,
             retried_calls=sum(s.retried_calls for s in stats),
             failed_records=sum(s.failed_records for s in stats),
+        )
+
+    def _maybe_capture(
+        self,
+        position: int,
+        records: list[DataRecord],
+        llm,
+        run_start_cost: float,
+        run_start_time: float,
+        run_checkpoint: int,
+    ) -> None:
+        """Materialize the boundary after operator ``position`` if eligible.
+
+        Capture is skipped on tainted runs: degraded records (``skip``) or
+        fault-driven fallback answers would poison later reuse, and a
+        faulted call is the only way either happens — so any failed call
+        since the run started vetoes the write.  The stored cost is the
+        cumulative spend up to this boundary plus the cost carried from a
+        replayed entry, i.e. an honest full-recompute estimate.
+        """
+        plan = self.capture
+        if plan is None or position >= len(plan.fingerprints):
+            return
+        fingerprint = plan.fingerprints[position]
+        if fingerprint is None:
+            return
+        if self.ctx.failures or llm.tracker.failed_calls(run_checkpoint):
+            return
+        plan.store.put(
+            fingerprint,
+            records,
+            source_uids=plan.source_uids,
+            source_id=plan.source_id,
+            cost_usd=plan.carried_cost_usd + (llm.tracker.spent_usd - run_start_cost),
+            time_s=plan.carried_time_s + (llm.clock.elapsed - run_start_time),
         )
 
     def _section_at(

@@ -49,12 +49,14 @@ def explain_analyze(result: ExecutionResult, report: OptimizationReport) -> str:
                 f"{stats.cache_hit_ratio * 100:.0f}%",
                 stats.retried_calls,
                 stats.failed_records,
+                "yes" if stats.reused else "-",
             ]
         )
     table = format_table(
         [
             "Operator", "In", "Est. out", "Out", "Est. $", "Actual $",
             "Time (s)", "Calls", "Tokens", "Cache", "Retried", "Failed",
+            "Reused",
         ],
         rows,
         title="EXPLAIN ANALYZE",
@@ -73,6 +75,18 @@ def explain_analyze(result: ExecutionResult, report: OptimizationReport) -> str:
             f"\nplan estimate: ${report.estimate.cost_usd:.4f}, "
             f"{report.estimate.time_s:.1f}s, "
             f"{report.estimate.cardinality:.0f} rows out"
+        )
+    if report.reused_prefix:
+        footer += (
+            f"\nreuse: {report.reused_prefix}-operator prefix served from "
+            f"materialization {report.reuse_fingerprint[:12]} "
+            f"({report.reuse_kind}"
+        )
+        if report.reuse_delta_records:
+            footer += f", {report.reuse_delta_records} delta records"
+        footer += (
+            f"); store hits: {report.reuse_store_hits}, "
+            f"est. saved ${report.reuse_saved_est_usd:.4f}"
         )
     if result.truncated:
         footer += "\nNOTE: execution truncated by the spend cap"

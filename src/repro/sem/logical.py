@@ -174,6 +174,26 @@ class LimitOp(LogicalOperator):
 
 
 @dataclass(frozen=True)
+class MaterializedScanOp(LogicalOperator):
+    """Leaf: replay a materialized sub-plan prefix from the store.
+
+    Never written by users — the reuse-aware optimizer substitutes one for
+    a fingerprint-matched prefix (see :mod:`repro.sem.materialize`).  When
+    the source grew by an appended delta, ``delta_records`` counts the new
+    source records the physical operator runs through the reused prefix.
+    """
+
+    source_id: str = ""
+    fingerprint: str = ""
+    base_records: int = 0
+    delta_records: int = 0
+
+    def label(self) -> str:
+        suffix = f", delta={self.delta_records}" if self.delta_records else ""
+        return f"MaterializedScan({self.source_id}, fp={self.fingerprint[:8]}{suffix})"
+
+
+@dataclass(frozen=True)
 class RetrieveOp(LogicalOperator):
     """Access-path operator: top-k vector retrieval instead of a full scan.
 
@@ -258,6 +278,9 @@ def validate_plan(plan: LogicalPlan) -> None:
         elif isinstance(op, SemJoinOp):
             if op.child is None or op.right is None:
                 raise PlanError("SemJoinOp requires two inputs")
+        elif isinstance(op, MaterializedScanOp):
+            if op.child is not None:
+                raise PlanError("MaterializedScanOp must be a leaf")
         elif op.child is None:
             raise PlanError(f"{op.label()} is missing its input")
         if isinstance(op, LimitOp) and op.n < 0:

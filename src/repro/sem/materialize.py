@@ -1,0 +1,449 @@
+"""Semantic materialization: sub-plan fingerprints and the reuse store.
+
+The cross-query counterpart of the generation cache.  Where the
+:class:`~repro.llm.cache.GenerationCache` reuses single LLM *calls*, the
+:class:`MaterializationStore` reuses whole operator-boundary record sets:
+every prefix of a linear plan gets a canonical **fingerprint** — a stable
+digest of the operator subtree (kinds + normalized instructions + resolved
+models + source lineage + the substrate seed) — and the engine stores the
+records flowing across each fingerprintable boundary.  A later query whose
+prefix hashes to the same fingerprint replays the stored records instead of
+recomputing them; if the source has *appended* records since, only the
+delta runs through the prefix (incremental execution).
+
+Soundness rests on three facts established by earlier PRs:
+
+- simulated answers are a pure function of (seed, model, instruction,
+  record uid) — never of call order — so a fingerprint match implies the
+  recomputation would produce byte-identical records;
+- instructions enter the noise key through
+  :func:`~repro.utils.text.normalize_text`, so fingerprints normalize the
+  same way (semantically identical whitespace/case variants share entries);
+- derived-record uids are lineage-deterministic, so records computed from
+  an appended delta are identical to the ones a full recompute would make.
+
+Commuting filter runs (see :func:`repro.sem.optimizer.rules.commuting_runs`)
+are canonicalized by sorting their tokens: filters only remove records and
+preserve order, so any permutation — even a prefix that cuts a run in half
+— yields the same record set, and semantically identical reorderings share
+fingerprints.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.data.records import DataRecord
+from repro.sem import logical as L
+from repro.utils.hashing import stable_digest
+from repro.utils.text import normalize_text
+
+#: Bump when the token grammar changes; keeps persisted stores honest.
+FINGERPRINT_VERSION = 1
+
+#: Ops whose output on an appended delta equals the tail of a full
+#: recompute: record-local, order-preserving, no whole-input dependence.
+#: Limit/TopK/GroupBy/Agg/Retrieve depend on the entire input (or its
+#: count) and are therefore exact-reuse only.
+INCREMENTAL_SAFE_OPS = (
+    L.SemFilterOp,
+    L.SemMapOp,
+    L.SemClassifyOp,
+    L.PyFilterOp,
+    L.PyMapOp,
+    L.ProjectOp,
+)
+
+#: Ops worth materializing behind: they spend LLM calls or embeddings.
+COSTLY_OPS = (
+    L.SemFilterOp,
+    L.SemMapOp,
+    L.SemClassifyOp,
+    L.SemGroupByOp,
+    L.SemAggOp,
+    L.SemTopKOp,
+    L.RetrieveOp,
+)
+
+#: Adjacent runs of these commute (mirrors ``rules._COMMUTING``).
+_COMMUTING = (L.SemFilterOp, L.PyFilterOp)
+
+
+def op_token(op: L.LogicalOperator, model: str | None) -> tuple | None:
+    """Canonical token for one operator, or None if unfingerprintable.
+
+    ``model`` is the *resolved* physical model (reuse matching happens
+    after the optimizer's model choice, so a hit implies the current run
+    would bind the same models).  Python ops are fingerprintable only via
+    their declared ``description`` — bare lambdas are not process-stable.
+    """
+    if isinstance(op, L.ScanOp):
+        return ("scan", op.source.source_id)
+    if isinstance(op, L.SemFilterOp):
+        return ("sem_filter", normalize_text(op.instruction), model)
+    if isinstance(op, L.SemMapOp):
+        outputs = tuple(
+            (
+                field_.name,
+                getattr(field_.type, "__name__", repr(field_.type)),
+                field_.desc,
+                normalize_text(instruction),
+            )
+            for field_, instruction in op.outputs
+        )
+        return ("sem_map", outputs, model)
+    if isinstance(op, L.SemClassifyOp):
+        return (
+            "sem_classify",
+            op.output_field,
+            tuple(op.options),
+            normalize_text(op.instruction),
+            model,
+        )
+    if isinstance(op, L.SemGroupByOp):
+        return (
+            "sem_groupby",
+            tuple(op.groups),
+            normalize_text(op.instruction),
+            op.summarize,
+            model,
+        )
+    if isinstance(op, L.SemAggOp):
+        return ("sem_agg", op.output_field, normalize_text(op.instruction), model)
+    if isinstance(op, L.SemTopKOp):
+        return ("sem_topk", normalize_text(op.query), op.k, op.method, model)
+    if isinstance(op, L.RetrieveOp):
+        return ("retrieve", normalize_text(op.query), op.k)
+    if isinstance(op, L.PyFilterOp):
+        return ("py_filter", op.description) if op.description else None
+    if isinstance(op, L.PyMapOp):
+        return ("py_map", op.description) if op.description else None
+    if isinstance(op, L.ProjectOp):
+        return ("project", tuple(op.fields))
+    if isinstance(op, L.LimitOp):
+        return ("limit", op.n)
+    return None
+
+
+def _canonical_tokens(
+    chain: list[L.LogicalOperator], tokens: list[tuple]
+) -> list[tuple]:
+    """Sort tokens within maximal adjacent commuting-filter runs.
+
+    Sound even when a prefix boundary cuts a run: filters preserve record
+    identity and order, so applying any subset of a commuting run in any
+    order produces the same record set.
+    """
+    canonical = list(tokens)
+    index = 0
+    while index < len(chain):
+        if not isinstance(chain[index], _COMMUTING):
+            index += 1
+            continue
+        end = index
+        while end < len(chain) and isinstance(chain[end], _COMMUTING):
+            end += 1
+        if end - index > 1:
+            canonical[index:end] = sorted(canonical[index:end], key=repr)
+        index = end
+    return canonical
+
+
+def prefix_fingerprints(
+    chain: list[L.LogicalOperator],
+    models: list[str | None],
+    llm_seed: int,
+) -> list[str | None]:
+    """Fingerprint of every prefix ``chain[:p]``, indexed by ``p - 1``.
+
+    None marks boundaries not worth (or not safe to) materialize: prefixes
+    containing an unfingerprintable operator (and everything above them),
+    and prefixes with no costly operator yet.
+    """
+    tokens = [op_token(op, model) for op, model in zip(chain, models)]
+    fingerprints: list[str | None] = []
+    poisoned = False
+    costly = False
+    for position in range(len(chain)):
+        if tokens[position] is None:
+            poisoned = True
+        if isinstance(chain[position], COSTLY_OPS):
+            costly = True
+        if poisoned or not costly:
+            fingerprints.append(None)
+            continue
+        canonical = _canonical_tokens(
+            chain[: position + 1], tokens[: position + 1]
+        )
+        fingerprints.append(
+            stable_digest("materialize-fp", FINGERPRINT_VERSION, llm_seed, *canonical)
+        )
+    return fingerprints
+
+
+def incremental_safe_prefix(chain: list[L.LogicalOperator]) -> list[bool]:
+    """Whether ``chain[:p]`` can merge an appended delta, indexed ``p - 1``.
+
+    Position 0 (the scan) is trivially safe; above it every operator must
+    be record-local and order-preserving.
+    """
+    safe: list[bool] = []
+    all_safe = True
+    for position, op in enumerate(chain):
+        if position > 0 and not isinstance(op, INCREMENTAL_SAFE_OPS):
+            all_safe = False
+        safe.append(all_safe)
+    return safe
+
+
+@dataclass
+class MaterializedEntry:
+    """Records captured at one fingerprinted operator boundary."""
+
+    fingerprint: str
+    records: list[DataRecord]
+    #: Source uids at capture time; delta detection compares prefixes.
+    source_uids: tuple[str, ...]
+    source_id: str
+    #: Measured cumulative spend of producing these records (full-recompute
+    #: equivalent: delta-merged updates carry the prior entry's cost).
+    cost_usd: float = 0.0
+    time_s: float = 0.0
+    hits: int = 0
+    delta_hits: int = 0
+
+
+@dataclass
+class CapturePlan:
+    """Where (and how) the engine should capture this run's boundaries.
+
+    ``fingerprints`` is aligned with the *bound* operator list: position
+    ``i`` names the boundary after operator ``i`` (None = don't capture).
+    When the run itself replays a materialized prefix, the carried cost is
+    folded into re-captures so updated entries keep honest full-recompute
+    cost estimates.
+    """
+
+    store: "MaterializationStore"
+    source_id: str
+    source_uids: tuple[str, ...]
+    fingerprints: list[str | None] = field(default_factory=list)
+    carried_cost_usd: float = 0.0
+    carried_time_s: float = 0.0
+
+
+class MaterializationStore:
+    """LRU-bounded store of materialized sub-plan results.
+
+    Keys are canonical prefix fingerprints; values are the records at that
+    operator boundary plus enough provenance (source uids, measured cost)
+    for the optimizer to cost reuse against recompute and for the engine to
+    run append-only deltas.  Counters mirror into an attached
+    :class:`~repro.obs.metrics.MetricsRegistry` as ``materialization.*``.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, MaterializedEntry] = OrderedDict()
+        self.hits = 0
+        self.delta_hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.delta_records = 0
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry` mirror.
+        self.metrics = None
+
+    # -- writes ---------------------------------------------------------
+
+    def put(
+        self,
+        fingerprint: str,
+        records: list[DataRecord],
+        source_uids: tuple[str, ...],
+        source_id: str,
+        cost_usd: float,
+        time_s: float,
+    ) -> MaterializedEntry:
+        previous = self._entries.pop(fingerprint, None)
+        entry = MaterializedEntry(
+            fingerprint=fingerprint,
+            records=list(records),
+            source_uids=tuple(source_uids),
+            source_id=source_id,
+            cost_usd=cost_usd,
+            time_s=time_s,
+            hits=previous.hits if previous else 0,
+            delta_hits=previous.delta_hits if previous else 0,
+        )
+        self._entries[fingerprint] = entry
+        self.stores += 1
+        self._count("materialization.stores")
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            self._count("materialization.evictions")
+        return entry
+
+    # -- reads ----------------------------------------------------------
+
+    def match(
+        self, fingerprint: str, source_uids: tuple[str, ...]
+    ) -> tuple[str, MaterializedEntry | None]:
+        """Classify a probe: ``("exact"|"delta"|"stale"|"miss", entry)``.
+
+        Exact: the source is unchanged.  Delta: the stored uids are a
+        proper prefix of the current ones (append-only growth).  Anything
+        else — shrinkage, reordering, rewrites — invalidates the entry.
+        """
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            return "miss", None
+        if entry.source_uids == source_uids:
+            return "exact", entry
+        base = len(entry.source_uids)
+        if len(source_uids) > base and source_uids[:base] == entry.source_uids:
+            return "delta", entry
+        del self._entries[fingerprint]
+        self.invalidations += 1
+        self._count("materialization.invalidations")
+        return "stale", None
+
+    def note_hit(
+        self, entry: MaterializedEntry, kind: str, delta_records: int = 0
+    ) -> None:
+        """Record that the optimizer chose to reuse ``entry``."""
+        self._entries.move_to_end(entry.fingerprint)
+        entry.hits += 1
+        self.hits += 1
+        self._count("materialization.hits")
+        if kind == "delta":
+            entry.delta_hits += 1
+            self.delta_hits += 1
+            self.delta_records += delta_records
+            self._count("materialization.delta_hits")
+            self._count("materialization.delta_records", delta_records)
+
+    def note_miss(self) -> None:
+        self.misses += 1
+        self._count("materialization.misses")
+
+    # -- maintenance ----------------------------------------------------
+
+    def invalidate_sources(self, source_ids) -> int:
+        """Evict every entry built on one of ``source_ids``; returns count."""
+        names = set(source_ids)
+        doomed = [
+            fingerprint
+            for fingerprint, entry in self._entries.items()
+            if entry.source_id in names
+        ]
+        for fingerprint in doomed:
+            del self._entries[fingerprint]
+        self.invalidations += len(doomed)
+        self._count("materialization.invalidations", len(doomed))
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def entries(self) -> list[MaterializedEntry]:
+        return list(self._entries.values())
+
+    def get(self, fingerprint: str) -> MaterializedEntry | None:
+        return self._entries.get(fingerprint)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "delta_hits": self.delta_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "delta_records": self.delta_records,
+        }
+
+    # -- persistence ----------------------------------------------------
+
+    def save(self, path: str | Path) -> int:
+        """Persist JSON-serializable entries; returns how many were saved.
+
+        Entries whose field values don't survive a JSON round-trip (live
+        objects, numpy scalars) are skipped — reuse must never replay
+        records that differ from what a recompute would produce.
+        """
+        payload = []
+        for entry in self._entries.values():
+            try:
+                records = [_record_to_dict(record) for record in entry.records]
+                json.dumps(records)
+            except (TypeError, ValueError):
+                continue
+            payload.append(
+                {
+                    "fingerprint": entry.fingerprint,
+                    "records": records,
+                    "source_uids": list(entry.source_uids),
+                    "source_id": entry.source_id,
+                    "cost_usd": entry.cost_usd,
+                    "time_s": entry.time_s,
+                }
+            )
+        Path(path).write_text(
+            json.dumps({"version": FINGERPRINT_VERSION, "entries": payload}),
+            encoding="utf-8",
+        )
+        return len(payload)
+
+    def load(self, path: str | Path) -> int:
+        """Load entries saved by :meth:`save`; returns how many were loaded."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("version") != FINGERPRINT_VERSION:
+            return 0
+        loaded = 0
+        for raw in payload.get("entries", []):
+            self.put(
+                raw["fingerprint"],
+                [_record_from_dict(item) for item in raw["records"]],
+                tuple(raw["source_uids"]),
+                raw["source_id"],
+                cost_usd=raw["cost_usd"],
+                time_s=raw["time_s"],
+            )
+            loaded += 1
+        return loaded
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None and amount:
+            self.metrics.counter(name).inc(amount)
+
+
+def _record_to_dict(record: DataRecord) -> dict:
+    return {
+        "uid": record.uid,
+        "fields": dict(record.fields),
+        "annotations": dict(record.annotations),
+        "source_id": record.source_id,
+        "parent_uids": list(record.parent_uids),
+    }
+
+
+def _record_from_dict(payload: dict) -> DataRecord:
+    return DataRecord(
+        fields=payload["fields"],
+        uid=payload["uid"],
+        annotations=payload["annotations"],
+        source_id=payload["source_id"],
+        parent_uids=tuple(payload["parent_uids"]),
+    )

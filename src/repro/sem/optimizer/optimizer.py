@@ -26,6 +26,11 @@ from repro.sem import physical as P
 
 if TYPE_CHECKING:
     from repro.sem.config import QueryProcessorConfig
+from repro.sem.materialize import (
+    CapturePlan,
+    incremental_safe_prefix,
+    prefix_fingerprints,
+)
 from repro.sem.optimizer.cost_model import PlanEstimate, estimate_chain, filter_rank
 from repro.sem.optimizer.rules import (
     merge_adjacent_limits,
@@ -51,6 +56,17 @@ class OptimizationReport:
     profiles: dict[str, dict[str, OperatorProfile]] = field(default_factory=dict)
     estimate: PlanEstimate | None = None
     note: str = ""
+    #: Sub-plan reuse decision (0 = no materialized prefix was reused).
+    reused_prefix: int = 0
+    reuse_kind: str = ""
+    reuse_fingerprint: str = ""
+    reuse_delta_records: int = 0
+    #: Estimated spend avoided by replaying instead of recomputing.
+    reuse_saved_est_usd: float = 0.0
+    #: Store-wide hit count after this decision (exact + delta).
+    reuse_store_hits: int = 0
+    #: Engine-side capture instructions (None = no store configured).
+    capture: "CapturePlan | None" = field(default=None, repr=False)
 
 
 class Optimizer:
@@ -61,14 +77,18 @@ class Optimizer:
 
     def optimize(self, plan: L.LogicalPlan) -> tuple[list[P.PhysicalOperator], OptimizationReport]:
         L.validate_plan(plan)
-        if not self.config.optimize:
-            return self._bind_spine(plan.root, {}), OptimizationReport(
-                optimized=False, note="optimization disabled"
-            )
         if not plan.is_linear():
-            return self._bind_spine(plan.root, {}), OptimizationReport(
-                optimized=False, note="join plans are bound without sampling"
+            note = (
+                "join plans are bound without sampling"
+                if self.config.optimize
+                else "optimization disabled"
             )
+            return self._bind_spine(plan.root, {}), OptimizationReport(
+                optimized=False, note=note
+            )
+        if not self.config.optimize:
+            report = OptimizationReport(optimized=False, note="optimization disabled")
+            return self._reuse_and_bind(plan.operators(), {}, report), report
         return self._optimize_linear(plan)
 
     # ------------------------------------------------------------------
@@ -193,7 +213,9 @@ class Optimizer:
                 batch_size=config.resolved_batch_size(),
             ),
         )
-        return self._bind_chain(new_chain, chosen), report
+        return self._reuse_and_bind(
+            new_chain, chosen, report, source_records=source_records
+        ), report
 
     def _rank(
         self,
@@ -209,6 +231,136 @@ class Optimizer:
         if profile is None:
             profile = next(iter(op_profiles.values()))
         return filter_rank(profile)
+
+    # ------------------------------------------------------------------
+    # Sub-plan reuse (materialization)
+    # ------------------------------------------------------------------
+
+    def _reuse_and_bind(
+        self,
+        chain: list[L.LogicalOperator],
+        chosen: dict[int, str],
+        report: OptimizationReport,
+        source_records: list | None = None,
+    ) -> list[P.PhysicalOperator]:
+        """Bind ``chain``, swapping a fingerprint-matched prefix for a replay.
+
+        Enumerates reuse-aware plans longest-prefix first and costs
+        "replay prefix (+ run the appended delta through it) + run suffix"
+        against full recompute using the store's measured per-entry spend;
+        replay wins whenever its estimated cost is no higher.  Also leaves a
+        :class:`CapturePlan` on the report so the engine materializes this
+        run's own fingerprintable boundaries.
+        """
+        config = self.config
+        bound = self._bind_chain(chain, chosen)
+        store = getattr(config, "materialization_store", None)
+        if store is None or not isinstance(chain[0], L.ScanOp):
+            return bound
+        store.metrics = config.llm.metrics if config.llm.metrics.enabled else None
+        if source_records is None:
+            source_records = list(chain[0].source.iterate())
+        source_uids = tuple(record.uid for record in source_records)
+        source_id = chain[0].source.source_id
+        models = [self._resolved_model(op, chosen) for op in chain]
+        fingerprints = prefix_fingerprints(
+            chain, models, getattr(config.llm, "seed", 0)
+        )
+        capture = CapturePlan(
+            store=store,
+            source_id=source_id,
+            source_uids=source_uids,
+            fingerprints=list(fingerprints),
+        )
+        report.capture = capture
+
+        safe = incremental_safe_prefix(chain)
+        reuse = None
+        for length in range(len(chain), 1, -1):
+            fingerprint = fingerprints[length - 1]
+            if fingerprint is None:
+                continue
+            kind, entry = store.match(fingerprint, source_uids)
+            if kind == "exact":
+                reuse = (length, kind, entry, [])
+                break
+            if kind == "delta" and safe[length - 1]:
+                delta = source_records[len(entry.source_uids):]
+                reuse = (length, kind, entry, delta)
+                break
+        if reuse is None:
+            store.note_miss()
+            return bound
+
+        length, kind, entry, delta = reuse
+        base_cardinality = max(1, len(entry.source_uids))
+        recompute_est = entry.cost_usd * (len(source_records) / base_cardinality)
+        reuse_est = entry.cost_usd * (len(delta) / base_cardinality)
+        if reuse_est > recompute_est:
+            store.note_miss()
+            return bound
+        store.note_hit(entry, kind, delta_records=len(delta))
+
+        fingerprint = fingerprints[length - 1]
+        materialized = L.MaterializedScanOp(
+            child=None,
+            source_id=source_id,
+            fingerprint=fingerprint,
+            base_records=len(entry.records),
+            delta_records=len(delta),
+        )
+        delta_ops = (
+            [
+                self._bind_one(op, chain, position, chosen)
+                for position, op in enumerate(chain[1:length], start=1)
+            ]
+            if delta
+            else []
+        )
+        replay = P.PhysMaterializedScan(
+            materialized, entry=entry, delta_ops=delta_ops, delta_records=delta
+        )
+        # The replay boundary keeps the prefix fingerprint: a fault-free run
+        # re-puts the (possibly delta-merged) records, carrying the entry's
+        # measured cost so the updated entry stays an honest recompute
+        # estimate.
+        capture.fingerprints = [fingerprint] + fingerprints[length:]
+        capture.carried_cost_usd = entry.cost_usd
+        capture.carried_time_s = entry.time_s
+
+        report.reused_prefix = length
+        report.reuse_kind = kind
+        report.reuse_fingerprint = fingerprint
+        report.reuse_delta_records = len(delta)
+        report.reuse_saved_est_usd = max(0.0, recompute_est - reuse_est)
+        report.reuse_store_hits = store.hits
+        report.final_order = [materialized.label()] + [
+            op.label() for op in chain[length:]
+        ]
+        tracer = config.llm.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "materialization-reuse",
+                kind="reuse",
+                fingerprint=fingerprint[:12],
+                prefix=length,
+                match=kind,
+                delta_records=len(delta),
+                saved_est_usd=round(report.reuse_saved_est_usd, 6),
+            ):
+                pass
+        return [replay] + bound[length:]
+
+    def _resolved_model(
+        self, op: L.LogicalOperator, chosen: dict[int, str]
+    ) -> str | None:
+        """The model ``_bind_one`` would give ``op`` (None for free ops)."""
+        if not isinstance(op, (
+            L.SemFilterOp, L.SemMapOp, L.SemClassifyOp, L.SemGroupByOp,
+            L.SemAggOp, L.SemTopKOp,
+        )):
+            return None
+        return chosen.get(id(op)) or getattr(op, "model", None) or self.config.champion_model
 
     # ------------------------------------------------------------------
     # Binding

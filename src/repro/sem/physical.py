@@ -251,6 +251,47 @@ class PhysScan(PhysicalOperator):
         return list(self.logical_op.source.iterate())
 
 
+class PhysMaterializedScan(PhysicalOperator):
+    """Replay a materialized prefix; merge an appended source delta.
+
+    The stored records are returned as-is (zero LLM cost).  When the source
+    grew since materialization, only the appended ``delta_records`` run
+    through ``delta_ops`` — the bound prefix operators, scan excluded — and
+    the survivors are appended.  This matches a full recompute exactly
+    because delta merging is only offered for order-preserving record-local
+    prefixes (see :data:`repro.sem.materialize.INCREMENTAL_SAFE_OPS`) and
+    appended source records sit at the tail of the scan order.
+    """
+
+    #: Surfaced in per-operator stats and the EXPLAIN "Reused" column.
+    reused = True
+
+    logical_op: L.MaterializedScanOp
+
+    def __init__(
+        self,
+        logical_op: L.MaterializedScanOp,
+        entry,
+        delta_ops=(),
+        delta_records=(),
+    ) -> None:
+        super().__init__(logical_op, None)
+        self.entry = entry
+        self.delta_ops = list(delta_ops)
+        self.delta_records = list(delta_records)
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        if records:
+            raise ExecutionError("materialized scan is a leaf; it takes no input records")
+        output = list(self.entry.records)
+        if self.delta_records:
+            delta = list(self.delta_records)
+            for op in self.delta_ops:
+                delta = op.execute(delta, ctx)
+            output.extend(delta)
+        return output
+
+
 class PhysRetrieve(PhysicalOperator):
     """Top-k vector retrieval over the upstream scan's records.
 

@@ -78,8 +78,29 @@ def test_clear_and_len():
     assert len(manager) == 0
 
 
-def test_embedding_cost_charged():
+def test_register_is_free_lookup_charges_one_batch():
     llm = SimulatedLLM(seed=0)
     manager = ContextManager(llm)
-    manager.register(_context("some description"), "some instruction")
-    assert llm.tracker.total().calls >= 1
+    for i in range(5):
+        manager.register(_context(f"description {i}"), f"instruction {i}")
+    # Registration defers embedding entirely.
+    assert llm.tracker.total().calls == 0
+    manager.find_similar("some other instruction")
+    # One batched request covers all five pending entries + one query embed,
+    # instead of the six separate calls the eager path used to make.
+    first_lookup_calls = llm.tracker.total().calls
+    assert first_lookup_calls == 2
+    # Embeddings are cached on the entries: a second lookup only pays the
+    # query embedding.
+    manager.find_similar("yet another instruction")
+    assert llm.tracker.total().calls == first_lookup_calls + 1
+
+
+def test_lazy_entries_embedded_before_scoring():
+    manager = _manager()
+    manager.register(
+        _context("identity theft statistics"), "identity theft statistics 2001"
+    )
+    entry, score = manager.find_similar("identity theft statistics 2024")
+    assert entry is not None and score >= 0.6
+    assert entry.embedding is not None

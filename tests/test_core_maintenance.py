@@ -38,6 +38,50 @@ def test_invalidate_by_name():
     assert len(manager) == 0
 
 
+def test_invalidate_cascades_to_materialization_store():
+    from repro.data.records import DataRecord as Record
+    from repro.sem.materialize import MaterializationStore
+
+    manager = ContextManager(SimulatedLLM(seed=0))
+    manager.materialization_store = store = MaterializationStore()
+    base = _context("lake")
+    derived = base.derived("materialized view", name="view-1")
+    manager.register(derived, "first query")
+
+    # Sub-plan prefixes materialized from the base, the derived view, and
+    # an unrelated source.
+    for source in ("lake", "view-1", "other"):
+        store.put(
+            f"fp-{source}",
+            [Record({"name": "r"}, uid="u0")],
+            ("u0",),
+            source,
+            cost_usd=0.0,
+            time_s=0.0,
+        )
+
+    assert manager.invalidate(base) == 1
+    assert store.get("fp-lake") is None
+    assert store.get("fp-view-1") is None
+    assert store.get("fp-other") is not None
+
+
+def test_invalidate_by_name_cascades_without_cached_entries():
+    from repro.data.records import DataRecord as Record
+    from repro.sem.materialize import MaterializationStore
+
+    manager = ContextManager(SimulatedLLM(seed=0))
+    manager.materialization_store = store = MaterializationStore()
+    store.put(
+        "fp", [Record({"name": "r"}, uid="u0")], ("u0",), "lake",
+        cost_usd=0.0, time_s=0.0,
+    )
+    # No ContextManager entry derives from "lake", but materializations
+    # keyed on it are still stale once its records change.
+    assert manager.invalidate("lake") == 0
+    assert len(store) == 0
+
+
 def test_invalidate_unknown_base_is_noop():
     manager = ContextManager(SimulatedLLM(seed=0))
     manager.register(_context("a"), "query")

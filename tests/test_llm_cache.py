@@ -95,3 +95,48 @@ def test_clear_can_preserve_stats():
     assert cache.misses == 0
     assert cache.evictions == 1
     assert cache.updates == 0
+
+
+def test_lifetime_stats_survive_clears():
+    cache = GenerationCache()
+    cache.put("k1", 1)
+    cache.get("k1")
+    cache.get("absent")
+    cache.clear()  # window counters reset...
+    assert cache.hits == 0 and cache.misses == 0
+    lifetime = cache.lifetime_stats()
+    assert lifetime["hits"] == 1 and lifetime["misses"] == 1
+    cache.put("k2", 2)
+    cache.get("k2")
+    # ...and the lifetime view keeps accumulating across windows.
+    assert cache.lifetime_stats()["hits"] == 2
+
+
+def test_clear_accounting_and_stats_snapshot():
+    cache = GenerationCache()
+    cache.put("k1", 1)
+    cache.put("k2", 2)
+    cache.clear(reset_stats=False)
+    cache.put("k3", 3)
+    cache.clear()
+    stats = cache.stats()
+    assert stats["clears"] == 2
+    assert stats["cleared_entries"] == 3
+    assert stats["entries"] == 0
+    assert stats["lifetime"]["misses"] == 0
+
+
+def test_clear_counters_mirror_into_metrics():
+    from repro.obs.metrics import MetricsRegistry
+
+    cache = GenerationCache()
+    cache.metrics = metrics = MetricsRegistry()
+    cache.put("k1", 1)
+    cache.get("k1")
+    cache.clear()
+    counters = metrics.snapshot()["counters"]
+    assert counters["cache.clears"] == 1
+    assert counters["cache.cleared_entries"] == 1
+    # The registry's view is lifetime by construction: clearing the cache
+    # never rewinds the mirrored counters.
+    assert counters["cache.hits"] == 1
