@@ -1,0 +1,216 @@
+"""Multi-tenant serving: cross-query batching vs. serial FCFS (paper §4).
+
+A heavy-tailed query mix from N tenant sessions (Zipf-skewed Poisson-ish
+arrivals on the virtual clock) is admitted into one shared
+:class:`~repro.core.runtime.AnalyticsRuntime` and drained twice from
+identical submissions: once through the serial first-come-first-served
+baseline and once through the cross-query batching scheduler (shared
+provider waves, embedding merges, prefix-sharing rebates, stride-fair
+tenant shares).
+
+Emits ``BENCH_serving.json`` with p50/p99 latency and $/query vs. session
+count, batch-fill rate, and fairness (max/min tenant slowdown).  Contract:
+at >= 8 concurrent sessions batching improves BOTH
+p99 latency and $/query, with bit-identical per-query records across
+modes at every scale.
+
+Run standalone for a quick check::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from conftest import RESULTS_DIR, save_report
+
+from repro.core.runtime import AnalyticsRuntime
+from repro.qa.corpus import CorpusSpec, build_corpus
+from repro.qa.plans import normalized_records
+from repro.serve import TenantSpec, build_arrivals, submit_workload, zipf_rates
+from repro.utils.formatting import format_table
+
+SEED = 7171
+#: Session counts swept (smoke mode runs SMOKE_SESSIONS).
+SESSIONS = (2, 4, 8, 12)
+SMOKE_SESSIONS = (2, 8)
+#: Sessions from which the batching-wins contract is enforced.
+MIN_CONTRACT_SESSIONS = 8
+#: Records per corpus; small keeps per-query work bounded across the sweep.
+CORPUS_RECORDS = 10
+#: Hottest tenant's arrival rate (queries per virtual second); tenant k
+#: arrives at rate BASE_RATE / (k + 1)  (Zipf skew 1.0).
+BASE_RATE = 0.5
+#: Virtual seconds of arrivals generated per sweep point.
+DURATION_S = 16.0
+PROVIDER_WIDTH = 16
+JSON_NAME = "BENCH_serving.json"
+
+
+def _run_mode(bundle, sessions: int, batching: bool) -> dict:
+    """One serving run: fresh shared runtime, identical workload, one mode."""
+    runtime = AnalyticsRuntime.for_bundle(bundle, seed=SEED)
+    serving = runtime.serving(
+        tenants=[TenantSpec(name) for name in _tenants(sessions)],
+        provider_width=PROVIDER_WIDTH,
+        batching=batching,
+    )
+    arrivals = build_arrivals(SEED, zipf_rates(sessions, BASE_RATE), DURATION_S)
+    jobs, rejected = submit_workload(serving, bundle, arrivals)
+    report = serving.drain()
+    summary = report.tenant_summary()
+    slowdowns = [entry["mean_slowdown"] for entry in summary.values()]
+    return {
+        "queries": len(jobs),
+        "rejected": len(rejected),
+        "p50_s": report.latency_p50(),
+        "p99_s": report.latency_p99(),
+        "cost_per_query_usd": report.cost_per_query_usd(),
+        "makespan_s": report.makespan_s,
+        "batch_fill": report.batch_fill(),
+        "rebate_usd": report.rebate_total_usd(),
+        "fairness_max_min_slowdown": (
+            max(slowdowns) / max(min(slowdowns), 1e-9) if slowdowns else 1.0
+        ),
+        "waves": len(report.waves),
+        "identity": [
+            (job.tag, job.fingerprint, normalized_records(job.records))
+            for job in jobs
+        ],
+    }
+
+
+def _tenants(sessions: int) -> list[str]:
+    return [f"tenant-{i:02d}" for i in range(sessions)]
+
+
+def _sweep(session_counts) -> dict:
+    """session count -> {serial, batched, identical_records}."""
+    bundle = build_corpus(CorpusSpec(seed=SEED, n_records=CORPUS_RECORDS))
+    results = {}
+    for sessions in session_counts:
+        serial = _run_mode(bundle, sessions, batching=False)
+        batched = _run_mode(bundle, sessions, batching=True)
+        identical = serial.pop("identity") == batched.pop("identity")
+        results[sessions] = {
+            "serial": serial,
+            "batched": batched,
+            "identical_records": identical,
+        }
+    return results
+
+
+def _render(results) -> str:
+    headers = [
+        "Sessions", "Queries", "Mode", "p50 (s)", "p99 (s)", "$/query",
+        "Fill", "Fairness", "Rebate ($)", "Identical",
+    ]
+    rows = []
+    for sessions, entry in sorted(results.items()):
+        for mode in ("serial", "batched"):
+            stats = entry[mode]
+            rows.append(
+                [
+                    str(sessions),
+                    str(stats["queries"]),
+                    mode,
+                    f"{stats['p50_s']:.1f}",
+                    f"{stats['p99_s']:.1f}",
+                    f"{stats['cost_per_query_usd']:.4f}",
+                    f"{stats['batch_fill']:.2f}" if mode == "batched" else "-",
+                    f"{stats['fairness_max_min_slowdown']:.2f}",
+                    f"{stats['rebate_usd']:.4f}",
+                    "yes" if entry["identical_records"] else "NO",
+                ]
+            )
+    return format_table(
+        headers,
+        rows,
+        title="Multi-tenant serving: cross-query batching vs serial FCFS",
+    )
+
+
+def _check_contract(results) -> None:
+    for sessions, entry in results.items():
+        assert entry["identical_records"], (
+            f"{sessions} sessions: batched records differ from serial"
+        )
+        serial, batched = entry["serial"], entry["batched"]
+        assert batched["makespan_s"] <= serial["makespan_s"] + 1e-9, (
+            f"{sessions} sessions: batched makespan regressed"
+        )
+        if sessions < MIN_CONTRACT_SESSIONS:
+            continue
+        assert batched["p99_s"] < serial["p99_s"], (
+            f"{sessions} sessions: batched p99 {batched['p99_s']:.2f}s not "
+            f"below serial {serial['p99_s']:.2f}s"
+        )
+        assert batched["cost_per_query_usd"] < serial["cost_per_query_usd"], (
+            f"{sessions} sessions: batched $/query "
+            f"{batched['cost_per_query_usd']:.5f} not below serial "
+            f"{serial['cost_per_query_usd']:.5f}"
+        )
+
+
+def _save_json(results_dir: Path, results) -> None:
+    payload = {
+        "workload": (
+            f"qa corpus ({CORPUS_RECORDS} records), heavy-tailed template "
+            f"mix, Zipf arrivals at base rate {BASE_RATE}/s over "
+            f"{DURATION_S:.0f}s"
+        ),
+        "provider_width": PROVIDER_WIDTH,
+        "min_contract_sessions": MIN_CONTRACT_SESSIONS,
+        "sessions": {str(n): entry for n, entry in results.items()},
+    }
+    path = results_dir / JSON_NAME
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {path}")
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point
+# ----------------------------------------------------------------------
+
+
+def bench_serving(benchmark, results_dir):
+    results = benchmark.pedantic(
+        lambda: _sweep(SESSIONS), rounds=1, iterations=1
+    )
+    save_report(results_dir, "serving", _render(results))
+    _save_json(results_dir, results)
+    benchmark.extra_info["measured"] = {
+        str(n): {
+            "serial_p99_s": entry["serial"]["p99_s"],
+            "batched_p99_s": entry["batched"]["p99_s"],
+            "serial_cost_per_query": entry["serial"]["cost_per_query_usd"],
+            "batched_cost_per_query": entry["batched"]["cost_per_query_usd"],
+        }
+        for n, entry in results.items()
+    }
+    _check_contract(results)
+
+
+def main(argv: list[str]) -> int:
+    unknown = [arg for arg in argv if arg != "--smoke"]
+    if unknown:
+        print(f"usage: bench_serving.py [--smoke]  (unknown: {unknown})")
+        return 2
+    smoke = "--smoke" in argv
+    session_counts = SMOKE_SESSIONS if smoke else SESSIONS
+    results = _sweep(session_counts)
+    print(_render(results))
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    _save_json(RESULTS_DIR, results)
+    _check_contract(results)
+    print("serving contract OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

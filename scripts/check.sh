@@ -34,6 +34,10 @@ echo "== materialization-reuse smoke sweep =="
 python benchmarks/bench_context_reuse.py --smoke
 
 echo
+echo "== multi-tenant serving smoke sweep =="
+python benchmarks/bench_serving.py --smoke
+
+echo
 echo "== differential-testing fuzz lane =="
 python -m repro.qa fuzz --n 15 --seed 0
 python -m repro.qa selftest --n 10

@@ -17,6 +17,7 @@ Typical use::
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Sequence
 
 from repro.core.context import Context
@@ -35,6 +36,86 @@ from repro.sem.materialize import MaterializationStore
 from repro.sem.optimizer.policies import Balanced, OptimizationPolicy
 from repro.sql.database import Database
 from repro.sql.executor import ResultSet
+
+
+class AnswerCache:
+    """LRU-bounded whole-query answer cache with eviction accounting.
+
+    Entries are ``(root context name, query embedding, ComputeResult)``;
+    lookup is similarity-based (a linear scan in recency order, bounded by
+    ``max_entries``), so keys are opaque insertion ids rather than content
+    digests.  Counters mirror into an attached
+    :class:`~repro.obs.metrics.MetricsRegistry` as ``answers.*``, matching
+    the :class:`~repro.llm.cache.GenerationCache` /
+    :class:`~repro.sem.materialize.MaterializationStore` accounting idiom.
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[int, tuple[str, Any, ComputeResult]]" = OrderedDict()
+        self._next_id = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.stores = 0
+        self.clears = 0
+        self.cleared_entries = 0
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry` mirror.
+        self.metrics = None
+
+    def lookup(
+        self, root_name: str, query_vec: Any, similarity_floor: float
+    ) -> "ComputeResult | None":
+        from repro.llm.embeddings import cosine_similarity
+
+        for key, (cached_root, cached_vec, cached_result) in self._entries.items():
+            if cached_root != root_name:
+                continue
+            if cosine_similarity(query_vec, cached_vec) >= similarity_floor:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                self._count("answers.hits")
+                return cached_result
+        self.misses += 1
+        self._count("answers.misses")
+        return None
+
+    def put(self, root_name: str, query_vec: Any, result: "ComputeResult") -> None:
+        self._entries[self._next_id] = (root_name, query_vec, result)
+        self._next_id += 1
+        self.stores += 1
+        self._count("answers.stores")
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            self._count("answers.evictions")
+
+    def clear(self) -> None:
+        self.clears += 1
+        self.cleared_entries += len(self._entries)
+        self._count("answers.clears")
+        self._count("answers.cleared_entries", len(self._entries))
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "clears": self.clears,
+            "cleared_entries": self.cleared_entries,
+        }
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None and amount:
+            self.metrics.counter(name).inc(amount)
 
 
 class AnalyticsRuntime:
@@ -61,15 +142,20 @@ class AnalyticsRuntime:
         adaptive_parallelism: bool = True,
         tracer: Any = None,
         metrics: Any = None,
+        answer_cache_size: int = 128,
     ) -> None:
-        self.llm = llm or SimulatedLLM(
-            oracle=SemanticOracle(registry or IntentRegistry()),
-            seed=seed,
-            faults=FaultInjector(fault_config, seed=seed) if fault_config else None,
-            retry=retry_policy,
-            tracer=tracer,
-            metrics=metrics,
-        )
+        if llm is None:
+            self.llm = SimulatedLLM(
+                oracle=SemanticOracle(registry or IntentRegistry()),
+                seed=seed,
+                faults=FaultInjector(fault_config, seed=seed) if fault_config else None,
+                retry=retry_policy,
+                tracer=tracer,
+                metrics=metrics,
+            )
+        else:
+            self.llm = llm
+            _wire_explicit_llm(llm, fault_config, retry_policy, tracer, metrics)
         self.seed = seed
         self.on_failure = on_failure
         self.fallback_model = fallback_model
@@ -92,8 +178,10 @@ class AnalyticsRuntime:
         self.db = Database()
         #: Execution result of the most recent optimized program (debugging).
         self.last_program_result = None
-        #: Whole-query answer cache: (root context name, embedding, result).
-        self._answers: list[tuple[str, Any, ComputeResult]] = []
+        #: Whole-query answer cache (LRU-bounded; see :class:`AnswerCache`).
+        self.answers = AnswerCache(max_entries=answer_cache_size)
+        if self.llm.metrics.enabled:
+            self.answers.metrics = self.llm.metrics
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -154,27 +242,24 @@ class AnalyticsRuntime:
         ``similarity_floor``) was already answered against the same base
         Context, the cached result is returned at zero marginal LLM cost —
         the coarsest form of the paper's reuse-past-work vision.  Answers
-        are evicted by :meth:`clear_answers` or when the base Context is
-        invalidated in the ContextManager.
+        live in an LRU-bounded :class:`AnswerCache` and are evicted by
+        capacity pressure, :meth:`clear_answers`, or when the base Context
+        is invalidated in the ContextManager.
         """
         import dataclasses
 
         root_name = context.lineage()[-1].name
         query_vec = self.llm.embed(instruction, tag="answer-cache")
-        from repro.llm.embeddings import cosine_similarity
-
-        for cached_root, cached_vec, cached_result in self._answers:
-            if cached_root != root_name:
-                continue
-            if cosine_similarity(query_vec, cached_vec) >= similarity_floor:
-                return dataclasses.replace(cached_result, reused=True, cost_usd=0.0, time_s=0.0)
+        cached = self.answers.lookup(root_name, query_vec, similarity_floor)
+        if cached is not None:
+            return dataclasses.replace(cached, reused=True, cost_usd=0.0, time_s=0.0)
 
         result = compute(context, instruction, self, **kwargs)
-        self._answers.append((root_name, query_vec, result))
+        self.answers.put(root_name, query_vec, result)
         return result
 
     def clear_answers(self) -> None:
-        self._answers.clear()
+        self.answers.clear()
 
     # ------------------------------------------------------------------
     # Optimizer configuration for semantic programs
@@ -265,3 +350,73 @@ class AnalyticsRuntime:
     @property
     def elapsed_s(self) -> float:
         return self.llm.clock.elapsed
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def serving(self, **kwargs: Any) -> Any:
+        """A multi-tenant :class:`~repro.serve.ServingRuntime` over this runtime.
+
+        Sessions share this runtime's LLM substrate, generation cache, and
+        materialization store; see :mod:`repro.serve` for admission control
+        and cross-query batching semantics.
+        """
+        from repro.serve import ServingRuntime
+
+        return ServingRuntime(self, **kwargs)
+
+
+def _wire_explicit_llm(
+    llm: SimulatedLLM,
+    fault_config: FaultConfig | None,
+    retry_policy: RetryPolicy | None,
+    tracer: Any,
+    metrics: Any,
+) -> None:
+    """Wire constructor kwargs onto an explicitly provided LLM substrate.
+
+    Historically ``AnalyticsRuntime(llm=..., tracer=...)`` silently dropped
+    ``fault_config`` / ``retry_policy`` / ``tracer`` / ``metrics``.  Each is
+    now applied to the client when the client has nothing configured there;
+    a *genuine conflict* — the client already carries a different value —
+    raises ``ValueError`` instead of guessing which one the caller meant.
+    """
+    if fault_config is not None:
+        if llm.faults is None:
+            llm.faults = FaultInjector(fault_config, seed=llm.seed)
+            if llm.metrics.enabled:
+                llm.faults.metrics = llm.metrics
+        elif llm.faults.config != fault_config:
+            raise ValueError(
+                "conflicting fault configuration: the provided llm already "
+                "carries a different FaultConfig; configure one or the other"
+            )
+    if retry_policy is not None and llm.retry != retry_policy:
+        if llm.retry == RetryPolicy():
+            llm.retry = retry_policy
+        else:
+            raise ValueError(
+                "conflicting retry policy: the provided llm already carries "
+                "a non-default RetryPolicy; configure one or the other"
+            )
+    if tracer is not None and tracer is not llm.tracer:
+        if llm.tracer.enabled:
+            raise ValueError(
+                "conflicting tracer: the provided llm already carries an "
+                "enabled tracer; configure one or the other"
+            )
+        llm.tracer = tracer
+        if tracer.enabled and tracer.clock is None:
+            tracer.clock = llm.clock
+    if metrics is not None and metrics is not llm.metrics:
+        if llm.metrics.enabled:
+            raise ValueError(
+                "conflicting metrics registry: the provided llm already "
+                "carries an enabled registry; configure one or the other"
+            )
+        llm.metrics = metrics
+        if metrics.enabled:
+            llm.cache.metrics = metrics
+            if llm.faults is not None:
+                llm.faults.metrics = metrics

@@ -128,3 +128,22 @@ class ToolError(ReproError):
 
 class ContextError(ReproError):
     """Raised for invalid Context operations (bad index, missing tool...)."""
+
+
+class ServingError(ReproError):
+    """Base class for multi-tenant serving-layer errors."""
+
+
+class QuotaExceededError(ServingError):
+    """Raised when a tenant's submission is rejected by admission control.
+
+    Carries ``tenant`` and ``reason`` (``"budget"`` or ``"rate"``) so
+    callers can distinguish a spent budget from a burst over the tenant's
+    admission-rate window.  Rejection happens *before* the query touches
+    the shared substrate: a rejected query perturbs no cache state.
+    """
+
+    def __init__(self, message: str, tenant: str = "", reason: str = "") -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason

@@ -105,6 +105,17 @@ class SimulatedLLM:
                 self.faults.metrics = self.metrics
         self._breakers: dict[str, CircuitBreaker] = {}
         self._parallel_stack: list[tuple[int, list[float]]] = []
+        #: Serving-layer hook: when set (see ``repro.serve``), outermost
+        #: latency charges are diverted to the sink as *call steps* instead
+        #: of advancing the clock — the serving scheduler replays them on
+        #: its own cross-query schedule.  Body execution stays eager and
+        #: ordered, so cache evolution is identical with or without a sink.
+        self.serve_sink: Any | None = None
+        #: Tenant namespace prefixed into generation-cache keys.  Empty
+        #: (the default) preserves historical key digests exactly; serving
+        #: sessions set it per tenant so one tenant's cached generations
+        #: are invisible to another's accounting.
+        self.cache_scope: str = ""
         #: Depth of enclosing ``measure`` sections: cell-level spans replace
         #: per-call spans there (the engine re-times cells on the schedule).
         self._measure_depth = 0
@@ -126,11 +137,18 @@ class SimulatedLLM:
         finally:
             width, latencies = self._parallel_stack.pop()
             if latencies:
-                # The section's makespan is one unit of work in the enclosing
-                # section (if any); only at the outermost level does it reach
-                # the clock.  Advancing directly here would double-schedule
-                # nested sections against their parent's waves.
-                self._advance_latency(_makespan(latencies, width))
+                if not self._parallel_stack and self.serve_sink is not None:
+                    # Serving capture: the outermost section's items form one
+                    # precedence step in the query's call timeline; no clock
+                    # time passes during body execution.
+                    self.serve_sink.end_step(width, latencies)
+                else:
+                    # The section's makespan is one unit of work in the
+                    # enclosing section (if any); only at the outermost level
+                    # does it reach the clock.  Advancing directly here would
+                    # double-schedule nested sections against their parent's
+                    # waves.
+                    self._advance_latency(_makespan(latencies, width))
 
     @contextlib.contextmanager
     def measure(self) -> Iterator[MeasuredTime]:
@@ -162,8 +180,18 @@ class SimulatedLLM:
             # positional chunking of ``_makespan``.
             if seconds > 0.0:
                 self._parallel_stack[-1][1].append(seconds)
+        elif self.serve_sink is not None:
+            # A bare sequential call is its own single-item step.
+            if seconds > 0.0:
+                self.serve_sink.end_step(1, [seconds])
         else:
             self.clock.advance(seconds)
+
+    def _cache_key(self, model: str, *payload: Any) -> str:
+        """Generation-cache key, namespaced by :attr:`cache_scope` when set."""
+        if self.cache_scope:
+            return GenerationCache.key(model, "scope", self.cache_scope, *payload)
+        return GenerationCache.key(model, *payload)
 
     def _breaker(self, model: str) -> CircuitBreaker | None:
         if self.retry.breaker_threshold <= 0:
@@ -306,6 +334,14 @@ class SimulatedLLM:
                         tokens_in=input_tokens, tokens_out=output_tokens,
                         retries=retries,
                     )
+                if self.serve_sink is not None:
+                    self.serve_sink.note_call(
+                        card.name,
+                        is_embedding,
+                        input_tokens,
+                        output_tokens,
+                        latency_total + latency,
+                    )
                 self._advance_latency(latency_total + latency)
                 return event
 
@@ -342,6 +378,10 @@ class SimulatedLLM:
                         span_start, span_start + latency_total,
                         track=span_track, tag=tag, retries=retries,
                         error=_fault_kind(fault),
+                    )
+                if self.serve_sink is not None:
+                    self.serve_sink.note_call(
+                        card.name, is_embedding, input_tokens, 0, latency_total
                     )
                 self._advance_latency(latency_total)
                 raise fault
@@ -405,7 +445,7 @@ class SimulatedLLM:
     ) -> FilterJudgment:
         """Answer "does ``record`` satisfy ``instruction``?" as ``model`` would."""
         card = get_model(model)
-        cache_key = GenerationCache.key(model, "filter", normalize_text(instruction), record.uid)
+        cache_key = self._cache_key(model, "filter", normalize_text(instruction), record.uid)
         if self.use_cache:
             hit, value = self.cache.get(cache_key)
             if hit:
@@ -434,7 +474,7 @@ class SimulatedLLM:
     ) -> FilterJudgment:
         """Answer "do ``left`` and ``right`` jointly satisfy ``instruction``?"."""
         card = get_model(model)
-        cache_key = GenerationCache.key(
+        cache_key = self._cache_key(
             model, "join", normalize_text(instruction), left.uid, right.uid
         )
         if self.use_cache:
@@ -471,7 +511,7 @@ class SimulatedLLM:
     ) -> ExtractionResult:
         """Extract the value ``instruction`` asks for from ``record``."""
         card = get_model(model)
-        cache_key = GenerationCache.key(model, "extract", normalize_text(instruction), record.uid)
+        cache_key = self._cache_key(model, "extract", normalize_text(instruction), record.uid)
         if self.use_cache:
             hit, value = self.cache.get(cache_key)
             if hit:
@@ -550,7 +590,7 @@ class SimulatedLLM:
     def embed(self, text: str, tag: str = "") -> np.ndarray:
         """Embed ``text``, charging the embedding model's price and latency."""
         card = get_model(EMBEDDING_MODEL)
-        cache_key = GenerationCache.key(EMBEDDING_MODEL, "embed", text)
+        cache_key = self._cache_key(EMBEDDING_MODEL, "embed", text)
         if self.use_cache:
             hit, value = self.cache.get(cache_key)
             if hit:
@@ -587,7 +627,7 @@ class SimulatedLLM:
             if text in vectors or text in misses:
                 continue
             if self.use_cache:
-                hit, value = self.cache.get(GenerationCache.key(EMBEDDING_MODEL, "embed", text))
+                hit, value = self.cache.get(self._cache_key(EMBEDDING_MODEL, "embed", text))
                 if hit:
                     self._charge(card, 0, 0, tag, cached=True)
                     vectors[text] = value
@@ -600,7 +640,7 @@ class SimulatedLLM:
                 vector = self.embedding_model.embed(text)
                 vectors[text] = vector
                 if self.use_cache:
-                    self.cache.put(GenerationCache.key(EMBEDDING_MODEL, "embed", text), vector)
+                    self.cache.put(self._cache_key(EMBEDDING_MODEL, "embed", text), vector)
         return [vectors[text] for text in texts]
 
     # ------------------------------------------------------------------

@@ -25,6 +25,10 @@ the runtime promises produce the same answer:
   each time).  Contract: the warm run's records are bit-identical to the
   cold run's (and to the baseline's), and the warm run never costs more
   than the cold run.
+- ``serve`` — the plan submitted by two tenant sessions through the
+  multi-tenant serving layer (cross-query batching on).  Contract: both
+  tenants' records are bit-identical to the baseline's — the cross-query
+  schedule and tenant-scoped caches must never change an answer.
 """
 
 from __future__ import annotations
@@ -61,6 +65,10 @@ class ConfigSpec:
     #: Run cold-then-warm against a shared MaterializationStore; the warm
     #: run is the recorded observation (reuse class).
     reuse: bool = False
+    #: Run through the multi-tenant serving layer (two tenant sessions on
+    #: one shared substrate, cross-query batching on); the first tenant's
+    #: observation is recorded (serve class).
+    serve: bool = False
     #: Spend cap as a fraction of the measured baseline cost (budget class).
     budget_fraction: float | None = None
     #: Fault schedule for the substrate (``FaultConfig.to_dict`` form).
@@ -88,6 +96,7 @@ class ConfigSpec:
             "sample_size": self.sample_size,
             "llm_seed": self.llm_seed,
             "reuse": self.reuse,
+            "serve": self.serve,
             "budget_fraction": self.budget_fraction,
             "fault": self.fault,
             "retry": self.retry,
@@ -180,6 +189,18 @@ def config_matrix(plan, case_seed: int = 0) -> list[ConfigSpec]:
         # materialization store (baseline execution semantics).
         specs.append(
             replace(BASELINE, name="warm-reuse", answer_class="reuse", reuse=True)
+        )
+        # serve class: the plan submitted by two tenants through the
+        # serving layer (cross-query batching on, barrier execution) must
+        # reproduce the baseline answer for both tenants.
+        specs.append(
+            replace(
+                BASELINE,
+                name="served",
+                answer_class="serve",
+                serve=True,
+                pipeline=False,
+            )
         )
         # probes: answer-changing policies, weak oracles only.
         specs.append(

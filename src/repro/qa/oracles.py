@@ -275,6 +275,44 @@ def check_reuse_equivalence(run) -> list[Violation]:
     return violations
 
 
+def check_serve_equivalence(run) -> list[Violation]:
+    """Serving a plan through the multi-tenant layer changes no answer.
+
+    The serve class submits the same plan as two tenant sessions on one
+    shared substrate with cross-query batching on.  Contract: the first
+    tenant's records are bit-identical to the baseline's, and the peer
+    tenant's records are bit-identical to the first tenant's — neither the
+    cross-query schedule nor tenant-scoped caching may leak into answers.
+    """
+    violations = []
+    baseline = run.first("baseline")
+    for observation in run.by_class("serve"):
+        name = observation.spec.name
+        if observation.error:
+            continue
+        if baseline is not None and not baseline.error:
+            if observation.records != baseline.records:
+                detail = _first_diff(baseline.records, observation.records)
+                violations.append(
+                    Violation(
+                        "serve-equivalence", name,
+                        f"served records differ from baseline: {detail}",
+                    )
+                )
+        if observation.serve_peer_records is not None:
+            if observation.serve_peer_records != observation.records:
+                detail = _first_diff(
+                    observation.records, observation.serve_peer_records
+                )
+                violations.append(
+                    Violation(
+                        "serve-equivalence", name,
+                        f"peer tenant records differ: {detail}",
+                    )
+                )
+    return violations
+
+
 def check_trace(run) -> list[Violation]:
     """The traced baseline run must export a structurally valid span tree."""
     from repro.obs.export import validate_spans
@@ -303,6 +341,7 @@ ORACLES = (
     check_estimates,
     check_budget,
     check_reuse_equivalence,
+    check_serve_equivalence,
     check_trace,
 )
 

@@ -61,6 +61,9 @@ class Observation:
     #: records and cost, against which the warm observation is compared.
     reuse_cold_records: list | None = None
     reuse_cold_cost_usd: float | None = None
+    #: Second tenant's normalized records for the serve class (must match
+    #: the recorded first tenant's and the baseline's).
+    serve_peer_records: list | None = None
     #: Materialization reuse achieved by the warm run (0 = no reuse).
     reused_prefix: int = 0
     reuse_kind: str = ""
@@ -106,6 +109,38 @@ def run_spec(
         dataset = case.plan.build(bundle)
         guard = mutation.applied() if mutation is not None else contextlib.nullcontext()
         with guard:
+            if spec.serve:
+                # Two tenant sessions submit the same plan through the
+                # serving layer (shared substrate, cross-query batching);
+                # the first tenant is the recorded observation and the
+                # peer's records ride along for the serve oracle.
+                from repro.core.runtime import AnalyticsRuntime
+                from repro.serve import ServingRuntime, TenantSpec
+
+                runtime = AnalyticsRuntime(
+                    llm=llm, registry=bundle.registry, seed=spec.llm_seed
+                )
+                serving = ServingRuntime(
+                    runtime,
+                    tenants=[TenantSpec("qa-a"), TenantSpec("qa-b")],
+                    batching=True,
+                    parallelism=spec.parallelism,
+                )
+                job_a = serving.submit("qa-a", dataset, arrival_s=0.0)
+                job_b = serving.submit("qa-b", dataset, arrival_s=1.0)
+                serving.drain()
+                observation.records = normalized_records(job_a.records)
+                observation.serve_peer_records = normalized_records(
+                    job_b.records
+                )
+                observation.total_cost_usd = job_a.raw_cost_usd
+                observation.total_time_s = job_a.latency_s
+                observation.max_event_cost_usd = max(
+                    (event.cost_usd for event in llm.tracker.events),
+                    default=0.0,
+                )
+                observation.max_attempts = llm.retry.max_attempts
+                return observation
             if spec.reuse:
                 # Cold pass primes a shared store with a fresh substrate so
                 # the warm (recorded) run can only benefit from the store,

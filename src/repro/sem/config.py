@@ -77,6 +77,10 @@ class QueryProcessorConfig:
     #: source deltas through them) instead of recomputing.  None disables
     #: materialization entirely.
     materialization_store: "MaterializationStore | None" = None
+    #: Tenant namespace for materialization fingerprints on a *shared*
+    #: store: scoped runs only match entries captured under the same scope.
+    #: Empty (the default) keeps the historical single-tenant digests.
+    materialization_scope: str = ""
 
     def __post_init__(self) -> None:
         if self.sample_size < 1:

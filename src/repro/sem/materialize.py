@@ -156,14 +156,20 @@ def prefix_fingerprints(
     chain: list[L.LogicalOperator],
     models: list[str | None],
     llm_seed: int,
+    scope: str = "",
 ) -> list[str | None]:
     """Fingerprint of every prefix ``chain[:p]``, indexed by ``p - 1``.
 
     None marks boundaries not worth (or not safe to) materialize: prefixes
     containing an unfingerprintable operator (and everything above them),
     and prefixes with no costly operator yet.
+
+    ``scope`` namespaces fingerprints (tenant isolation on a shared store):
+    scoped queries can only ever match entries captured under the same
+    scope.  The empty scope keeps historical digests unchanged.
     """
     tokens = [op_token(op, model) for op, model in zip(chain, models)]
+    scope_tokens = ("scope", scope) if scope else ()
     fingerprints: list[str | None] = []
     poisoned = False
     costly = False
@@ -179,7 +185,13 @@ def prefix_fingerprints(
             chain[: position + 1], tokens[: position + 1]
         )
         fingerprints.append(
-            stable_digest("materialize-fp", FINGERPRINT_VERSION, llm_seed, *canonical)
+            stable_digest(
+                "materialize-fp",
+                FINGERPRINT_VERSION,
+                llm_seed,
+                *scope_tokens,
+                *canonical,
+            )
         )
     return fingerprints
 
@@ -407,12 +419,24 @@ class MaterializationStore:
         return len(payload)
 
     def load(self, path: str | Path) -> int:
-        """Load entries saved by :meth:`save`; returns how many were loaded."""
+        """Load entries saved by :meth:`save`; returns how many were loaded.
+
+        ``max_entries`` is enforced *before* materialization: when the file
+        holds more entries than this store's capacity, the oldest overflow
+        (save order = LRU order, last entry most recent) is dropped on the
+        floor and counted as evictions — the bound is never exceeded, even
+        transiently, and doomed records are never deserialized.
+        """
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
         if payload.get("version") != FINGERPRINT_VERSION:
             return 0
+        entries = payload.get("entries", [])
+        overflow = max(0, len(entries) - self.max_entries)
+        if overflow:
+            self.evictions += overflow
+            self._count("materialization.evictions", overflow)
         loaded = 0
-        for raw in payload.get("entries", []):
+        for raw in entries[overflow:]:
             self.put(
                 raw["fingerprint"],
                 [_record_from_dict(item) for item in raw["records"]],

@@ -264,7 +264,10 @@ class Optimizer:
         source_id = chain[0].source.source_id
         models = [self._resolved_model(op, chosen) for op in chain]
         fingerprints = prefix_fingerprints(
-            chain, models, getattr(config.llm, "seed", 0)
+            chain,
+            models,
+            getattr(config.llm, "seed", 0),
+            scope=getattr(config, "materialization_scope", ""),
         )
         capture = CapturePlan(
             store=store,
