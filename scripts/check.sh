@@ -38,6 +38,20 @@ echo "== multi-tenant serving smoke sweep =="
 python benchmarks/bench_serving.py --smoke
 
 echo
+echo "== sql-pushdown smoke sweep =="
+python benchmarks/bench_pushdown.py --smoke
+
+echo
+echo "== benchmark artifact placement guard =="
+stray="$(find . -name 'BENCH_*.json' -not -path './benchmarks/results/*' -not -path './.git/*')"
+if [[ -n "$stray" ]]; then
+    echo "benchmark artifacts escaped benchmarks/results/:"
+    echo "$stray"
+    exit 1
+fi
+echo "all BENCH_*.json artifacts under benchmarks/results/"
+
+echo
 echo "== differential-testing fuzz lane =="
 python -m repro.qa fuzz --n 15 --seed 0
 python -m repro.qa selftest --n 10

@@ -29,6 +29,11 @@ the runtime promises produce the same answer:
   multi-tenant serving layer (cross-query batching on).  Contract: both
   tenants' records are bit-identical to the baseline's — the cross-query
   schedule and tenant-scoped caches must never change an answer.
+- ``pushdown`` — structured-prefix SQL compilation disabled.  The
+  baseline runs with pushdown (and columnar batches) on; the pushdown
+  spec turns both off.  Contract: bit-identical records, and the
+  pushed-down baseline never costs more than the row-at-a-time run —
+  pushdown prunes records before LLM operators, it never adds calls.
 """
 
 from __future__ import annotations
@@ -69,6 +74,11 @@ class ConfigSpec:
     #: one shared substrate, cross-query batching on); the first tenant's
     #: observation is recorded (serve class).
     serve: bool = False
+    #: Compile structured filter/project/agg prefixes to SQL before LLM
+    #: operators (pushdown class disables this to prove equivalence).
+    pushdown: bool = True
+    #: Thread columnar RecordBatches through fused pipelined sections.
+    columnar: bool = True
     #: Spend cap as a fraction of the measured baseline cost (budget class).
     budget_fraction: float | None = None
     #: Fault schedule for the substrate (``FaultConfig.to_dict`` form).
@@ -97,6 +107,8 @@ class ConfigSpec:
             "llm_seed": self.llm_seed,
             "reuse": self.reuse,
             "serve": self.serve,
+            "pushdown": self.pushdown,
+            "columnar": self.columnar,
             "budget_fraction": self.budget_fraction,
             "fault": self.fault,
             "retry": self.retry,
@@ -151,6 +163,8 @@ class ConfigSpec:
             pipeline=self.pipeline,
             batch_size=self.batch_size,
             adaptive_parallelism=self.adaptive,
+            pushdown=self.pushdown,
+            columnar=self.columnar,
             **kwargs,
         )
 
@@ -174,6 +188,26 @@ def config_matrix(plan, case_seed: int = 0) -> list[ConfigSpec]:
     specs.append(replace(BASELINE, name="serial", parallelism=1, batch_size=6))
     specs.append(replace(BASELINE, name="tight-embed", embed_batch_size=2))
     specs.append(replace(BASELINE, name="no-adaptive", adaptive=False))
+
+    # pushdown class: SQL compilation of structured prefixes (and the
+    # columnar fast path) must preserve the answer and never cost more.
+    specs.append(
+        replace(
+            BASELINE,
+            name="no-pushdown",
+            answer_class="pushdown",
+            pushdown=False,
+            columnar=False,
+        )
+    )
+    specs.append(
+        replace(
+            BASELINE,
+            name="row-mode",
+            answer_class="pushdown",
+            columnar=False,
+        )
+    )
 
     if not plan.has_join():
         # opt class: max-quality optimization preserves the answer.

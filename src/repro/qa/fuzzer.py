@@ -14,7 +14,14 @@ import random
 from dataclasses import dataclass
 
 from repro.qa.corpus import CorpusSpec, DEPARTMENTS, REGIONS
-from repro.qa.plans import MAP_FIELDS, PY_MAPPERS, PY_PREDICATES, PlanSpec, TOPK_QUERIES
+from repro.qa.plans import (
+    MAP_FIELDS,
+    PY_MAPPERS,
+    PY_PREDICATES,
+    PlanSpec,
+    TOPK_QUERIES,
+    WHERE_CONDITIONS,
+)
 
 _FILTER_INTENTS = ("qa.flag_urgent", "qa.flag_security", "qa.flag_refund")
 
@@ -94,8 +101,8 @@ class PlanFuzzer:
         while len(ops) < length:
             kind = rng.choices(
                 ("sem_filter", "sem_map", "sem_classify", "sem_topk",
-                 "limit", "py_filter", "py_map", "sem_join"),
-                weights=(30, 18, 12, 10, 8, 8, 6, 8),
+                 "limit", "py_filter", "py_map", "sem_join", "where"),
+                weights=(30, 18, 12, 10, 8, 8, 6, 8, 10),
             )[0]
             if kind == "sem_filter":
                 ops.append({"op": "sem_filter", "intent": rng.choice(_FILTER_INTENTS)})
@@ -126,6 +133,8 @@ class PlanFuzzer:
                 ops.append({"op": "limit", "n": rng.randint(3, corpus.n_records)})
             elif kind == "py_filter":
                 ops.append({"op": "py_filter", "name": rng.choice(sorted(PY_PREDICATES))})
+            elif kind == "where":
+                ops.append({"op": "where", "name": rng.choice(sorted(WHERE_CONDITIONS))})
             elif kind == "py_map":
                 name = rng.choice(sorted(PY_MAPPERS))
                 ops.append({"op": "py_map", "name": name})

@@ -46,12 +46,15 @@ def _drop_budget_check() -> Iterator[None]:
 @contextlib.contextmanager
 def _scramble_cell_order() -> Iterator[None]:
     """Reverse each pipelined cell's emitted records (an ordering bug)."""
+    from repro.sem.batch import RecordBatch
     from repro.sem.execution import Engine
 
     original = Engine._run_cell
 
     def scrambled(self, operator, batch, state, account):
         records, seconds = original(self, operator, batch, state, account)
+        if isinstance(records, RecordBatch):
+            return RecordBatch(list(reversed(records.records))), seconds
         return list(reversed(records)), seconds
 
     Engine._run_cell = scrambled

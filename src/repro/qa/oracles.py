@@ -313,6 +313,47 @@ def check_serve_equivalence(run) -> list[Violation]:
     return violations
 
 
+def check_pushdown_equivalence(run) -> list[Violation]:
+    """SQL pushdown and columnar batches change cost, never answers.
+
+    The pushdown class re-runs the baseline spec with structured-prefix
+    SQL compilation and/or columnar batches disabled.  The baseline runs
+    with both on, so the contract is two-sided: records are bit-identical
+    either way, and the pushed-down baseline never costs more than the
+    row-at-a-time run — pruning records before the first LLM operator can
+    only ever *remove* billed calls.
+    """
+    violations = []
+    baseline = run.first("baseline")
+    if baseline is None or baseline.error:
+        return violations
+    for observation in run.by_class("pushdown"):
+        name = observation.spec.name
+        if observation.error:
+            continue
+        if observation.records != baseline.records:
+            detail = _first_diff(baseline.records, observation.records)
+            violations.append(
+                Violation(
+                    "pushdown-equivalence", name,
+                    f"records differ from pushed-down baseline: {detail}",
+                )
+            )
+        if observation.truncated:
+            violations.append(
+                Violation("pushdown-equivalence", name, "truncated without a cap")
+            )
+        if baseline.total_cost_usd > observation.total_cost_usd + COST_EPS:
+            violations.append(
+                Violation(
+                    "pushdown-equivalence", name,
+                    f"pushdown cost {baseline.total_cost_usd} exceeds "
+                    f"{name} cost {observation.total_cost_usd}",
+                )
+            )
+    return violations
+
+
 def check_trace(run) -> list[Violation]:
     """The traced baseline run must export a structurally valid span tree."""
     from repro.obs.export import validate_spans
@@ -342,6 +383,7 @@ ORACLES = (
     check_budget,
     check_reuse_equivalence,
     check_serve_equivalence,
+    check_pushdown_equivalence,
     check_trace,
 )
 

@@ -35,6 +35,16 @@ PY_MAPPERS = {
     "title_len": lambda record: {"title_len": len(str(record.get("title", "")))},
 }
 
+#: Named structured SQL predicates available to fuzzed ``where`` ops.
+#: Every condition reads only corpus-provided fields so it is pushdown-
+#: eligible when adjacent to the scan.
+WHERE_CONDITIONS = {
+    "priority_top": "priority = 4",
+    "priority_mid": "priority BETWEEN 2 AND 3",
+    "priority_set": "priority IN (1, 3)",
+    "priority_or_low": "priority >= 3 OR priority <= 1",
+}
+
 #: Fixed query pool for top-k / retrieve operators (embedding relevance).
 TOPK_QUERIES = (
     "tickets about a service outage",
@@ -149,6 +159,8 @@ def _apply(dataset: Dataset, op: dict, bundle) -> Dataset:
         return dataset.project(list(op["fields"]))
     if kind == "retrieve":
         return dataset.retrieve(op["query"], op["k"])
+    if kind == "where":
+        return dataset.where(WHERE_CONDITIONS[op["name"]])
     if kind == "py_filter":
         return dataset.filter(PY_PREDICATES[op["name"]], description=op["name"])
     if kind == "py_map":

@@ -81,6 +81,17 @@ class QueryProcessorConfig:
     #: store: scoped runs only match entries captured under the same scope.
     #: Empty (the default) keeps the historical single-tenant digests.
     materialization_scope: str = ""
+    #: Compile structured predicates/projections/pre-aggregations adjacent
+    #: to the scan into ``repro.sql`` execution (a ``SqlScan`` leaf) so the
+    #: SQL engine prunes records before any LLM operator runs.  Off =
+    #: structured operators run row-at-a-time in plan order; records are
+    #: bit-identical either way.
+    pushdown: bool = True
+    #: Thread struct-of-arrays :class:`~repro.sem.batch.RecordBatch`es
+    #: through the pipelined executor's free operators (vectorized
+    #: predicate evaluation).  Off = the row-at-a-time escape hatch;
+    #: records and cost are bit-identical either way.
+    columnar: bool = True
 
     def __post_init__(self) -> None:
         if self.sample_size < 1:

@@ -179,6 +179,42 @@ class Dataset:
         """Add fields computed by a Python function returning a dict."""
         return Dataset(L.PyMapOp(child=self._root, fn=fn, description=description))
 
+    def where(self, condition: str) -> "Dataset":
+        """Keep records satisfying a structured SQL predicate.
+
+        ``condition`` is a ``repro.sql`` WHERE expression over typed record
+        fields (``"priority >= 2 AND status <> 'done'"``).  SQL semantics
+        apply: a missing field reads as NULL, and only rows where the
+        predicate is exactly TRUE survive.  Because the predicate is
+        structured, the optimizer can push it (with adjacent projections
+        and pre-aggregations) into a SQL scan that prunes records before
+        any LLM operator runs.
+        """
+        if not isinstance(condition, str) or not condition.strip():
+            raise PlanError("where requires a non-empty SQL condition string")
+        return Dataset(L.StructFilterOp(child=self._root, condition=condition))
+
+    def struct_agg(
+        self,
+        aggregates: Sequence[tuple[str, str]],
+        group_by: Sequence[str] = (),
+    ) -> "Dataset":
+        """Aggregate typed fields with SQL semantics (no LLM involved).
+
+        ``aggregates`` is a sequence of ``(output_name, sql_expression)``
+        pairs, e.g. ``[("n", "count(*)"), ("worst", "max(priority)")]``;
+        ``group_by`` names grouping fields.  Runs through the ``repro.sql``
+        engine, so NULL handling, grouping, and empty-input behaviour are
+        exactly SQL's.
+        """
+        return Dataset(
+            L.StructAggOp(
+                child=self._root,
+                group_by=tuple(group_by),
+                aggregates=tuple((alias, expr) for alias, expr in aggregates),
+            )
+        )
+
     def project(self, fields: Sequence[str]) -> "Dataset":
         """Keep only the named fields."""
         return Dataset(L.ProjectOp(child=self._root, fields=tuple(fields)))
@@ -251,6 +287,7 @@ class Dataset:
                 pipeline=config.pipeline,
                 batch_size=config.resolved_batch_size(),
                 capture=report.capture,
+                columnar=config.columnar and config.pipeline,
             )
             result = engine.execute(operators)
             result.optimization_cost_usd = report.sampling_cost_usd

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from repro.data.records import DataRecord
 from repro.errors import BudgetExceededError
 from repro.llm.usage import UsageTracker
+from repro.sem.batch import RecordBatch
 from repro.sem.physical import ExecutionContext, PhysicalOperator
 from repro.utils.clock import PipelineSchedule
 from repro.utils.formatting import format_table
@@ -67,6 +68,10 @@ class OperatorStats:
     output_tokens: int = 0
     #: True when this operator replayed a materialized sub-plan prefix.
     reused: bool = False
+    #: True when this operator is a pushed-down SQL section (token-free).
+    sql_pushdown: bool = False
+    #: Source records a pushed-down scan saw before pruning (0 elsewhere).
+    records_scanned: int = 0
 
     @property
     def selectivity(self) -> float:
@@ -177,12 +182,13 @@ class ExecutionResult:
                     stats.retried_calls,
                     stats.failed_records,
                     "yes" if stats.reused else "-",
+                    "yes" if stats.sql_pushdown else "-",
                 ]
             )
         table = format_table(
             [
                 "Operator", "In", "Out", "Time (s)", "Cost ($)",
-                "Tokens", "Calls", "Cache", "Retried", "Failed", "Reused",
+                "Tokens", "Calls", "Cache", "Retried", "Failed", "Reused", "SQL",
             ],
             rows,
             title="EXECUTION REPORT",
@@ -191,6 +197,7 @@ class ExecutionResult:
             f"\ntotals: {len(self.records)} records, "
             f"${self.total_cost_usd:.4f} in {self.total_time_s:.1f}s"
         )
+        footer += pushdown_footer(self.operator_stats)
         if self.retried_calls or self.failed_records:
             footer += (
                 f"  ({self.retried_calls} retried calls, "
@@ -199,6 +206,23 @@ class ExecutionResult:
         if self.truncated:
             footer += "\nNOTE: execution truncated by the spend cap"
         return table + footer
+
+
+def pushdown_footer(operator_stats: list[OperatorStats]) -> str:
+    """EXPLAIN footer for pushed-down SQL sections (empty when none ran).
+
+    Reports how many records the SQL engine pruned before the first LLM
+    operator ever saw the stream — the headline number of the hybrid
+    pushdown path.
+    """
+    scan = next((s for s in operator_stats if s.sql_pushdown), None)
+    if scan is None:
+        return ""
+    pruned = scan.records_scanned - scan.records_out
+    return (
+        f"\npushdown: {scan.label} pruned {pruned} of {scan.records_scanned} "
+        f"records before the first LLM operator ({scan.records_out} passed)"
+    )
 
 
 def _stats_attrs(stats: OperatorStats) -> dict:
@@ -215,6 +239,9 @@ def _stats_attrs(stats: OperatorStats) -> dict:
     }
     if stats.reused:
         attrs["reused"] = True
+    if stats.sql_pushdown:
+        attrs["sql_pushdown"] = True
+        attrs["records_scanned"] = stats.records_scanned
     return attrs
 
 
@@ -239,6 +266,8 @@ class _StageAccount:
             label=self.operator.label(),
             model=self.operator.model,
             reused=getattr(self.operator, "reused", False),
+            sql_pushdown=getattr(self.operator, "pushed_down", False),
+            records_scanned=getattr(self.operator, "scanned", 0),
             records_in=self.records_in,
             records_out=self.records_out,
             cost_usd=self.cost_usd,
@@ -262,6 +291,7 @@ class Engine:
         pipeline: bool = True,
         batch_size: int | None = None,
         capture=None,
+        columnar: bool = False,
     ) -> None:
         self.ctx = ctx
         self.max_cost_usd = max_cost_usd
@@ -272,6 +302,12 @@ class Engine:
         #: Optional :class:`repro.sem.materialize.CapturePlan`: operator
         #: boundaries to materialize into the store after they complete.
         self.capture = capture
+        #: Columnar hot path: vectorized (token-free) stages consume whole
+        #: :class:`~repro.sem.batch.RecordBatch`es instead of looping the
+        #: per-record protocol, and adjacent vectorized stages hand the
+        #: batch along without re-wrapping.  Off = row-at-a-time escape
+        #: hatch; records and dollars are bit-identical either way.
+        self.columnar = columnar
 
     def execute(self, operators: list[PhysicalOperator]) -> ExecutionResult:
         llm = self.ctx.llm
@@ -343,6 +379,8 @@ class Engine:
                 label=operator.label(),
                 model=operator.model,
                 reused=getattr(operator, "reused", False),
+                sql_pushdown=getattr(operator, "pushed_down", False),
+                records_scanned=getattr(operator, "scanned", 0),
                 records_in=n_in,
                 records_out=n_out,
                 cost_usd=usage.cost_usd,
@@ -476,13 +514,18 @@ class Engine:
             )
 
         def run_stages(batch: list[DataRecord], first_stage: int) -> list[DataRecord]:
-            """One batch through stages ``first_stage``.. — returns survivors."""
+            """One batch through stages ``first_stage``.. — returns survivors.
+
+            In columnar mode ``current`` may be a
+            :class:`~repro.sem.batch.RecordBatch` between vectorized
+            stages; it is unwrapped back to records at the section exit.
+            """
             nonlocal truncated, batch_no
             batch_no += 1
             schedule.start_batch()
             current = batch
             for stage in range(first_stage, len(section)):
-                if not current:
+                if not len(current):
                     break
                 n_records = len(current)
                 try:
@@ -503,6 +546,8 @@ class Engine:
                 if metrics.enabled:
                     metrics.histogram("engine.cell_s").observe(seconds)
                 charge_progress()
+            if isinstance(current, RecordBatch):
+                return current.records
             return current
 
         for start in range(0, len(input_records), self.batch_size):
@@ -560,52 +605,67 @@ class Engine:
         checkpoint = tracker.checkpoint()
         failures_before = len(ctx.failures)
         account.records_in += len(batch)
+        columnar = self.columnar and operator.vectorized
+        rows = batch.records if isinstance(batch, RecordBatch) else batch
         emitted: dict[int, list[DataRecord]] = {}
+        batch_result: RecordBatch | None = None
         budget_error: BudgetExceededError | None = None
 
         with ctx.llm.measure() as measured:
             try:
-                operator.prepare_batch(batch, ctx, state)
-                pending = list(enumerate(batch))
-                for attempt in range(2):
-                    width = ctx.wave_width()
-                    if ctx.llm.metrics.enabled:
-                        ctx.llm.metrics.histogram("engine.wave_width").observe(width)
-                    wave_checkpoint = tracker.checkpoint()
-                    wave_failures = len(ctx.failures)
-                    with ctx.llm.parallel(width):
-                        for position, record in pending:
-                            emitted[position] = operator.process_record(record, ctx, state)
-                    rate_limited = any(
-                        event.failed and event.error == "rate_limit"
-                        for event in tracker.events[wave_checkpoint:]
+                if columnar:
+                    # Vectorized (token-free) stage: one whole-batch step,
+                    # no wave machinery.  The RecordBatch flows on to the
+                    # next stage without re-wrapping.
+                    columns = (
+                        batch if isinstance(batch, RecordBatch) else RecordBatch(rows)
                     )
-                    if ctx.adaptive is not None:
-                        ctx.adaptive.observe(rate_limited)
-                    throttled_uids = {
-                        uid
-                        for uid, error in ctx.failures[wave_failures:]
-                        if error == "RateLimitError"
-                    }
-                    if (
-                        attempt > 0
-                        or not throttled_uids
-                        or ctx.adaptive is None
-                        or ctx.adaptive.width >= width
-                    ):
-                        break
-                    # Withdraw the throttled records' failure flags and give
-                    # them one more pass at the narrowed width.
-                    ctx.failures[wave_failures:] = [
-                        entry
-                        for entry in ctx.failures[wave_failures:]
-                        if entry[0] not in throttled_uids
-                    ]
-                    pending = [
-                        (position, record)
-                        for position, record in pending
-                        if record.uid in throttled_uids
-                    ]
+                    operator.prepare_batch(columns.records, ctx, state)
+                    batch_result = operator.process_batch(columns, ctx, state)
+                else:
+                    operator.prepare_batch(rows, ctx, state)
+                    pending = list(enumerate(rows))
+                    for attempt in range(2):
+                        width = ctx.wave_width()
+                        if ctx.llm.metrics.enabled:
+                            ctx.llm.metrics.histogram("engine.wave_width").observe(width)
+                        wave_checkpoint = tracker.checkpoint()
+                        wave_failures = len(ctx.failures)
+                        with ctx.llm.parallel(width):
+                            for position, record in pending:
+                                emitted[position] = operator.process_record(
+                                    record, ctx, state
+                                )
+                        rate_limited = any(
+                            event.failed and event.error == "rate_limit"
+                            for event in tracker.events[wave_checkpoint:]
+                        )
+                        if ctx.adaptive is not None:
+                            ctx.adaptive.observe(rate_limited)
+                        throttled_uids = {
+                            uid
+                            for uid, error in ctx.failures[wave_failures:]
+                            if error == "RateLimitError"
+                        }
+                        if (
+                            attempt > 0
+                            or not throttled_uids
+                            or ctx.adaptive is None
+                            or ctx.adaptive.width >= width
+                        ):
+                            break
+                        # Withdraw the throttled records' failure flags and
+                        # give them one more pass at the narrowed width.
+                        ctx.failures[wave_failures:] = [
+                            entry
+                            for entry in ctx.failures[wave_failures:]
+                            if entry[0] not in throttled_uids
+                        ]
+                        pending = [
+                            (position, record)
+                            for position, record in pending
+                            if record.uid in throttled_uids
+                        ]
             except BudgetExceededError as exc:
                 budget_error = exc
 
@@ -624,6 +684,9 @@ class Engine:
         if budget_error is not None:
             budget_error.cell_seconds = measured.seconds
             raise budget_error
+        if batch_result is not None:
+            account.records_out += len(batch_result)
+            return batch_result, measured.seconds
         results = [record for position in sorted(emitted) for record in emitted[position]]
         account.records_out += len(results)
         return results, measured.seconds

@@ -8,7 +8,7 @@ and cost, so optimizer misestimates are visible at a glance.
 
 from __future__ import annotations
 
-from repro.sem.execution import ExecutionResult
+from repro.sem.execution import ExecutionResult, pushdown_footer
 from repro.sem.optimizer.optimizer import OptimizationReport
 from repro.utils.formatting import format_table
 
@@ -50,13 +50,14 @@ def explain_analyze(result: ExecutionResult, report: OptimizationReport) -> str:
                 stats.retried_calls,
                 stats.failed_records,
                 "yes" if stats.reused else "-",
+                "yes" if stats.sql_pushdown else "-",
             ]
         )
     table = format_table(
         [
             "Operator", "In", "Est. out", "Out", "Est. $", "Actual $",
             "Time (s)", "Calls", "Tokens", "Cache", "Retried", "Failed",
-            "Reused",
+            "Reused", "SQL",
         ],
         rows,
         title="EXPLAIN ANALYZE",
@@ -75,6 +76,12 @@ def explain_analyze(result: ExecutionResult, report: OptimizationReport) -> str:
             f"\nplan estimate: ${report.estimate.cost_usd:.4f}, "
             f"{report.estimate.time_s:.1f}s, "
             f"{report.estimate.cardinality:.0f} rows out"
+        )
+    footer += pushdown_footer(result.operator_stats)
+    if report.pushdown_ops:
+        footer += (
+            f"\npushdown: {report.pushdown_ops} structured operator(s) "
+            f"compiled to SQL: {report.pushdown_sql}"
         )
     if report.reused_prefix:
         footer += (

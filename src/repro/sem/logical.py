@@ -154,6 +154,62 @@ class PyMapOp(LogicalOperator):
 
 
 @dataclass(frozen=True)
+class StructFilterOp(LogicalOperator):
+    """Keep records where a SQL predicate over typed fields is TRUE.
+
+    ``condition`` is the ``repro.sql`` WHERE grammar (three-valued NULL
+    logic; a missing field reads as NULL).  Free to run — no LLM calls —
+    and the pushdown pass compiles runs of these adjacent to the scan into
+    a :class:`SqlScanOp` so the SQL engine prunes records before any LLM
+    operator sees them.
+    """
+
+    condition: str = ""
+
+    def label(self) -> str:
+        return f"StructFilter({self.condition!r})"
+
+
+@dataclass(frozen=True)
+class StructAggOp(LogicalOperator):
+    """Structured (non-semantic) aggregation via the SQL engine.
+
+    Groups by the named fields and computes SQL aggregate expressions
+    (``("total", "sum(amount)")``), emitting one fresh record per group
+    with lineage-deterministic uids.  Like :class:`StructFilterOp` it is
+    token-free and pushdown-eligible.
+    """
+
+    group_by: tuple[str, ...] = ()
+    #: (output field, SQL aggregate expression) pairs.
+    aggregates: tuple[tuple[str, str], ...] = ()
+
+    def label(self) -> str:
+        parts = list(self.group_by) + [alias for alias, _ in self.aggregates]
+        return f"StructAgg({', '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class SqlScanOp(LogicalOperator):
+    """Leaf: scan a source with a pushed-down structured prefix.
+
+    Never written by users — the pushdown pass replaces
+    ``Scan → (StructFilter|Project|Limit|StructAgg)*`` with one of these.
+    ``pushed`` holds the replaced operators in execution order (children
+    severed); ``sql`` is the display-form SELECT the prefix compiles to.
+    Surviving records are bit-identical to running the pushed operators
+    row-at-a-time, because both paths share ``repro.sql`` evaluation.
+    """
+
+    source: DataSource = None  # type: ignore[assignment]
+    pushed: tuple[LogicalOperator, ...] = ()
+    sql: str = ""
+
+    def label(self) -> str:
+        return f"SqlScan({self.source.source_id}, {len(self.pushed)} ops)"
+
+
+@dataclass(frozen=True)
 class ProjectOp(LogicalOperator):
     """Keep only the named fields."""
 
@@ -281,8 +337,23 @@ def validate_plan(plan: LogicalPlan) -> None:
         elif isinstance(op, MaterializedScanOp):
             if op.child is not None:
                 raise PlanError("MaterializedScanOp must be a leaf")
+        elif isinstance(op, SqlScanOp):
+            if op.child is not None:
+                raise PlanError("SqlScanOp must be a leaf")
+            if op.source is None:
+                raise PlanError("SqlScanOp requires a source")
+            if not op.pushed:
+                raise PlanError("SqlScanOp requires at least one pushed operator")
         elif op.child is None:
             raise PlanError(f"{op.label()} is missing its input")
+        if isinstance(op, StructFilterOp):
+            from repro.sem.structql import compile_predicate
+
+            compile_predicate(op.condition)
+        if isinstance(op, StructAggOp):
+            from repro.sem.structql import validate_aggregation
+
+            validate_aggregation(op.group_by, op.aggregates)
         if isinstance(op, LimitOp) and op.n < 0:
             raise PlanError(f"Limit must be >= 0, got {op.n}")
         if isinstance(op, SemTopKOp) and op.k < 1:

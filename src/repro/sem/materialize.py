@@ -54,6 +54,7 @@ INCREMENTAL_SAFE_OPS = (
     L.SemClassifyOp,
     L.PyFilterOp,
     L.PyMapOp,
+    L.StructFilterOp,
     L.ProjectOp,
 )
 
@@ -69,7 +70,7 @@ COSTLY_OPS = (
 )
 
 #: Adjacent runs of these commute (mirrors ``rules._COMMUTING``).
-_COMMUTING = (L.SemFilterOp, L.PyFilterOp)
+_COMMUTING = (L.SemFilterOp, L.PyFilterOp, L.StructFilterOp)
 
 
 def op_token(op: L.LogicalOperator, model: str | None) -> tuple | None:
@@ -121,6 +122,14 @@ def op_token(op: L.LogicalOperator, model: str | None) -> tuple | None:
         return ("py_filter", op.description) if op.description else None
     if isinstance(op, L.PyMapOp):
         return ("py_map", op.description) if op.description else None
+    if isinstance(op, L.StructFilterOp):
+        from repro.sem.structql import normalized_condition
+
+        # The parsed AST's repr, so `priority>=2` and `priority >= 2`
+        # share a token — and pushed-down vs row-mode plans compose.
+        return ("struct_filter", normalized_condition(op.condition))
+    if isinstance(op, L.StructAggOp):
+        return ("struct_agg", tuple(op.group_by), tuple(op.aggregates))
     if isinstance(op, L.ProjectOp):
         return ("project", tuple(op.fields))
     if isinstance(op, L.LimitOp):
@@ -167,22 +176,47 @@ def prefix_fingerprints(
     ``scope`` namespaces fingerprints (tenant isolation on a shared store):
     scoped queries can only ever match entries captured under the same
     scope.  The empty scope keeps historical digests unchanged.
+
+    A :class:`~repro.sem.logical.SqlScanOp` leaf is fingerprinted by
+    *expansion*: its token sequence is the plain scan token followed by the
+    embedded operators' tokens, and the expanded virtual chain feeds the
+    commuting-run canonicalization.  A pushed-down plan therefore shares
+    every boundary fingerprint at or after the end of the scan-adjacent
+    filter run with its row-mode equivalent — pushdown composes with reuse
+    instead of fragmenting the store.
     """
-    tokens = [op_token(op, model) for op, model in zip(chain, models)]
+    virtual_chain: list[L.LogicalOperator] = []
+    virtual_tokens: list[tuple | None] = []
+    boundaries: list[int] = []
+    for op, model in zip(chain, models):
+        if isinstance(op, L.SqlScanOp):
+            virtual_chain.append(L.ScanOp(child=None, source=op.source))
+            virtual_tokens.append(("scan", op.source.source_id))
+            for pushed in op.pushed:
+                virtual_chain.append(pushed)
+                virtual_tokens.append(op_token(pushed, None))
+        else:
+            virtual_chain.append(op)
+            virtual_tokens.append(op_token(op, model))
+        boundaries.append(len(virtual_chain))
+
     scope_tokens = ("scope", scope) if scope else ()
     fingerprints: list[str | None] = []
     poisoned = False
     costly = False
-    for position in range(len(chain)):
-        if tokens[position] is None:
-            poisoned = True
-        if isinstance(chain[position], COSTLY_OPS):
-            costly = True
+    consumed = 0
+    for boundary in boundaries:
+        for position in range(consumed, boundary):
+            if virtual_tokens[position] is None:
+                poisoned = True
+            if isinstance(virtual_chain[position], COSTLY_OPS):
+                costly = True
+        consumed = boundary
         if poisoned or not costly:
             fingerprints.append(None)
             continue
         canonical = _canonical_tokens(
-            chain[: position + 1], tokens[: position + 1]
+            virtual_chain[:boundary], virtual_tokens[:boundary]
         )
         fingerprints.append(
             stable_digest(
@@ -200,12 +234,18 @@ def incremental_safe_prefix(chain: list[L.LogicalOperator]) -> list[bool]:
     """Whether ``chain[:p]`` can merge an appended delta, indexed ``p - 1``.
 
     Position 0 (the scan) is trivially safe; above it every operator must
-    be record-local and order-preserving.
+    be record-local and order-preserving.  A pushed-down
+    :class:`~repro.sem.logical.SqlScanOp` leaf is safe only when every
+    embedded operator is (a pushed limit or aggregation depends on the
+    whole input, so those prefixes are exact-reuse only).
     """
     safe: list[bool] = []
     all_safe = True
     for position, op in enumerate(chain):
-        if position > 0 and not isinstance(op, INCREMENTAL_SAFE_OPS):
+        if isinstance(op, L.SqlScanOp):
+            if not all(isinstance(p, INCREMENTAL_SAFE_OPS) for p in op.pushed):
+                all_safe = False
+        elif position > 0 and not isinstance(op, INCREMENTAL_SAFE_OPS):
             all_safe = False
         safe.append(all_safe)
     return safe

@@ -32,6 +32,7 @@ STREAMABLE_OPS = (
     L.SemTopKOp,
     L.PyFilterOp,
     L.PyMapOp,
+    L.StructFilterOp,
     L.ProjectOp,
     L.LimitOp,
 )
@@ -59,13 +60,27 @@ def estimate_operator(
     profile: OperatorProfile | None,
 ) -> PlanEstimate:
     """Estimate one operator given its input cardinality."""
-    if isinstance(op, (L.PyFilterOp,)):
+    if isinstance(op, (L.PyFilterOp, L.StructFilterOp)):
         selectivity = profile.selectivity if profile else 0.5
         return PlanEstimate(0.0, 0.0, cardinality * selectivity)
     if isinstance(op, (L.PyMapOp, L.ProjectOp)):
         return PlanEstimate(0.0, 0.0, cardinality)
     if isinstance(op, L.LimitOp):
         return PlanEstimate(0.0, 0.0, min(cardinality, op.n))
+    if isinstance(op, L.StructAggOp):
+        # Token-free; a global aggregate collapses to one row, a grouped
+        # one to at most the input's distinct keys (unknown — pass through).
+        return PlanEstimate(0.0, 0.0, 1.0 if not op.group_by else cardinality)
+    if isinstance(op, L.SqlScanOp):
+        # Pushed sections are token-free by construction: chain the
+        # embedded structured operators' estimates from the source size.
+        size = op.source.cardinality() if op.source is not None else None
+        pushed_cardinality = float(size) if size is not None else cardinality
+        for pushed in op.pushed:
+            pushed_cardinality = estimate_operator(
+                pushed, pushed_cardinality, None
+            ).cardinality
+        return PlanEstimate(0.0, 0.0, pushed_cardinality)
     if isinstance(op, L.RetrieveOp):
         return PlanEstimate(0.0, 0.0, min(cardinality, op.k))
     if isinstance(op, L.SemFilterOp):

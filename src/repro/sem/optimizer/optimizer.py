@@ -32,6 +32,7 @@ from repro.sem.materialize import (
     prefix_fingerprints,
 )
 from repro.sem.optimizer.cost_model import PlanEstimate, estimate_chain, filter_rank
+from repro.sem.optimizer.pushdown import push_structured_prefix
 from repro.sem.optimizer.rules import (
     merge_adjacent_limits,
     prune_noop_projects,
@@ -67,6 +68,10 @@ class OptimizationReport:
     reuse_store_hits: int = 0
     #: Engine-side capture instructions (None = no store configured).
     capture: "CapturePlan | None" = field(default=None, repr=False)
+    #: Structured operators compiled into the SqlScan leaf (0 = no pushdown).
+    pushdown_ops: int = 0
+    #: Display-form SELECT the pushed prefix compiles to.
+    pushdown_sql: str = ""
 
 
 class Optimizer:
@@ -88,8 +93,26 @@ class Optimizer:
             )
         if not self.config.optimize:
             report = OptimizationReport(optimized=False, note="optimization disabled")
-            return self._reuse_and_bind(plan.operators(), {}, report), report
+            chain = self._maybe_pushdown(plan.operators(), report)
+            return self._reuse_and_bind(chain, {}, report), report
         return self._optimize_linear(plan)
+
+    def _maybe_pushdown(
+        self, chain: list[L.LogicalOperator], report: OptimizationReport
+    ) -> list[L.LogicalOperator]:
+        """Compile the structured prefix into a SqlScan when enabled.
+
+        Runs independently of cost-based optimization: pushdown is a
+        semantics-preserving rewrite gated only by ``config.pushdown``.
+        """
+        if not getattr(self.config, "pushdown", True):
+            return chain
+        chain, sql_scan = push_structured_prefix(chain)
+        if sql_scan is not None:
+            report.pushdown_ops = len(sql_scan.pushed)
+            report.pushdown_sql = sql_scan.sql
+            report.final_order = [op.label() for op in chain]
+        return chain
 
     # ------------------------------------------------------------------
     # Linear-plan optimization
@@ -130,7 +153,7 @@ class Optimizer:
             "optimize", kind="optimize", sample_size=len(sample)
         ) as optimize_span:
             for op in chain:
-                if not isinstance(op, _PROFILED_OPS + (L.PyFilterOp,)):
+                if not isinstance(op, _PROFILED_OPS + (L.PyFilterOp, L.StructFilterOp)):
                     continue
                 with tracer.span(f"profile:{op.label()}", kind="profile"):
                     if isinstance(op, L.SemFilterOp):
@@ -155,6 +178,8 @@ class Optimizer:
                         )
                     elif isinstance(op, L.PyFilterOp):
                         profiles[id(op)] = {"python": _python_filter_profile(op, sample)}
+                    elif isinstance(op, L.StructFilterOp):
+                        profiles[id(op)] = {"sql": _struct_filter_profile(op, sample)}
 
         sampling_usage = config.llm.tracker.since(checkpoint)
         sampling_time = config.llm.clock.elapsed - time_before
@@ -184,6 +209,9 @@ class Optimizer:
             )
         new_chain = prune_noop_projects(new_chain)
         new_chain = merge_adjacent_limits(new_chain)
+        sql_scan = None
+        if getattr(config, "pushdown", True):
+            new_chain, sql_scan = push_structured_prefix(new_chain)
 
         chosen_profiles: dict[int, OperatorProfile] = {}
         for position, op in enumerate(new_chain):
@@ -212,6 +240,8 @@ class Optimizer:
                 pipeline=config.pipeline,
                 batch_size=config.resolved_batch_size(),
             ),
+            pushdown_ops=len(sql_scan.pushed) if sql_scan is not None else 0,
+            pushdown_sql=sql_scan.sql if sql_scan is not None else "",
         )
         return self._reuse_and_bind(
             new_chain, chosen, report, source_records=source_records
@@ -255,7 +285,7 @@ class Optimizer:
         config = self.config
         bound = self._bind_chain(chain, chosen)
         store = getattr(config, "materialization_store", None)
-        if store is None or not isinstance(chain[0], L.ScanOp):
+        if store is None or not isinstance(chain[0], (L.ScanOp, L.SqlScanOp)):
             return bound
         store.metrics = config.llm.metrics if config.llm.metrics.enabled else None
         if source_records is None:
@@ -312,14 +342,21 @@ class Optimizer:
             base_records=len(entry.records),
             delta_records=len(delta),
         )
-        delta_ops = (
-            [
+        delta_ops: list[P.PhysicalOperator] = []
+        if delta:
+            if isinstance(chain[0], L.SqlScanOp):
+                # Raw delta source records must pass through the pushed
+                # structured prefix before the rest of the reused chain
+                # (delta reuse is only offered when every pushed op is
+                # incremental-safe, so these all bind to per-record ops).
+                delta_ops.extend(
+                    self._bind_one(op, chain, 0, chosen)
+                    for op in chain[0].pushed
+                )
+            delta_ops.extend(
                 self._bind_one(op, chain, position, chosen)
                 for position, op in enumerate(chain[1:length], start=1)
-            ]
-            if delta
-            else []
-        )
+            )
         replay = P.PhysMaterializedScan(
             materialized, entry=entry, delta_ops=delta_ops, delta_records=delta
         )
@@ -430,6 +467,14 @@ class Optimizer:
             return P.PhysPyFilter(op)
         if isinstance(op, L.PyMapOp):
             return P.PhysPyMap(op)
+        if isinstance(op, L.StructFilterOp):
+            return P.PhysStructFilter(op)
+        if isinstance(op, L.StructAggOp):
+            return P.PhysStructAgg(op)
+        if isinstance(op, L.SqlScanOp):
+            return P.PhysSqlScan(
+                op, columnar=getattr(self.config, "columnar", False)
+            )
         if isinstance(op, L.ProjectOp):
             return P.PhysProject(op)
         if isinstance(op, L.LimitOp):
@@ -460,4 +505,26 @@ def _python_filter_profile(op: L.PyFilterOp, sample: list) -> OperatorProfile:
         cost_per_record=0.0,
         latency_per_record=0.0,
         sample_size=seen,
+    )
+
+
+def _struct_filter_profile(op: L.StructFilterOp, sample: list) -> OperatorProfile:
+    """Selectivity of a structured SQL filter, measured by evaluating it.
+
+    Never crashes on raw source records: a referenced-but-missing field
+    reads as NULL, which simply fails the predicate.
+    """
+    from repro.sem.structql import predicate_holds
+
+    passed = sum(
+        1 for record in sample if predicate_holds(op.condition, record.fields)
+    )
+    selectivity = passed / len(sample) if sample else 0.5
+    return OperatorProfile(
+        model="sql",
+        agreement=1.0,
+        selectivity=selectivity,
+        cost_per_record=0.0,
+        latency_per_record=0.0,
+        sample_size=len(sample),
     )

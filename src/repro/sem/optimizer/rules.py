@@ -12,7 +12,7 @@ from typing import Callable
 from repro.sem import logical as L
 
 #: Operator types that commute with each other (all are record filters).
-_COMMUTING = (L.SemFilterOp, L.PyFilterOp)
+_COMMUTING = (L.SemFilterOp, L.PyFilterOp, L.StructFilterOp)
 
 
 def commuting_runs(chain: list[L.LogicalOperator]) -> list[tuple[int, int]]:
@@ -33,18 +33,21 @@ def commuting_runs(chain: list[L.LogicalOperator]) -> list[tuple[int, int]]:
 
 
 def push_py_filters(chain: list[L.LogicalOperator]) -> list[L.LogicalOperator]:
-    """Within each commuting run, move free Python filters first.
+    """Within each commuting run, move free filters first.
 
-    Python filters cost nothing, so they always belong before semantic
-    filters in the same run (they cannot cross maps/aggregations because
-    they may read fields those operators produce).
+    Structured and Python filters cost nothing, so they always belong
+    before semantic filters in the same run (they cannot cross
+    maps/aggregations because they may read fields those operators
+    produce).  Structured filters lead — adjacent to the scan they are
+    SQL-pushdown candidates, and Python filters never are.
     """
     result = list(chain)
     for start, end in commuting_runs(result):
         run = result[start:end]
+        struct_filters = [op for op in run if isinstance(op, L.StructFilterOp)]
         py_filters = [op for op in run if isinstance(op, L.PyFilterOp)]
         sem_filters = [op for op in run if isinstance(op, L.SemFilterOp)]
-        result[start:end] = py_filters + sem_filters
+        result[start:end] = struct_filters + py_filters + sem_filters
     return result
 
 

@@ -26,6 +26,12 @@ from repro.errors import BudgetExceededError, ExecutionError, TransientLLMError
 from repro.llm.embeddings import cosine_similarity, top_k_similar
 from repro.llm.simulated import SimulatedLLM
 from repro.sem import logical as L
+from repro.sem.batch import RecordBatch, struct_filter_mask
+from repro.sem.structql import (
+    compile_predicate,
+    evaluate_predicate,
+    run_aggregation,
+)
 from repro.utils.hashing import stable_digest
 
 import numpy as np
@@ -176,6 +182,13 @@ class PhysicalOperator(abc.ABC):
     #: and can be fused into pipelined sections by the engine.
     streamable = False
 
+    #: Vectorized operators additionally implement :meth:`process_batch`
+    #: over a columnar :class:`~repro.sem.batch.RecordBatch`; the engine
+    #: uses it in place of the per-record loop when columnar mode is on.
+    #: Only token-free operators qualify — LLM operators need the
+    #: per-record wave machinery (retries, adaptive width, budget cuts).
+    vectorized = False
+
     def __init__(self, logical_op: L.LogicalOperator, model: str | None = None) -> None:
         self.logical_op = logical_op
         self.model = model
@@ -208,6 +221,16 @@ class PhysicalOperator(abc.ABC):
     def sated(self, state: dict) -> bool:
         """True once this operator can never emit more records (early exit)."""
         return False
+
+    def process_batch(
+        self, batch: "RecordBatch", ctx: ExecutionContext, state: dict
+    ) -> "RecordBatch":
+        """Vectorized whole-batch step (``vectorized`` operators only).
+
+        Must be observationally identical to streaming the batch's records
+        through :meth:`process_record` one at a time.
+        """
+        raise ExecutionError(f"{self.label()} is not vectorized")
 
     def label(self) -> str:
         suffix = f" [{self.model}]" if self.model else ""
@@ -663,6 +686,7 @@ class PhysSemTopK(StreamingOperator):
 
 class PhysPyFilter(StreamingOperator):
     logical_op: L.PyFilterOp
+    vectorized = True
 
     def process_record(
         self, record: DataRecord, ctx: ExecutionContext, state: dict
@@ -671,6 +695,12 @@ class PhysPyFilter(StreamingOperator):
 
     def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
         return [record for record in records if self.logical_op.fn(record)]
+
+    def process_batch(
+        self, batch: RecordBatch, ctx: ExecutionContext, state: dict
+    ) -> RecordBatch:
+        fn = self.logical_op.fn
+        return RecordBatch([record for record in batch.records if fn(record)])
 
 
 class PhysPyMap(StreamingOperator):
@@ -693,9 +723,20 @@ class PhysPyMap(StreamingOperator):
             output.extend(self.process_record(record, ctx, {}))
         return output
 
+    vectorized = True
+
+    def process_batch(
+        self, batch: RecordBatch, ctx: ExecutionContext, state: dict
+    ) -> RecordBatch:
+        output = []
+        for record in batch.records:
+            output.extend(self.process_record(record, ctx, state))
+        return RecordBatch(output)
+
 
 class PhysProject(StreamingOperator):
     logical_op: L.ProjectOp
+    vectorized = True
 
     def process_record(
         self, record: DataRecord, ctx: ExecutionContext, state: dict
@@ -709,6 +750,16 @@ class PhysProject(StreamingOperator):
         for record in records:
             output.extend(self.process_record(record, ctx, {}))
         return output
+
+    def process_batch(
+        self, batch: RecordBatch, ctx: ExecutionContext, state: dict
+    ) -> RecordBatch:
+        wanted = set(self.logical_op.fields)
+        output = []
+        for record in batch.records:
+            drop = [name for name in record.fields if name not in wanted]
+            output.append(record.derive({}, drop=drop))
+        return RecordBatch(output)
 
 
 class PhysLimit(StreamingOperator):
@@ -733,3 +784,144 @@ class PhysLimit(StreamingOperator):
 
     def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
         return records[: self.logical_op.n]
+
+    vectorized = True
+
+    def process_batch(
+        self, batch: RecordBatch, ctx: ExecutionContext, state: dict
+    ) -> RecordBatch:
+        take = max(0, min(state["remaining"], len(batch)))
+        state["remaining"] -= take
+        return RecordBatch(batch.records[:take])
+
+
+class PhysStructFilter(StreamingOperator):
+    """SQL predicate over record fields: keep rows where it is TRUE.
+
+    Row mode evaluates the compiled expression per record through the
+    ``repro.sql`` executor; columnar mode evaluates it once per batch with
+    vectorized masks (:func:`repro.sem.batch.struct_filter_mask`).  Both
+    only *select* rows, so the surviving record objects — and their uids —
+    are untouched.
+    """
+
+    logical_op: L.StructFilterOp
+    vectorized = True
+
+    def __init__(self, logical_op: L.StructFilterOp, model: str | None = None) -> None:
+        super().__init__(logical_op, model)
+        self._expr = compile_predicate(logical_op.condition)
+
+    def process_record(
+        self, record: DataRecord, ctx: ExecutionContext, state: dict
+    ) -> list[DataRecord]:
+        return [record] if evaluate_predicate(self._expr, record.fields) is True else []
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        return [
+            record
+            for record in records
+            if evaluate_predicate(self._expr, record.fields) is True
+        ]
+
+    def process_batch(
+        self, batch: RecordBatch, ctx: ExecutionContext, state: dict
+    ) -> RecordBatch:
+        return batch.take(struct_filter_mask(self._expr, batch))
+
+
+def _struct_agg_records(
+    records: list[DataRecord], op: L.StructAggOp
+) -> list[DataRecord]:
+    """Shared struct-agg body: one fresh record per SQL result row.
+
+    Uids are a pure function of the input lineage and the group key, so
+    row mode, columnar mode, and the pushed-down SqlScan all mint
+    identical records.
+    """
+    rows = run_aggregation(
+        [record.fields for record in records], op.group_by, op.aggregates
+    )
+    input_uids = tuple(record.uid for record in records)
+    output = []
+    for row in rows:
+        group_values = tuple(row[name] for name in op.group_by)
+        output.append(
+            DataRecord(
+                fields=dict(row),
+                uid=f"structagg:{stable_digest(input_uids, group_values)[:6]}",
+                parent_uids=input_uids,
+            )
+        )
+    return output
+
+
+class PhysStructAgg(PhysicalOperator):
+    """Structured GROUP BY / aggregation via the SQL engine (token-free)."""
+
+    logical_op: L.StructAggOp
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        return _struct_agg_records(records, self.logical_op)
+
+
+def apply_structured(
+    op: L.LogicalOperator, records: list[DataRecord], columnar: bool = False
+) -> list[DataRecord]:
+    """Run one pushed-down structured operator over materialized records.
+
+    This is the SqlScan interpretation loop — and also how delta records
+    replay through a pushed prefix.  Each case matches its row-mode
+    physical operator exactly (same evaluator, same ``derive`` calls).
+    """
+    if isinstance(op, L.StructFilterOp):
+        expr = compile_predicate(op.condition)
+        if columnar:
+            batch = RecordBatch(records)
+            return batch.take(struct_filter_mask(expr, batch)).records
+        return [
+            record
+            for record in records
+            if evaluate_predicate(expr, record.fields) is True
+        ]
+    if isinstance(op, L.ProjectOp):
+        wanted = set(op.fields)
+        output = []
+        for record in records:
+            drop = [name for name in record.fields if name not in wanted]
+            output.append(record.derive({}, drop=drop))
+        return output
+    if isinstance(op, L.LimitOp):
+        return records[: op.n]
+    if isinstance(op, L.StructAggOp):
+        return _struct_agg_records(records, op)
+    raise ExecutionError(f"operator {op.label()} cannot run inside a SqlScan")
+
+
+class PhysSqlScan(PhysicalOperator):
+    """Leaf: scan a source and run its pushed-down structured prefix.
+
+    The SQL engine prunes/projects/pre-aggregates the record set before
+    any LLM operator runs.  ``scanned`` records how many source records
+    the scan saw, so EXPLAIN can report what was pruned ahead of the first
+    LLM operator.
+    """
+
+    logical_op: L.SqlScanOp
+
+    #: Surfaced in per-operator stats and the EXPLAIN "SQL" column.
+    pushed_down = True
+
+    def __init__(self, logical_op: L.SqlScanOp, columnar: bool = False) -> None:
+        super().__init__(logical_op, None)
+        self.columnar = columnar
+        self.scanned = 0
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        if records:
+            raise ExecutionError("sql scan is a leaf; it takes no input records")
+        current = list(self.logical_op.source.iterate())
+        self.scanned = len(current)
+        for op in self.logical_op.pushed:
+            current = apply_structured(op, current, self.columnar)
+        return current

@@ -19,6 +19,7 @@ Quick use::
 """
 
 from repro.sql.database import Database
+from repro.sql.parser import parse_expression, parse_sql
 from repro.sql.table import Column, Table
 
-__all__ = ["Column", "Database", "Table"]
+__all__ = ["Column", "Database", "Table", "parse_expression", "parse_sql"]

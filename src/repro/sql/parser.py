@@ -463,3 +463,22 @@ class Parser:
 def parse_sql(sql: str) -> Statement:
     """Parse one SQL statement."""
     return Parser(tokenize_sql(sql)).parse_statement()
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse one standalone scalar/boolean expression.
+
+    This is the entry point the semantic layer's structured predicates use
+    (``Dataset.where``): the expression grammar is exactly the one accepted
+    inside WHERE, so pushed-down and row-mode evaluation share a single
+    parse.
+    """
+    parser = Parser(tokenize_sql(text))
+    expr = parser._parse_expr()
+    if parser._peek().kind != "eof":
+        token = parser._peek()
+        raise SQLSyntaxError(
+            f"unexpected trailing input {token.value!r} at position {token.position} "
+            f"in expression {text!r}"
+        )
+    return expr

@@ -44,8 +44,46 @@ def build_chrome_trace_golden() -> dict:
     return chrome_trace(tracer, metrics=metrics)
 
 
-def render_golden(payload: dict) -> str:
-    """Serialize a golden payload exactly as stored on disk."""
+def build_explain_pushdown_golden() -> str:
+    """The EXPLAIN ANALYZE text in ``goldens/explain_pushdown_golden.txt``.
+
+    A pushdown-eligible plan (sem_filter -> where -> sem_map) over the
+    seeded QA corpus: the rendering must tag the ``SqlScan`` row in the
+    SQL column and emit both pushdown footers (records pruned before the
+    first LLM operator, and the compiled SQL text).
+    """
+    from repro.data.records import reset_uid_counter
+    from repro.data.schemas import Field
+    from repro.llm.oracle import SemanticOracle
+    from repro.llm.simulated import SimulatedLLM
+    from repro.qa.corpus import CorpusSpec, build_corpus, instruction_for
+    from repro.sem.config import QueryProcessorConfig
+    from repro.sem.dataset import Dataset
+
+    reset_uid_counter()
+    bundle = build_corpus(CorpusSpec(seed=5, n_records=18))
+    llm = SimulatedLLM(oracle=SemanticOracle(bundle.registry), seed=5)
+    config = QueryProcessorConfig(llm=llm, optimize=False, seed=5)
+    dataset = (
+        Dataset.from_source(bundle.source())
+        .sem_filter(instruction_for("qa.flag_urgent"))
+        .where("priority >= 3")
+        .sem_map(
+            Field("amount", float, "extracted amount"),
+            instruction_for("qa.amount"),
+        )
+    )
+    return dataset.explain(analyze=True, config=config)
+
+
+def render_golden(payload) -> str:
+    """Serialize a golden payload exactly as stored on disk.
+
+    Dict payloads become pretty-printed JSON; string payloads (rendered
+    reports) are stored verbatim with a trailing newline.
+    """
+    if isinstance(payload, str):
+        return payload if payload.endswith("\n") else payload + "\n"
     return json.dumps(payload, indent=1) + "\n"
 
 
@@ -53,4 +91,5 @@ def render_golden(payload: dict) -> str:
 #: test iterate this table, so adding a golden means adding one entry.
 GOLDEN_BUILDERS = {
     "chrome_trace_golden.json": build_chrome_trace_golden,
+    "explain_pushdown_golden.txt": build_explain_pushdown_golden,
 }

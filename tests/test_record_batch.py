@@ -1,0 +1,196 @@
+"""Columnar RecordBatch and vectorized predicate evaluation.
+
+The contract under test: for every predicate and every record population,
+``struct_filter_mask`` keeps exactly the rows row-at-a-time evaluation
+keeps — the vectorized fast path and the per-row fallback may differ in
+speed, never in answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.records import DataRecord, reset_uid_counter
+from repro.llm.oracle import SemanticOracle
+from repro.llm.simulated import SimulatedLLM
+from repro.qa.corpus import CorpusSpec, build_corpus, instruction_for
+from repro.sem.batch import (
+    RecordBatch,
+    _exact_float_column,
+    struct_filter_mask,
+)
+from repro.sem.config import QueryProcessorConfig
+from repro.sem.dataset import Dataset
+from repro.sem.structql import compile_predicate, predicate_holds
+
+
+def _records(rows: list[dict]) -> list[DataRecord]:
+    return [DataRecord(fields=row, uid=f"rb-{index:03d}") for index, row in enumerate(rows)]
+
+
+MIXED = _records(
+    [
+        {"priority": 1, "amount": 10.0, "name": "acme", "flag": True},
+        {"priority": 4, "amount": 0.5, "name": "globex", "flag": False},
+        {"priority": None, "amount": 99.9, "name": None, "flag": None},
+        {"amount": 7.0, "name": "stark"},  # priority/flag missing
+        {"priority": 3, "amount": None, "name": "acme", "flag": True},
+        {"priority": 2, "amount": 2**60, "name": "wayne", "flag": False},
+    ]
+)
+
+
+# ---------------------------------------------------------------------------
+# Batch structure
+# ---------------------------------------------------------------------------
+
+
+class TestRecordBatch:
+    def test_len_and_iter_preserve_order(self):
+        batch = RecordBatch(MIXED)
+        assert len(batch) == len(MIXED)
+        assert list(batch) == MIXED
+
+    def test_column_reads_missing_as_none_and_caches(self):
+        batch = RecordBatch(MIXED)
+        column = batch.column("priority")
+        assert list(column) == [1, 4, None, None, 3, 2]
+        assert batch.column("priority") is column
+
+    def test_validity_tracks_presence(self):
+        batch = RecordBatch(MIXED)
+        assert list(batch.validity("priority")) == [True, True, False, False, True, True]
+        assert list(batch.validity("amount")) == [True, True, True, True, False, True]
+
+    def test_take_shares_record_objects(self):
+        batch = RecordBatch(MIXED)
+        mask = np.array([True, False, True, False, False, False])
+        kept = batch.take(mask)
+        assert kept.records == [MIXED[0], MIXED[2]]
+        assert kept.records[0] is MIXED[0]
+
+
+# ---------------------------------------------------------------------------
+# Vectorized predicates agree with row-at-a-time evaluation
+# ---------------------------------------------------------------------------
+
+PREDICATES = [
+    "priority >= 2",
+    "priority = 4",
+    "4 = priority",
+    "2 < priority",
+    "priority <> 1",
+    "priority != 1",
+    "priority <= 3 AND amount > 1.0",
+    "priority = 4 OR amount < 1.0",
+    "NOT (priority >= 2)",
+    "priority IS NULL",
+    "priority IS NOT NULL",
+    "priority BETWEEN 2 AND 3",
+    "priority NOT BETWEEN 2 AND 3",
+    "priority BETWEEN 2 AND NULL",
+    "priority IN (1, 3)",
+    "priority NOT IN (1, 3)",
+    "priority IN (1, NULL)",
+    "name = 'acme'",            # string compare: exact scalar loop
+    "name < 'globex'",          # string ordering: exact scalar loop
+    "name LIKE 'a%'",           # no vector path: per-row fallback
+    "flag",                     # bare boolean column
+    "amount = 1152921504606846976",  # beyond float64-exact: scalar loop
+    "priority = NULL",
+    "length(name) > 4",         # scalar function: per-row fallback
+    "priority < 3",
+    "name <= 'globex'",
+    "name >= 'globex'",
+    "priority = amount",        # column-to-column: per-row fallback
+    "priority + 1 = 2",         # arithmetic leaf: per-row fallback
+    "priority + 1 IS NULL",
+    "priority + 1 BETWEEN 1 AND 2",
+    "priority + 1 IN (1, 2)",
+    "name BETWEEN 'a' AND 'z'",  # non-numeric bounds: per-row fallback
+]
+
+
+@pytest.mark.parametrize("condition", PREDICATES)
+def test_mask_matches_row_semantics(condition):
+    batch = RecordBatch(MIXED)
+    mask = struct_filter_mask(compile_predicate(condition), batch)
+    expected = [predicate_holds(condition, record.fields) for record in MIXED]
+    assert list(mask) == expected, condition
+
+
+def test_numeric_truthiness_falls_back_to_executor():
+    # A bare numeric column is not a boolean TRUE: the executor returns the
+    # value itself and WHERE keeps only exact TRUE, so every numeric row
+    # drops.  The vector path must defer to the executor, not coerce.
+    batch = RecordBatch(MIXED)
+    mask = struct_filter_mask(compile_predicate("priority"), batch)
+    expected = [predicate_holds("priority", record.fields) for record in MIXED]
+    assert list(mask) == expected == [False] * len(MIXED)
+
+
+class TestExactFloatColumn:
+    def test_rejects_bool_literal(self):
+        batch = RecordBatch(MIXED)
+        column, valid = batch.column("priority"), batch.validity("priority")
+        assert _exact_float_column(column, valid, True) is None
+        assert _exact_float_column(column, valid, "x") is None
+
+    def test_rejects_huge_int_literal_and_values(self):
+        batch = RecordBatch(MIXED)
+        column, valid = batch.column("priority"), batch.validity("priority")
+        assert _exact_float_column(column, valid, 2**60) is None
+        # The "amount" column contains a 2**60 value.
+        assert (
+            _exact_float_column(batch.column("amount"), batch.validity("amount"), 1)
+            is None
+        )
+
+    def test_rejects_non_numeric_values(self):
+        batch = RecordBatch(MIXED)
+        assert (
+            _exact_float_column(batch.column("name"), batch.validity("name"), 1)
+            is None
+        )
+
+    def test_accepts_mixed_int_float_with_nan_nulls(self):
+        batch = RecordBatch(MIXED)
+        floats = _exact_float_column(
+            batch.column("priority"), batch.validity("priority"), 2
+        )
+        assert floats is not None
+        assert floats[0] == 1.0 and np.isnan(floats[2])
+
+
+# ---------------------------------------------------------------------------
+# Columnar engine mode is an invisible fast path
+# ---------------------------------------------------------------------------
+
+
+def _run_qa_plan(columnar: bool):
+    reset_uid_counter()
+    bundle = build_corpus(CorpusSpec(seed=9, n_records=20))
+    llm = SimulatedLLM(oracle=SemanticOracle(bundle.registry), seed=9)
+    config = QueryProcessorConfig(
+        llm=llm, optimize=False, seed=9, columnar=columnar
+    )
+    result = (
+        Dataset.from_source(bundle.source())
+        .where("priority >= 2")
+        .sem_filter(instruction_for("qa.flag_urgent"))
+        .filter(lambda r: r.get("priority", 0) <= 3, description="le3")
+        .limit(5)
+        .run(config)
+    )
+    return [(r.uid, tuple(sorted(r.fields.items()))) for r in result.records], (
+        result.total_cost_usd,
+        result.total_time_s,
+    )
+
+
+def test_columnar_escape_hatch_is_bit_identical():
+    columnar_records, columnar_totals = _run_qa_plan(columnar=True)
+    row_records, row_totals = _run_qa_plan(columnar=False)
+    assert columnar_records == row_records
+    assert columnar_totals == row_totals
