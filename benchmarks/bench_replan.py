@@ -1,0 +1,355 @@
+"""Adaptive mid-query re-planning vs a static plan under misestimates.
+
+The statistics store closes the runtime's feedback loop: executed queries
+feed per-operator priors (selectivity, cost, latency) that later queries
+consult, and when observed cardinality diverges from the plan estimate
+past a threshold, the engine re-orders the remaining commuting filters by
+learned rank mid-flight.  The rewrite is bit-identity safe — filters
+commute — so the win is pure cost/latency.
+
+Three scenarios per seed over a parcel-manifest corpus whose written plan
+runs a ~90%-selective filter before a ~12%-selective one:
+
+- ``misestimate``: a pushed-down WHERE keeps every record while the
+  static estimate halves it — a free 2x divergence trigger.  With a
+  warmed store the re-planner flips the filters; contract: >= 1.3x cost
+  reduction, records bit-identical to the static plan, exactly one
+  validated ``replan`` span with cause + before/after plan fingerprints.
+- ``cold``: same query, empty store — the re-planner must do nothing.
+- ``accurate``: prior-fed estimates match observation — no trigger.
+
+Run standalone for a quick check::
+
+    PYTHONPATH=src python benchmarks/bench_replan.py --smoke
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from conftest import RESULTS_DIR, save_report
+
+from repro.data.corpus import FileCorpus
+from repro.data.datasets.base import DatasetBundle
+from repro.data.records import DataRecord, reset_uid_counter
+from repro.data.schemas import Field, Schema
+from repro.llm.oracle import DIFFICULTY_PREFIX, IntentRegistry, SemanticOracle
+from repro.llm.simulated import SimulatedLLM
+from repro.obs import StatisticsStore, Tracer, validate_spans
+from repro.sem.config import QueryProcessorConfig
+from repro.sem.dataset import Dataset
+from repro.utils.formatting import format_table
+
+SEEDS = (0, 1, 2)
+N_RECORDS = 60
+MIN_COST_RATIO = 1.3
+JSON_NAME = "BENCH_replan.json"
+
+COMMON = "The order was confirmed by the warehouse."
+RARE = "The package was reported damaged."
+AMOUNT = "Extract the declared value in dollars."
+
+_INTENTS = {
+    "rp.flag_common": (("order", "confirmed", "warehouse"), COMMON),
+    "rp.flag_rare": (("package", "reported", "damaged"), RARE),
+    "rp.amount": (("declared", "value", "dollars"), AMOUNT),
+}
+
+
+def build_replan_corpus(seed: int, n: int = N_RECORDS) -> DatasetBundle:
+    """Parcel manifests: ~90% pass the common flag, ~12% the rare one."""
+    registry = IntentRegistry()
+    for key, (keywords, description) in _INTENTS.items():
+        registry.register(key, keywords, description)
+    records = []
+    for index in range(n):
+        amount = round(25.0 + 3.0 * index, 2)
+        annotations = {
+            "rp.flag_common": index % 10 != 0,
+            "rp.flag_rare": index % 8 == 0,
+            "rp.amount": amount,
+        }
+        for intent in list(annotations):
+            annotations[DIFFICULTY_PREFIX + intent] = 0.05
+        records.append(
+            DataRecord(
+                fields={
+                    "title": f"parcel-{index}",
+                    "body": (
+                        f"Parcel {index}: declared value ${amount:.2f}, "
+                        f"priority routing slip attached."
+                    ),
+                    "priority": 1 + index % 3,
+                },
+                uid=f"rp-{index:04d}",
+                annotations=annotations,
+                source_id=f"rp-corpus-{seed}",
+            )
+        )
+    schema = Schema(
+        [
+            Field("title", str, "parcel label"),
+            Field("body", str, "full manifest text"),
+            Field("priority", int, "routing priority 1-3"),
+        ],
+        name="Parcel",
+        desc="synthetic parcel manifests for the replan bench",
+    )
+    return DatasetBundle(
+        name=f"rp-corpus-{seed}",
+        corpus=FileCorpus(name=f"rp-corpus-{seed}"),
+        schema=schema,
+        registry=registry,
+        description="Parcel manifests with one common and one rare flag.",
+        record_list=records,
+    )
+
+
+def _misestimate_plan(bundle):
+    # The WHERE keeps every record (priority is always >= 1) but the
+    # pushed SqlScan's static estimate halves the cardinality: observed
+    # vs estimated rows diverge 2x at the first boundary for free.
+    return (
+        Dataset.from_source(bundle.source())
+        .where("priority >= 1")
+        .sem_filter(COMMON)
+        .sem_filter(RARE)
+        .sem_map(Field("declared_value", float, "declared value"), AMOUNT)
+    )
+
+
+def _plain_plan(bundle):
+    return (
+        Dataset.from_source(bundle.source())
+        .sem_filter(COMMON)
+        .sem_filter(RARE)
+        .sem_map(Field("declared_value", float, "declared value"), AMOUNT)
+    )
+
+
+def _run(bundle, seed: int, plan_fn, *, store=None, tracer=None, **kwargs):
+    # Fresh LLM (fresh generation cache) per variant, and the derived-uid
+    # counter reset so every variant replays the identical uid sequence.
+    reset_uid_counter()
+    llm = SimulatedLLM(
+        oracle=SemanticOracle(bundle.registry), seed=seed, tracer=tracer
+    )
+    config = QueryProcessorConfig(
+        llm=llm,
+        seed=seed,
+        optimize=False,
+        pipeline=False,
+        stats_store=store,
+        **kwargs,
+    )
+    result, report = plan_fn(bundle).run_with_report(config)
+    return {
+        "time_s": result.total_time_s,
+        "cost_usd": result.total_cost_usd,
+        "replans": list(report.replans),
+        "records": [
+            (r.uid, tuple(sorted(r.fields.items()))) for r in result.records
+        ],
+    }
+
+
+def _warm_store(bundle, seed: int, plan_fn) -> StatisticsStore:
+    store = StatisticsStore()
+    _run(bundle, seed, plan_fn, store=store)
+    assert len(store) > 0, "warm-up run ingested nothing"
+    return store
+
+
+def _measure_seed(seed: int) -> dict:
+    bundle = build_replan_corpus(seed)
+
+    # -- misestimate: static plan vs warmed-store replanned plan --------
+    static = _run(bundle, seed, _misestimate_plan)
+    warm = _warm_store(bundle, seed, _misestimate_plan)
+    tracer = Tracer()
+    replanned = _run(
+        bundle,
+        seed,
+        _misestimate_plan,
+        store=warm,
+        tracer=tracer,
+        stats_estimates=False,
+        replan=True,
+    )
+    validate_spans(tracer.spans)
+    replan_spans = tracer.by_kind("replan")
+
+    # -- cold: an empty store must change nothing -----------------------
+    cold = _run(
+        bundle, seed, _misestimate_plan, store=StatisticsStore(), replan=True
+    )
+
+    # -- accurate: prior-fed estimates match observation, no trigger ----
+    plain_static = _run(bundle, seed, _plain_plan)
+    plain_warm = _warm_store(bundle, seed, _plain_plan)
+    accurate = _run(
+        bundle, seed, _plain_plan, store=plain_warm, replan=True
+    )
+
+    return {
+        "static": static,
+        "replanned": replanned,
+        "cold": cold,
+        "accurate": accurate,
+        "cost_ratio": static["cost_usd"] / max(1e-12, replanned["cost_usd"]),
+        "speedup": static["time_s"] / max(1e-12, replanned["time_s"]),
+        "identical": (
+            replanned["records"] == static["records"]
+            and cold["records"] == static["records"]
+            and accurate["records"] == plain_static["records"]
+        ),
+        "replan_spans": [
+            {
+                "cause": span.attributes.get("cause", ""),
+                "before_plan": span.attributes.get("before_plan", ""),
+                "after_plan": span.attributes.get("after_plan", ""),
+            }
+            for span in replan_spans
+        ],
+    }
+
+
+def _sweep(seeds) -> dict:
+    return {seed: _measure_seed(seed) for seed in seeds}
+
+
+def _render(results) -> str:
+    headers = [
+        "Seed",
+        "Static ($)",
+        "Replanned ($)",
+        "Cost ratio",
+        "Speedup",
+        "Replans",
+        "Cold replans",
+        "Identical",
+    ]
+    rows = []
+    for seed, entry in sorted(results.items()):
+        rows.append(
+            [
+                str(seed),
+                f"{entry['static']['cost_usd']:.4f}",
+                f"{entry['replanned']['cost_usd']:.4f}",
+                f"{entry['cost_ratio']:.2f}x",
+                f"{entry['speedup']:.2f}x",
+                str(len(entry["replanned"]["replans"])),
+                str(len(entry["cold"]["replans"])),
+                "yes" if entry["identical"] else "NO",
+            ]
+        )
+    return format_table(
+        headers,
+        rows,
+        title=(
+            f"Mid-query replan (where->common->rare->map, "
+            f"{N_RECORDS} records, 2x injected cardinality misestimate)"
+        ),
+    )
+
+
+def _check_contract(results) -> None:
+    for seed, entry in results.items():
+        assert entry["identical"], (
+            f"seed {seed}: replanned records differ from the static plan"
+        )
+        assert entry["cost_ratio"] >= MIN_COST_RATIO, (
+            f"seed {seed}: cost ratio {entry['cost_ratio']:.2f}x "
+            f"below the {MIN_COST_RATIO}x floor"
+        )
+        assert len(entry["replanned"]["replans"]) == 1, (
+            f"seed {seed}: expected exactly one replan, got "
+            f"{len(entry['replanned']['replans'])}"
+        )
+        assert entry["cold"]["replans"] == [], (
+            f"seed {seed}: a cold store must never replan"
+        )
+        assert entry["accurate"]["replans"] == [], (
+            f"seed {seed}: accurate estimates must not trigger a replan"
+        )
+        (span,) = entry["replan_spans"]
+        decision = entry["replanned"]["replans"][0]
+        assert span["cause"] == decision["cause"] and span["cause"], (
+            f"seed {seed}: replan span cause mismatch"
+        )
+        assert (
+            span["before_plan"] == decision["before_plan"]
+            and span["after_plan"] == decision["after_plan"]
+            and span["before_plan"] != span["after_plan"]
+        ), f"seed {seed}: replan span fingerprints mismatch"
+
+
+def _save_json(results_dir: Path, results) -> None:
+    payload = {
+        "plan": "parcel where[priority >= 1]->common->rare->sem_map(value)",
+        "n_records": N_RECORDS,
+        "min_cost_ratio": MIN_COST_RATIO,
+        "seeds": {
+            str(seed): {
+                "static_cost_usd": entry["static"]["cost_usd"],
+                "replanned_cost_usd": entry["replanned"]["cost_usd"],
+                "static_time_s": entry["static"]["time_s"],
+                "replanned_time_s": entry["replanned"]["time_s"],
+                "cost_ratio": entry["cost_ratio"],
+                "speedup": entry["speedup"],
+                "replans": entry["replanned"]["replans"],
+                "cold_replans": len(entry["cold"]["replans"]),
+                "accurate_replans": len(entry["accurate"]["replans"]),
+                "identical_records": entry["identical"],
+            }
+            for seed, entry in results.items()
+        },
+    }
+    path = results_dir / JSON_NAME
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {path}")
+
+
+def bench_replan(benchmark, results_dir):
+    results = benchmark.pedantic(_sweep, args=(SEEDS,), rounds=1, iterations=1)
+    report = _render(results)
+    save_report(results_dir, "replan", report)
+    _save_json(results_dir, results)
+    benchmark.extra_info["measured"] = {
+        str(seed): {
+            "cost_ratio": entry["cost_ratio"],
+            "speedup": entry["speedup"],
+            "replans": len(entry["replanned"]["replans"]),
+        }
+        for seed, entry in results.items()
+    }
+    _check_contract(results)
+
+
+def main(argv: list[str]) -> int:
+    unknown = [arg for arg in argv if arg != "--smoke"]
+    if unknown:
+        print(f"usage: bench_replan.py [--smoke]  (unknown: {unknown})")
+        return 2
+    smoke = "--smoke" in argv
+    seeds = SEEDS[:1] if smoke else SEEDS
+    results = _sweep(seeds)
+    print(_render(results))
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    _save_json(RESULTS_DIR, results)
+    _check_contract(results)
+    worst = min(entry["cost_ratio"] for entry in results.values())
+    print(
+        f"\nlearned priors + one mid-query filter reorder cut cost >= "
+        f"{worst:.2f}x under a 2x cardinality misestimate, records "
+        f"bit-identical — contract holds"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -42,6 +42,10 @@ echo "== sql-pushdown smoke sweep =="
 python benchmarks/bench_pushdown.py --smoke
 
 echo
+echo "== mid-query replan smoke sweep =="
+python benchmarks/bench_replan.py --smoke
+
+echo
 echo "== benchmark artifact placement guard =="
 stray="$(find . -name 'BENCH_*.json' -not -path './benchmarks/results/*' -not -path './.git/*')"
 if [[ -n "$stray" ]]; then

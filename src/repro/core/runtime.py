@@ -31,6 +31,7 @@ from repro.llm.models import DEFAULT_MODEL, completion_models_by_cost
 from repro.llm.oracle import IntentRegistry, SemanticOracle
 from repro.llm.simulated import SimulatedLLM
 from repro.llm.usage import Usage
+from repro.obs.stats import StatisticsStore
 from repro.sem.config import QueryProcessorConfig
 from repro.sem.materialize import MaterializationStore
 from repro.sem.optimizer.policies import Balanced, OptimizationPolicy
@@ -143,6 +144,9 @@ class AnalyticsRuntime:
         tracer: Any = None,
         metrics: Any = None,
         answer_cache_size: int = 128,
+        stats_store: "StatisticsStore | None" = None,
+        replan: bool = False,
+        replan_threshold: float = 1.5,
     ) -> None:
         if llm is None:
             self.llm = SimulatedLLM(
@@ -175,6 +179,14 @@ class AnalyticsRuntime:
         #: replay across queries; ContextManager.invalidate cascades into it.
         self.materialization_store = MaterializationStore()
         self.context_manager.materialization_store = self.materialization_store
+        #: Runtime-wide learned-statistics store: every finished semantic
+        #: program feeds per-operator priors into it, and later programs'
+        #: estimates (and, with ``replan=True``, mid-query re-planning)
+        #: consult them.  Pass an existing store to share priors across
+        #: runtimes or warm from a saved JSON file.
+        self.stats_store = stats_store if stats_store is not None else StatisticsStore()
+        self.replan = replan
+        self.replan_threshold = replan_threshold
         self.db = Database()
         #: Execution result of the most recent optimized program (debugging).
         self.last_program_result = None
@@ -182,6 +194,7 @@ class AnalyticsRuntime:
         self.answers = AnswerCache(max_entries=answer_cache_size)
         if self.llm.metrics.enabled:
             self.answers.metrics = self.llm.metrics
+            self.stats_store.metrics = self.llm.metrics
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -272,6 +285,9 @@ class AnalyticsRuntime:
         if self.reuse_contexts:
             kwargs["materialization_store"] = self.materialization_store
         return QueryProcessorConfig(
+            stats_store=self.stats_store,
+            replan=self.replan,
+            replan_threshold=self.replan_threshold,
             llm=self.llm,
             policy=self.policy,
             sample_size=self.sample_size,

@@ -9,6 +9,7 @@ default via no-op singletons — see ``docs/observability.md``.
 """
 
 from repro.obs.export import (
+    KNOWN_SPAN_KINDS,
     chrome_trace,
     validate_chrome_trace,
     validate_spans,
@@ -22,6 +23,7 @@ from repro.obs.metrics import (
     get_default_metrics,
     set_default_metrics,
 )
+from repro.obs.stats import OperatorPrior, StatisticsStore
 from repro.obs.tracer import (
     NOOP_TRACER,
     NoopTracer,
@@ -33,12 +35,15 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "KNOWN_SPAN_KINDS",
     "NOOP_TRACER",
     "NULL_METRICS",
     "MetricsRegistry",
     "NoopTracer",
     "NullMetrics",
+    "OperatorPrior",
     "Span",
+    "StatisticsStore",
     "Tracer",
     "chrome_trace",
     "get_default_metrics",

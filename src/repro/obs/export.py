@@ -40,6 +40,32 @@ DEFAULT_TRACK = "runtime"
 #: Nesting slack in microseconds (float rounding across schedule math).
 _NEST_EPS_US = 0.5
 
+#: Every span kind the runtime emits.  :func:`validate_spans` rejects
+#: anything else — a typo'd kind would otherwise slip past downstream
+#: consumers (the stats store dispatches on kind) unnoticed.
+KNOWN_SPAN_KINDS = frozenset(
+    {
+        "span",
+        "cli",
+        "query",
+        "optimize",
+        "profile",
+        "reuse",
+        "replan",
+        "stats.ingest",
+        "operator",
+        "pipeline-section",
+        "cell",
+        "llm-call",
+        "trial",
+        "tool-call",
+        "agent-episode",
+        "agent-step",
+        "serving-query",
+        "serving-wave",
+    }
+)
+
 
 def _us(seconds: float) -> float:
     return seconds * 1e6
@@ -177,8 +203,13 @@ def write_jsonl(
 def validate_spans(spans: list[Span]) -> None:
     """Structural checks on a span tree; raises ValueError on violation.
 
-    Every span must be closed, know its parent (or be a root), and lie
-    within its parent's interval (small float slack).
+    Every span must be closed, carry a known kind, know its parent (or be
+    a root), and lie within its parent's interval (small float slack).
+    Siblings (same parent, same track) must nest or abut — a partial
+    overlap means the trace would render as garbage in Perfetto and is
+    rejected here instead of silently exported.  Root spans are exempt
+    from the overlap check: concurrent serving queries legitimately
+    overlap on a tenant's track.
     """
     by_id = {span.span_id: span for span in spans}
     eps = 1e-6
@@ -187,6 +218,11 @@ def validate_spans(spans: list[Span]) -> None:
             raise ValueError(f"span {span.span_id} ({span.name!r}) never closed")
         if span.end_s < span.start_s:
             raise ValueError(f"span {span.span_id} ({span.name!r}) ends before it starts")
+        if span.kind not in KNOWN_SPAN_KINDS:
+            raise ValueError(
+                f"span {span.span_id} ({span.name!r}) has unknown kind "
+                f"{span.kind!r}; known kinds: {sorted(KNOWN_SPAN_KINDS)}"
+            )
         if span.parent_id is None:
             continue
         parent = by_id.get(span.parent_id)
@@ -201,6 +237,29 @@ def validate_spans(spans: list[Span]) -> None:
                 f"{parent.span_id} ({parent.name!r}) "
                 f"[{parent.start_s:.6f}, {parent.end_s:.6f}]"
             )
+
+    siblings: dict[tuple, list[Span]] = {}
+    for span in spans:
+        if span.parent_id is None:
+            continue
+        siblings.setdefault((span.parent_id, span.track), []).append(span)
+    for group in siblings.values():
+        group.sort(key=lambda s: (s.start_s, -(s.end_s - s.start_s)))
+        stack: list[Span] = []
+        for span in group:
+            if span.end_s - span.start_s <= eps:
+                continue  # instant markers never unbalance
+            while stack and span.start_s >= stack[-1].end_s - eps:
+                stack.pop()
+            if stack and span.end_s > stack[-1].end_s + eps:
+                top = stack[-1]
+                raise ValueError(
+                    f"span {span.span_id} ({span.name!r}) "
+                    f"[{span.start_s:.6f}, {span.end_s:.6f}] partially overlaps "
+                    f"sibling {top.span_id} ({top.name!r}) "
+                    f"[{top.start_s:.6f}, {top.end_s:.6f}] on track {span.track!r}"
+                )
+            stack.append(span)
 
 
 def validate_chrome_trace(path: str | Path, tolerance: float = 0.01) -> dict:

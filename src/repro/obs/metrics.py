@@ -10,7 +10,14 @@ gates every update site, so disabled-mode cost is one attribute check.
 
 from __future__ import annotations
 
+import math
+
 from repro.utils.formatting import format_table
+
+#: Reservoir bound per histogram; past it, samples are decimated (every
+#: other one dropped, keep-stride doubled) so memory stays O(cap) while
+#: the kept samples remain an evenly spaced — and deterministic — subset.
+SAMPLE_CAP = 2048
 
 
 class Counter:
@@ -27,9 +34,16 @@ class Counter:
 
 
 class Histogram:
-    """Streaming summary (count/sum/min/max) of an observed distribution."""
+    """Streaming summary (count/sum/min/max/percentiles) of a distribution.
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    Percentiles come from a strided sample: every ``_stride``-th
+    observation is kept, and when the kept set exceeds
+    :data:`SAMPLE_CAP` every other sample is dropped and the stride
+    doubles.  No randomness — the same observation sequence always
+    yields the same percentiles, which the replay/QA harness relies on.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples", "_stride", "_pending")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -37,6 +51,9 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._samples: list[float] = []
+        self._stride = 1
+        self._pending = 0
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -45,10 +62,25 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        self._pending += 1
+        if self._pending >= self._stride:
+            self._pending = 0
+            self._samples.append(value)
+            if len(self._samples) > SAMPLE_CAP:
+                del self._samples[::2]
+                self._stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in [0, 100]) over kept samples."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
 
 
 class MetricsRegistry:
@@ -85,6 +117,9 @@ class MetricsRegistry:
                     "mean": histogram.mean,
                     "min": histogram.min if histogram.count else 0.0,
                     "max": histogram.max if histogram.count else 0.0,
+                    "p50": histogram.percentile(50),
+                    "p95": histogram.percentile(95),
+                    "p99": histogram.percentile(99),
                 }
                 for name, histogram in sorted(self.histograms.items())
             },
@@ -92,7 +127,7 @@ class MetricsRegistry:
 
     def render(self, title: str = "Runtime metrics") -> str:
         rows = [
-            [name, "counter", f"{counter.value:g}", "-", "-", "-"]
+            [name, "counter", f"{counter.value:g}", "-", "-", "-", "-", "-"]
             for name, counter in sorted(self.counters.items())
         ]
         for name, histogram in sorted(self.histograms.items()):
@@ -106,10 +141,14 @@ class MetricsRegistry:
                     f"{histogram.mean:.3f}",
                     f"{low:.3f}",
                     f"{high:.3f}",
+                    f"{histogram.percentile(50):.3f}",
+                    f"{histogram.percentile(99):.3f}",
                 ]
             )
         return format_table(
-            ["Metric", "Type", "Count/Value", "Mean", "Min", "Max"], rows, title=title
+            ["Metric", "Type", "Count/Value", "Mean", "Min", "Max", "p50", "p99"],
+            rows,
+            title=title,
         )
 
 
@@ -125,6 +164,9 @@ class _NullHistogram:
 
     def observe(self, value: float) -> None:
         return None
+
+    def percentile(self, q: float) -> float:
+        return 0.0
 
 
 _NULL_COUNTER = _NullCounter()

@@ -1,0 +1,368 @@
+"""Trace-fed statistics store: learned per-operator priors.
+
+The observability layer records what every operator *actually did* — rows
+in/out, dollars, tokens, latency, retries, cache hits — on every run.  The
+:class:`StatisticsStore` closes the loop the paper's runtime vision calls
+for: it aggregates those observations into per-(operator, model, dataset)
+**priors** that the cost model consults on later queries, replacing static
+guesses (selectivity 0.5, cost 0) with learned values, and that the
+engine's mid-query re-planner consults when observed cardinality diverges
+from the plan.
+
+Two ingestion paths feed the same accumulator:
+
+- :meth:`ingest_run` — called by the query processor after each completed
+  run with the engine's measured per-operator stats, aligned position by
+  position with the plan's statistics keys.  Emits a zero-duration
+  ``stats.ingest`` span so ingestion is visible in traces.
+- :meth:`ingest_spans` — offline: walk a finished span tree (e.g. loaded
+  from a JSONL export) and re-ingest the per-operator observations the
+  engine attached to ``operator`` / ``pipeline-section`` spans.
+
+Keys are opaque stable digests computed by the optimizer layer (see
+``repro.sem.optimizer.replan``); this module never imports from
+``repro.sem``, keeping ``obs`` at the bottom of the layering.
+
+Updates are **decayed online means** (exponentially weighted): the first
+observation sets each statistic, later ones blend in with weight
+``decay``, so priors track drift without unbounded state.  Counters mirror
+into an attached :class:`~repro.obs.metrics.MetricsRegistry` as
+``stats.observations`` / ``stats.lookups`` / ``stats.hits``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+#: Bump when the prior schema or key grammar changes; keeps persisted
+#: stores honest across versions (a mismatched file loads as empty).
+STATS_VERSION = 1
+
+#: Fields updated with the decayed blend (everything but the metadata).
+_BLENDED_FIELDS = (
+    "selectivity",
+    "rows_in",
+    "rows_out",
+    "tokens_per_record",
+    "cost_per_record",
+    "latency_per_record",
+    "latency_per_call",
+    "retry_rate",
+    "failure_rate",
+    "cache_hit_ratio",
+)
+
+
+@dataclass
+class OperatorPrior:
+    """Learned statistics for one (operator, model, dataset, scope) key."""
+
+    key: str
+    kind: str
+    model: str
+    dataset: str
+    scope: str
+    observations: int = 0
+    #: Output/input row ratio (output cardinality = input * selectivity).
+    selectivity: float = 1.0
+    #: Decayed mean input/output cardinalities (absolute row counts).
+    rows_in: float = 0.0
+    rows_out: float = 0.0
+    tokens_per_record: float = 0.0
+    cost_per_record: float = 0.0
+    latency_per_record: float = 0.0
+    latency_per_call: float = 0.0
+    #: Fraction of LLM calls that faulted and were retried.
+    retry_rate: float = 0.0
+    #: Fraction of input records degraded under the failure policy.
+    failure_rate: float = 0.0
+    cache_hit_ratio: float = 0.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "OperatorPrior":
+        return cls(**payload)
+
+
+class StatisticsStore:
+    """LRU-bounded accumulator of per-operator execution priors.
+
+    ``decay`` is the weight of each new observation after the first
+    (``value += decay * (new - value)``); ``min_observations`` is the
+    evidence floor consumers should require before trusting a prior
+    (exposed here so the optimizer and re-planner agree on it).
+    """
+
+    def __init__(
+        self,
+        decay: float = 0.3,
+        min_observations: int = 1,
+        max_entries: int = 4096,
+    ) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        if min_observations < 1:
+            raise ValueError(
+                f"min_observations must be >= 1, got {min_observations}"
+            )
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.decay = decay
+        self.min_observations = min_observations
+        self.max_entries = max_entries
+        self._priors: "OrderedDict[str, OperatorPrior]" = OrderedDict()
+        self.observations = 0
+        self.lookups = 0
+        self.hits = 0
+        self.evictions = 0
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry` mirror.
+        self.metrics = None
+
+    # -- writes ---------------------------------------------------------
+
+    def observe(
+        self,
+        key: str,
+        kind: str,
+        model: str,
+        dataset: str,
+        scope: str,
+        *,
+        records_in: int,
+        records_out: int,
+        cost_usd: float = 0.0,
+        time_s: float = 0.0,
+        llm_calls: int = 0,
+        cached_calls: int = 0,
+        retried_calls: int = 0,
+        failed_records: int = 0,
+        tokens: int = 0,
+    ) -> "OperatorPrior | None":
+        """Fold one measured operator execution into the prior for ``key``.
+
+        Executions that saw no input carry no information about
+        selectivity or per-record cost and are dropped (returns None).
+        """
+        if records_in <= 0:
+            return None
+        prior = self._priors.get(key)
+        if prior is None:
+            prior = OperatorPrior(
+                key=key, kind=kind, model=model, dataset=dataset, scope=scope
+            )
+            self._priors[key] = prior
+        self._priors.move_to_end(key)
+        observed = {
+            "selectivity": records_out / records_in,
+            "rows_in": float(records_in),
+            "rows_out": float(records_out),
+            "tokens_per_record": tokens / records_in,
+            "cost_per_record": cost_usd / records_in,
+            "latency_per_record": time_s / records_in,
+            "latency_per_call": time_s / llm_calls if llm_calls else 0.0,
+            "retry_rate": retried_calls / llm_calls if llm_calls else 0.0,
+            "failure_rate": failed_records / records_in,
+            "cache_hit_ratio": cached_calls / llm_calls if llm_calls else 0.0,
+        }
+        if prior.observations == 0:
+            for name in _BLENDED_FIELDS:
+                setattr(prior, name, observed[name])
+        else:
+            for name in _BLENDED_FIELDS:
+                old = getattr(prior, name)
+                setattr(prior, name, old + self.decay * (observed[name] - old))
+        prior.observations += 1
+        self.observations += 1
+        self._count("stats.observations")
+        while len(self._priors) > self.max_entries:
+            self._priors.popitem(last=False)
+            self.evictions += 1
+            self._count("stats.evictions")
+        return prior
+
+    # -- reads ----------------------------------------------------------
+
+    def prior(self, key: "str | None") -> "OperatorPrior | None":
+        """Look up the prior for ``key`` (None misses without counting)."""
+        if key is None:
+            return None
+        self.lookups += 1
+        self._count("stats.lookups")
+        prior = self._priors.get(key)
+        if prior is None:
+            return None
+        self._priors.move_to_end(key)
+        self.hits += 1
+        self._count("stats.hits")
+        return prior
+
+    def usable_prior(self, key: "str | None") -> "OperatorPrior | None":
+        """Like :meth:`prior` but None below the ``min_observations`` floor."""
+        prior = self.prior(key)
+        if prior is None or prior.observations < self.min_observations:
+            return None
+        return prior
+
+    # -- ingestion ------------------------------------------------------
+
+    def ingest_run(self, operator_stats, stats_plan, tracer=None) -> int:
+        """Ingest one finished run's measured per-operator statistics.
+
+        ``operator_stats`` is the engine's per-operator measurement list;
+        ``stats_plan`` the position-aligned list of key-metadata dicts the
+        optimizer produced (None = position not stat-keyed).  Positions
+        whose operator label no longer matches the plan entry are skipped —
+        alignment bugs must never poison priors.  Emits a zero-duration
+        ``stats.ingest`` span on an enabled tracer.
+        """
+        ingested = 0
+        for stats, entry in zip(operator_stats, stats_plan):
+            if entry is None:
+                continue
+            if entry.get("label") != stats.label.split(" [")[0]:
+                continue
+            if self._observe_entry(
+                entry,
+                records_in=stats.records_in,
+                records_out=stats.records_out,
+                cost_usd=stats.cost_usd,
+                time_s=stats.time_s,
+                llm_calls=stats.llm_calls,
+                cached_calls=stats.cached_calls,
+                retried_calls=stats.retried_calls,
+                failed_records=stats.failed_records,
+                tokens=stats.input_tokens + stats.output_tokens,
+            ):
+                ingested += 1
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                "stats.ingest",
+                kind="stats.ingest",
+                observations=ingested,
+                store_size=len(self),
+            ):
+                pass
+        return ingested
+
+    def ingest_spans(self, spans) -> int:
+        """Re-ingest observations from a finished span tree (offline path).
+
+        Reads the ``stats`` entry the engine attaches to ``operator``
+        spans (numeric attributes + span duration) and the ``stage_stats``
+        list it attaches to ``pipeline-section`` spans.
+        """
+        ingested = 0
+        for span in spans:
+            attrs = span.attributes
+            if span.kind == "operator" and "stats" in attrs:
+                duration = (
+                    (span.end_s - span.start_s) if span.end_s is not None else 0.0
+                )
+                if self._observe_entry(
+                    attrs["stats"],
+                    records_in=attrs.get("records_in", 0),
+                    records_out=attrs.get("records_out", 0),
+                    cost_usd=attrs.get("cost_usd", 0.0),
+                    time_s=duration,
+                    llm_calls=attrs.get("llm_calls", 0),
+                    cached_calls=attrs.get("cached_calls", 0),
+                    retried_calls=attrs.get("retried_calls", 0),
+                    failed_records=attrs.get("failed_records", 0),
+                    tokens=attrs.get("tokens", 0),
+                ):
+                    ingested += 1
+            elif span.kind == "pipeline-section":
+                for stage in attrs.get("stage_stats", ()):
+                    if self._observe_entry(
+                        stage["stats"],
+                        records_in=stage.get("records_in", 0),
+                        records_out=stage.get("records_out", 0),
+                        cost_usd=stage.get("cost_usd", 0.0),
+                        time_s=stage.get("time_s", 0.0),
+                        llm_calls=stage.get("llm_calls", 0),
+                        cached_calls=stage.get("cached_calls", 0),
+                        retried_calls=stage.get("retried_calls", 0),
+                        failed_records=stage.get("failed_records", 0),
+                        tokens=stage.get("tokens", 0),
+                    ):
+                        ingested += 1
+        return ingested
+
+    def _observe_entry(self, entry: dict, **measured) -> "OperatorPrior | None":
+        return self.observe(
+            entry["key"],
+            entry.get("kind", ""),
+            entry.get("model", ""),
+            entry.get("dataset", ""),
+            entry.get("scope", ""),
+            **measured,
+        )
+
+    # -- maintenance ----------------------------------------------------
+
+    def clear(self) -> None:
+        self._priors.clear()
+
+    def priors(self) -> "list[OperatorPrior]":
+        return list(self._priors.values())
+
+    def __len__(self) -> int:
+        return len(self._priors)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._priors),
+            "observations": self.observations,
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "evictions": self.evictions,
+        }
+
+    # -- persistence ----------------------------------------------------
+
+    def save(self, path: "str | Path") -> int:
+        """Persist all priors as JSON; returns how many were saved."""
+        payload = {
+            "version": STATS_VERSION,
+            "decay": self.decay,
+            "priors": [prior.to_dict() for prior in self._priors.values()],
+        }
+        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+        return len(self._priors)
+
+    def load(self, path: "str | Path") -> int:
+        """Load priors saved by :meth:`save`; returns how many were loaded.
+
+        A version mismatch loads nothing (stale key grammars must never
+        feed estimates).  ``max_entries`` is enforced before insertion:
+        oldest overflow (save order = LRU order) is dropped and counted as
+        evictions.
+        """
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("version") != STATS_VERSION:
+            return 0
+        priors = payload.get("priors", [])
+        overflow = max(0, len(priors) - self.max_entries)
+        if overflow:
+            self.evictions += overflow
+            self._count("stats.evictions", overflow)
+        loaded = 0
+        for raw in priors[overflow:]:
+            prior = OperatorPrior.from_dict(raw)
+            self._priors[prior.key] = prior
+            self._priors.move_to_end(prior.key)
+            loaded += 1
+        while len(self._priors) > self.max_entries:
+            self._priors.popitem(last=False)
+            self.evictions += 1
+            self._count("stats.evictions")
+        return loaded
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None and amount:
+            self.metrics.counter(name).inc(amount)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.llm.embeddings import DEFAULT_EMBED_BATCH
@@ -10,6 +11,9 @@ from repro.llm.models import DEFAULT_MODEL, completion_models_by_cost
 from repro.llm.simulated import SimulatedLLM
 from repro.sem.materialize import MaterializationStore
 from repro.sem.optimizer.policies import MaxQuality, OptimizationPolicy
+
+if TYPE_CHECKING:
+    from repro.obs.stats import StatisticsStore
 
 #: Model used when an operator is bound without an explicit model choice
 #: (unoptimized runs, unsampled operators).  Historically ``"gpt-4o"`` was
@@ -92,6 +96,34 @@ class QueryProcessorConfig:
     #: predicate evaluation).  Off = the row-at-a-time escape hatch;
     #: records and cost are bit-identical either way.
     columnar: bool = True
+    #: Learned per-operator priors: a shared
+    #: :class:`~repro.obs.stats.StatisticsStore` that finished runs feed
+    #: (observed selectivity/cost/latency per operator+model+dataset) and
+    #: that estimates and mid-query re-planning consult.  None disables
+    #: both ingestion and consultation.
+    stats_store: "StatisticsStore | None" = None
+    #: Tenant namespace for statistics keys on a *shared* store — one
+    #: tenant's observed selectivities must not steer another's plans.
+    stats_scope: str = ""
+    #: Let plan estimates use learned priors when available (falling back
+    #: to sampled profiles / static formulas).  Off = priors are still
+    #: collected but estimates stay static — the misestimate-injection
+    #: lever the replan bench uses.
+    stats_estimates: bool = True
+    #: Adaptive mid-query re-optimization: at operator/section boundaries
+    #: compare observed cardinality with the plan estimate and, past
+    #: ``replan_threshold`` divergence, re-plan the remaining suffix using
+    #: learned priors.  Requires ``stats_store``; never changes records
+    #: (only commuting reorderings are applied).
+    replan: bool = False
+    #: Divergence ratio (max of observed/estimated and its inverse) that
+    #: triggers a replan consideration.
+    replan_threshold: float = 1.5
+    #: Minimum observed rows at a boundary before replanning — tiny
+    #: cardinalities make ratios noisy and savings negligible.
+    replan_min_rows: int = 4
+    #: Maximum replans per query (0 = unlimited).
+    replan_limit: int = 1
 
     def __post_init__(self) -> None:
         if self.sample_size < 1:
@@ -118,6 +150,18 @@ class QueryProcessorConfig:
         if self.embed_batch_size < 1:
             raise ConfigurationError(
                 f"embed_batch_size must be >= 1, got {self.embed_batch_size}"
+            )
+        if self.replan_threshold <= 1.0:
+            raise ConfigurationError(
+                f"replan_threshold must be > 1.0, got {self.replan_threshold}"
+            )
+        if self.replan_min_rows < 0:
+            raise ConfigurationError(
+                f"replan_min_rows must be >= 0, got {self.replan_min_rows}"
+            )
+        if self.replan_limit < 0:
+            raise ConfigurationError(
+                f"replan_limit must be >= 0, got {self.replan_limit}"
             )
 
     def resolved_batch_size(self) -> int:

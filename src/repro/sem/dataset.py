@@ -288,11 +288,26 @@ class Dataset:
                 batch_size=config.resolved_batch_size(),
                 capture=report.capture,
                 columnar=config.columnar and config.pipeline,
+                replanner=report.replanner,
+                stats_plan=report.stats_plan,
             )
             result = engine.execute(operators)
             result.optimization_cost_usd = report.sampling_cost_usd
             result.optimization_time_s = report.sampling_time_s
             result.plan_explain = "\n".join(report.final_order) or plan.explain()
+            stats_store = getattr(config, "stats_store", None)
+            if (
+                stats_store is not None
+                and report.stats_plan
+                and not result.truncated
+                and not report.reused_prefix
+            ):
+                # Feed learned priors only with full, honestly measured
+                # runs: truncated executions under-count selectivity and a
+                # replayed prefix reports zero spend for its operators.
+                stats_store.ingest_run(
+                    result.operator_stats, report.stats_plan, tracer=tracer
+                )
         if tracer.enabled:
             query_span.attributes.update(
                 records=len(result.records),

@@ -292,6 +292,8 @@ class Engine:
         batch_size: int | None = None,
         capture=None,
         columnar: bool = False,
+        replanner=None,
+        stats_plan=None,
     ) -> None:
         self.ctx = ctx
         self.max_cost_usd = max_cost_usd
@@ -308,6 +310,14 @@ class Engine:
         #: batch along without re-wrapping.  Off = row-at-a-time escape
         #: hatch; records and dollars are bit-identical either way.
         self.columnar = columnar
+        #: Optional :class:`repro.sem.optimizer.replan.Replanner` consulted
+        #: at every operator/section boundary with the observed cardinality;
+        #: when it accepts, the remaining operators are swapped in place.
+        self.replanner = replanner
+        #: Position-aligned statistics-key metadata from the optimizer
+        #: (None entries = unkeyable); attached to operator spans so traces
+        #: can be re-ingested into a StatisticsStore offline.
+        self.stats_plan = stats_plan
 
     def execute(self, operators: list[PhysicalOperator]) -> ExecutionResult:
         llm = self.ctx.llm
@@ -343,6 +353,20 @@ class Engine:
                         section, records, section_span
                     )
                 stats.extend(section_stats)
+                if tracer.enabled and self.stats_plan:
+                    stage_stats = []
+                    for offset, stage in enumerate(section_stats):
+                        entry = self._stats_entry(index + offset)
+                        if entry is not None:
+                            stage_stats.append(
+                                {
+                                    "stats": dict(entry),
+                                    "time_s": stage.time_s,
+                                    **_stats_attrs(stage),
+                                }
+                            )
+                    if stage_stats:
+                        section_span.attributes["stage_stats"] = stage_stats
                 if metrics.enabled:
                     metrics.histogram("engine.section_makespan_s").observe(
                         section_span.duration_s
@@ -353,6 +377,11 @@ class Engine:
                     index + len(section) - 1, records, llm,
                     run_start_cost, run_start_time, run_checkpoint,
                 )
+                replanned = self._maybe_replan(
+                    operators, index + len(section), len(records)
+                )
+                if replanned is not None:
+                    operators = replanned
                 index += len(section)
                 continue
 
@@ -395,6 +424,9 @@ class Engine:
             stats.append(op_stats)
             if tracer.enabled:
                 op_span.attributes.update(_stats_attrs(op_stats))
+                entry = self._stats_entry(index)
+                if entry is not None:
+                    op_span.attributes["stats"] = dict(entry)
             if metrics.enabled:
                 metrics.histogram("engine.operator_s").observe(op_stats.time_s)
             if truncated:
@@ -402,6 +434,9 @@ class Engine:
             self._maybe_capture(
                 index, records, llm, run_start_cost, run_start_time, run_checkpoint
             )
+            replanned = self._maybe_replan(operators, index + 1, len(records))
+            if replanned is not None:
+                operators = replanned
             index += 1
 
         if metrics.enabled and truncated:
@@ -415,6 +450,33 @@ class Engine:
             retried_calls=sum(s.retried_calls for s in stats),
             failed_records=sum(s.failed_records for s in stats),
         )
+
+    def _stats_entry(self, position: int):
+        plan = self.stats_plan
+        if not plan or position >= len(plan):
+            return None
+        return plan[position]
+
+    def _maybe_replan(
+        self,
+        operators: list[PhysicalOperator],
+        boundary: int,
+        observed_rows: int,
+    ) -> list[PhysicalOperator] | None:
+        """Consult the re-planner at ``boundary``; splice its new suffix in.
+
+        The re-planner owns the decision (divergence threshold, learned
+        priors, strict cost improvement) and mutates the optimizer report's
+        chain-aligned views — including ``stats_plan``, which this engine
+        shares by reference — so post-run ingestion and EXPLAIN stay
+        consistent with what actually ran.
+        """
+        if self.replanner is None or boundary >= len(operators):
+            return None
+        new_suffix = self.replanner.consider(boundary, observed_rows, operators)
+        if new_suffix is None:
+            return None
+        return operators[:boundary] + new_suffix
 
     def _maybe_capture(
         self,

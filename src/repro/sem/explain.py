@@ -14,9 +14,22 @@ from repro.utils.formatting import format_table
 
 
 def explain_analyze(result: ExecutionResult, report: OptimizationReport) -> str:
-    """Render measured operator stats with the optimizer's expectations."""
+    """Render measured operator stats with the optimizer's expectations.
+
+    The "Est src" column names where each operator's plan estimate came
+    from (learned ``prior`` vs ``sampled`` profile vs ``static`` formula)
+    and "Drift" is the observed/estimated cardinality ratio — the signal
+    the mid-query re-planner keys on.  Both render "-" when the executed
+    operators no longer align position-for-position with the planned
+    chain (e.g. a replayed materialization prefix).
+    """
+    aligned = (
+        not report.reused_prefix
+        and len(report.est_rows) == len(result.operator_stats)
+        and len(report.est_sources) == len(result.operator_stats)
+    )
     rows = []
-    for stats in result.operator_stats:
+    for position, stats in enumerate(result.operator_stats):
         base_label = stats.label.split(" [")[0]
         profile = None
         if base_label in report.profiles:
@@ -35,6 +48,12 @@ def explain_analyze(result: ExecutionResult, report: OptimizationReport) -> str:
             if profile is not None
             else "-"
         )
+        est_source = report.est_sources[position] if aligned else "-"
+        drift = "-"
+        if aligned:
+            est_rows = report.est_rows[position]
+            if est_rows > 0:
+                drift = f"{stats.records_out / est_rows:.2f}x"
         rows.append(
             [
                 stats.label,
@@ -51,13 +70,15 @@ def explain_analyze(result: ExecutionResult, report: OptimizationReport) -> str:
                 stats.failed_records,
                 "yes" if stats.reused else "-",
                 "yes" if stats.sql_pushdown else "-",
+                est_source,
+                drift,
             ]
         )
     table = format_table(
         [
             "Operator", "In", "Est. out", "Out", "Est. $", "Actual $",
             "Time (s)", "Calls", "Tokens", "Cache", "Retried", "Failed",
-            "Reused", "SQL",
+            "Reused", "SQL", "Est src", "Drift",
         ],
         rows,
         title="EXPLAIN ANALYZE",
@@ -94,6 +115,13 @@ def explain_analyze(result: ExecutionResult, report: OptimizationReport) -> str:
         footer += (
             f"); store hits: {report.reuse_store_hits}, "
             f"est. saved ${report.reuse_saved_est_usd:.4f}"
+        )
+    for decision in report.replans:
+        footer += (
+            f"\nreplan: at boundary {decision['boundary']} — {decision['cause']}; "
+            f"plan {decision['before_plan'][:12]} -> {decision['after_plan'][:12]} "
+            f"(est ${decision['est_cost_before_usd']:.4f} -> "
+            f"${decision['est_cost_after_usd']:.4f} for the suffix)"
         )
     if result.truncated:
         footer += "\nNOTE: execution truncated by the spend cap"

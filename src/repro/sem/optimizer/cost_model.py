@@ -115,23 +115,19 @@ def estimate_operator(
     return PlanEstimate(0.0, 0.0, cardinality)
 
 
-def estimate_chain(
+def estimate_chain_steps(
     chain: list[L.LogicalOperator],
     profiles: dict[int, OperatorProfile],
     input_cardinality: float | None = None,
     parallelism: int = 1,
     pipeline: bool = False,
     batch_size: int | None = None,
-) -> PlanEstimate:
-    """Estimate a leaves-first operator chain.
+) -> tuple[PlanEstimate, list[PlanEstimate]]:
+    """Like :func:`estimate_chain` but also returns the per-operator steps.
 
-    ``profiles`` maps chain positions to the profile of the model *chosen*
-    for that operator.  Cost and cardinality are mode-independent;
-    ``parallelism`` divides per-operator latency into wave time, and
-    ``pipeline=True`` replaces the per-operator time sum of each fused
-    streamable section with its pipelined makespan:
-    ``fill + (B - 1) * bottleneck`` for ``B`` batches — the first batch
-    crosses every stage, then the slowest stage paces the rest.
+    ``steps[i].cardinality`` is the estimated *output* cardinality of
+    ``chain[i]`` — what EXPLAIN's drift column and the mid-query
+    re-planner compare against observed row counts.
     """
     cardinality = input_cardinality if input_cardinality is not None else 0.0
     total = PlanEstimate(0.0, 0.0, cardinality)
@@ -143,7 +139,7 @@ def estimate_chain(
         steps.append(step)
         total = total + step
     if not pipeline or parallelism < 1:
-        return total
+        return total, steps
 
     time_s = 0.0
     index = 0
@@ -167,7 +163,55 @@ def estimate_chain(
             bottleneck = max(stage_times) / n_batches
             time_s += fill + (n_batches - 1) * bottleneck
         index = end
-    return PlanEstimate(total.cost_usd, time_s, total.cardinality)
+    return PlanEstimate(total.cost_usd, time_s, total.cardinality), steps
+
+
+def estimate_chain(
+    chain: list[L.LogicalOperator],
+    profiles: dict[int, OperatorProfile],
+    input_cardinality: float | None = None,
+    parallelism: int = 1,
+    pipeline: bool = False,
+    batch_size: int | None = None,
+) -> PlanEstimate:
+    """Estimate a leaves-first operator chain.
+
+    ``profiles`` maps chain positions to the profile of the model *chosen*
+    for that operator.  Cost and cardinality are mode-independent;
+    ``parallelism`` divides per-operator latency into wave time, and
+    ``pipeline=True`` replaces the per-operator time sum of each fused
+    streamable section with its pipelined makespan:
+    ``fill + (B - 1) * bottleneck`` for ``B`` batches — the first batch
+    crosses every stage, then the slowest stage paces the rest.
+    """
+    total, _ = estimate_chain_steps(
+        chain,
+        profiles,
+        input_cardinality=input_cardinality,
+        parallelism=parallelism,
+        pipeline=pipeline,
+        batch_size=batch_size,
+    )
+    return total
+
+
+def profile_from_prior(prior) -> OperatorProfile:
+    """Adapt a learned :class:`~repro.obs.stats.OperatorPrior` to the
+    :class:`OperatorProfile` shape the estimators consume.
+
+    Duck-typed on purpose: the obs layer must not import sem, and the
+    cost model only needs the prior's selectivity/cost/latency surface.
+    Agreement is pinned to 1.0 — priors describe the model the plan
+    already chose, not a candidate being auditioned.
+    """
+    return OperatorProfile(
+        model=prior.model or "prior",
+        agreement=1.0,
+        selectivity=prior.selectivity,
+        cost_per_record=prior.cost_per_record,
+        latency_per_record=prior.latency_per_record,
+        sample_size=max(1, round(prior.rows_in)),
+    )
 
 
 def filter_rank(profile: OperatorProfile) -> float:

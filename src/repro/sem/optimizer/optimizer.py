@@ -31,8 +31,14 @@ from repro.sem.materialize import (
     incremental_safe_prefix,
     prefix_fingerprints,
 )
-from repro.sem.optimizer.cost_model import PlanEstimate, estimate_chain, filter_rank
+from repro.sem.optimizer.cost_model import (
+    PlanEstimate,
+    estimate_chain_steps,
+    filter_rank,
+    profile_from_prior,
+)
 from repro.sem.optimizer.pushdown import push_structured_prefix
+from repro.sem.optimizer.replan import Replanner, stats_key
 from repro.sem.optimizer.rules import (
     merge_adjacent_limits,
     prune_noop_projects,
@@ -72,6 +78,25 @@ class OptimizationReport:
     pushdown_ops: int = 0
     #: Display-form SELECT the pushed prefix compiles to.
     pushdown_sql: str = ""
+    #: The bound logical chain (leaves first) — kept aligned with the
+    #: engine's physical operators, including across mid-query replans.
+    final_chain: list = field(default_factory=list, repr=False)
+    #: Resolved physical model per chain position (None for free ops).
+    resolved_models: list = field(default_factory=list, repr=False)
+    #: Statistics-key metadata per chain position (None = not keyable);
+    #: what post-run ingestion and the re-planner look priors up with.
+    stats_plan: list = field(default_factory=list, repr=False)
+    #: Estimated output cardinality / cost per chain position.
+    est_rows: list = field(default_factory=list)
+    est_costs: list = field(default_factory=list)
+    #: Where each position's estimate came from: "prior" | "sampled" | "static".
+    est_sources: list = field(default_factory=list)
+    #: The profile actually used per position (prior-derived or sampled).
+    est_profiles: dict = field(default_factory=dict, repr=False)
+    #: Accepted mid-query replan decisions (cause, before/after plans).
+    replans: list = field(default_factory=list)
+    #: Armed re-planner the engine consults at boundaries (None = off).
+    replanner: "Replanner | None" = field(default=None, repr=False)
 
 
 class Optimizer:
@@ -232,19 +257,15 @@ class Optimizer:
             profiles={
                 op.label(): profiles[id(op)] for op in chain if id(op) in profiles
             },
-            estimate=estimate_chain(
-                new_chain,
-                chosen_profiles,
-                input_cardinality=float(len(source_records)),
-                parallelism=config.parallelism,
-                pipeline=config.pipeline,
-                batch_size=config.resolved_batch_size(),
-            ),
             pushdown_ops=len(sql_scan.pushed) if sql_scan is not None else 0,
             pushdown_sql=sql_scan.sql if sql_scan is not None else "",
         )
         return self._reuse_and_bind(
-            new_chain, chosen, report, source_records=source_records
+            new_chain,
+            chosen,
+            report,
+            source_records=source_records,
+            chosen_profiles=chosen_profiles,
         ), report
 
     def _rank(
@@ -266,12 +287,116 @@ class Optimizer:
     # Sub-plan reuse (materialization)
     # ------------------------------------------------------------------
 
+    def _annotate_stats(
+        self,
+        chain: list[L.LogicalOperator],
+        chosen: dict[int, str],
+        report: OptimizationReport,
+        source_records: list | None,
+        chosen_profiles: dict[int, OperatorProfile] | None,
+    ) -> None:
+        """Attach statistics keys and per-position estimates to the report.
+
+        Builds the position-aligned ``stats_plan`` (what ingestion and the
+        re-planner key priors with), resolves each position's estimate
+        source — learned prior beats sampled profile beats static formula —
+        and records per-operator estimated cardinality/cost plus the plan
+        total.  With a cold store and ``chosen_profiles`` from sampling
+        this reproduces the historical plan estimate exactly.
+        """
+        config = self.config
+        store = getattr(config, "stats_store", None)
+        models = [self._resolved_model(op, chosen) for op in chain]
+        report.final_chain = list(chain)
+        report.resolved_models = models
+        scope = getattr(config, "stats_scope", "")
+        llm_seed = getattr(config.llm, "seed", 0)
+        dataset = ""
+        if isinstance(chain[0], (L.ScanOp, L.SqlScanOp)) and chain[0].source is not None:
+            dataset = chain[0].source.source_id
+        stats_plan: list = []
+        for position, op in enumerate(chain):
+            key = stats_key(op, models[position], dataset, scope, llm_seed)
+            if key is None:
+                stats_plan.append(None)
+            else:
+                stats_plan.append(
+                    {
+                        "key": key,
+                        "kind": type(op).__name__,
+                        "model": models[position] or "",
+                        "dataset": dataset,
+                        "scope": scope,
+                        "label": op.label(),
+                    }
+                )
+        report.stats_plan = stats_plan
+
+        est_profiles: dict[int, OperatorProfile] = dict(chosen_profiles or {})
+        est_sources = [
+            "sampled" if position in est_profiles else "static"
+            for position in range(len(chain))
+        ]
+        if store is not None:
+            store.metrics = config.llm.metrics if config.llm.metrics.enabled else None
+            if getattr(config, "stats_estimates", True):
+                for position, entry in enumerate(stats_plan):
+                    if entry is None:
+                        continue
+                    prior = store.usable_prior(entry["key"])
+                    if prior is not None:
+                        est_profiles[position] = profile_from_prior(prior)
+                        est_sources[position] = "prior"
+        report.est_profiles = est_profiles
+        report.est_sources = est_sources
+
+        input_cardinality = (
+            float(len(source_records)) if source_records is not None else None
+        )
+        if (
+            input_cardinality is None
+            and isinstance(chain[0], (L.ScanOp, L.SqlScanOp))
+            and chain[0].source is not None
+        ):
+            size = chain[0].source.cardinality()
+            input_cardinality = float(size) if size is not None else None
+        total, steps = estimate_chain_steps(
+            chain,
+            est_profiles,
+            input_cardinality=input_cardinality,
+            parallelism=config.parallelism,
+            pipeline=config.pipeline,
+            batch_size=config.resolved_batch_size(),
+        )
+        report.est_rows = [step.cardinality for step in steps]
+        report.est_costs = [step.cost_usd for step in steps]
+        report.estimate = total
+
+    def _arm_replanner(
+        self, chosen: dict[int, str], report: OptimizationReport
+    ) -> None:
+        """Attach a re-planner when config + store allow it.
+
+        Reuse-bearing plans are excluded: a replayed prefix breaks the
+        position alignment between the logical chain and the physical
+        operators the engine runs.
+        """
+        config = self.config
+        if not getattr(config, "replan", False):
+            return
+        if getattr(config, "stats_store", None) is None:
+            return
+        if not report.final_chain or report.reused_prefix:
+            return
+        report.replanner = Replanner(self, chosen, report)
+
     def _reuse_and_bind(
         self,
         chain: list[L.LogicalOperator],
         chosen: dict[int, str],
         report: OptimizationReport,
         source_records: list | None = None,
+        chosen_profiles: dict[int, OperatorProfile] | None = None,
     ) -> list[P.PhysicalOperator]:
         """Bind ``chain``, swapping a fingerprint-matched prefix for a replay.
 
@@ -283,9 +408,11 @@ class Optimizer:
         run's own fingerprintable boundaries.
         """
         config = self.config
+        self._annotate_stats(chain, chosen, report, source_records, chosen_profiles)
         bound = self._bind_chain(chain, chosen)
         store = getattr(config, "materialization_store", None)
         if store is None or not isinstance(chain[0], (L.ScanOp, L.SqlScanOp)):
+            self._arm_replanner(chosen, report)
             return bound
         store.metrics = config.llm.metrics if config.llm.metrics.enabled else None
         if source_records is None:
@@ -323,6 +450,7 @@ class Optimizer:
                 break
         if reuse is None:
             store.note_miss()
+            self._arm_replanner(chosen, report)
             return bound
 
         length, kind, entry, delta = reuse
@@ -331,6 +459,7 @@ class Optimizer:
         reuse_est = entry.cost_usd * (len(delta) / base_cardinality)
         if reuse_est > recompute_est:
             store.note_miss()
+            self._arm_replanner(chosen, report)
             return bound
         store.note_hit(entry, kind, delta_records=len(delta))
 

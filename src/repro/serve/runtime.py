@@ -93,6 +93,7 @@ class ServingRuntime:
         batching: bool = True,
         parallelism: int = 4,
         optimize: bool = False,
+        replan: bool = False,
     ) -> None:
         self.runtime = runtime
         self.llm = runtime.llm
@@ -100,6 +101,10 @@ class ServingRuntime:
         self.batching = batching
         self.parallelism = parallelism
         self.optimize = optimize
+        #: Adaptive mid-query re-planning for served queries.  Statistics
+        #: are tenant-scoped either way: one tenant's observed
+        #: selectivities never steer another tenant's plans.
+        self.replan = replan
         self.tenants: dict[str, TenantState] = {}
         for spec in tenants or ():
             self.tenants[spec.name] = TenantState(spec=spec)
@@ -182,6 +187,9 @@ class ServingRuntime:
             pipeline=False,
             materialization_store=store,
             materialization_scope=tenant,
+            stats_store=getattr(self.runtime, "stats_store", None),
+            stats_scope=tenant,
+            replan=self.replan,
         )
 
         timeline = CallTimeline()
@@ -291,6 +299,7 @@ class ServingRuntime:
             metrics.counter("serving.batched_calls").inc(report.filled_slots)
             metrics.counter("serving.rebate_usd").inc(report.rebate_total_usd())
             for job in report.jobs:
+                metrics.histogram("serving.latency_s").observe(job.latency_s)
                 metrics.histogram(
                     f"serving.tenant.{job.tenant}.latency_s"
                 ).observe(job.latency_s)

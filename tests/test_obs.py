@@ -319,3 +319,48 @@ def test_agent_episode_step_and_tool_spans(legal_bundle):
     assert counters["agent.steps"] == len(steps)
     assert runtime.tracer is tracer
     assert "agent.steps" in runtime.metrics_report()
+
+
+def test_histogram_percentiles_nearest_rank():
+    metrics = MetricsRegistry()
+    hist = metrics.histogram("latency")
+    for value in range(1, 101):  # 1..100
+        hist.observe(float(value))
+    assert hist.percentile(50) == 50.0
+    assert hist.percentile(95) == 95.0
+    assert hist.percentile(99) == 99.0
+    assert hist.percentile(0) == 1.0  # nearest-rank floor: first sample
+    snapshot = metrics.snapshot()["histograms"]["latency"]
+    assert snapshot["p50"] == 50.0
+    assert snapshot["p95"] == 95.0
+    assert snapshot["p99"] == 99.0
+
+
+def test_histogram_percentile_of_empty_is_zero():
+    hist = MetricsRegistry().histogram("empty")
+    assert hist.percentile(50) == 0.0
+    assert NULL_METRICS.histogram("x").percentile(50) == 0.0
+
+
+def test_histogram_decimation_is_deterministic_and_bounded():
+    from repro.obs.metrics import SAMPLE_CAP
+
+    def build():
+        hist = MetricsRegistry().histogram("h")
+        for value in range(3 * SAMPLE_CAP):
+            hist.observe(float(value))
+        return hist
+
+    first, second = build(), build()
+    assert len(first._samples) <= SAMPLE_CAP
+    assert first._samples == second._samples
+    assert first.percentile(50) == second.percentile(50)
+    # The strided sample still tracks the distribution's spread.
+    assert first.percentile(99) > first.percentile(50) > first.percentile(1)
+
+
+def test_metrics_render_includes_percentile_columns():
+    metrics = MetricsRegistry()
+    metrics.histogram("latency").observe(2.0)
+    rendered = metrics.render(title="M")
+    assert "p50" in rendered and "p99" in rendered

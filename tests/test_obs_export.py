@@ -179,3 +179,81 @@ def test_cli_trace_flag_end_to_end(tmp_path, capsys):
     from repro.obs import NOOP_TRACER, get_default_tracer
 
     assert get_default_tracer() is NOOP_TRACER
+
+
+# ---------------------------------------------------------------------------
+# Span-kind and sibling-overlap validation
+# ---------------------------------------------------------------------------
+
+
+def _closed_tracer():
+    clock = VirtualClock()
+    tracer = Tracer(clock)
+    with tracer.span("query:t", kind="query"):
+        clock.advance(4.0)
+    return tracer
+
+
+def test_validate_spans_rejects_unknown_kind():
+    clock = VirtualClock()
+    tracer = Tracer(clock)
+    with tracer.span("mystery", kind="wat"):
+        clock.advance(1.0)
+    with pytest.raises(ValueError, match="unknown kind 'wat'"):
+        validate_spans(tracer.spans)
+
+
+def test_validate_spans_accepts_replan_and_stats_ingest_kinds():
+    clock = VirtualClock()
+    tracer = Tracer(clock)
+    with tracer.span("query:t", kind="query"):
+        with tracer.span("replan", kind="replan", cause="divergence"):
+            pass
+        clock.advance(1.0)
+        with tracer.span("stats.ingest", kind="stats.ingest", observations=3):
+            pass
+    validate_spans(tracer.spans)  # must not raise
+
+
+def test_validate_spans_rejects_partially_overlapping_siblings():
+    tracer = _closed_tracer()
+    parent = tracer.spans[0]
+    tracer.add_span("a", "cell", 0.0, 2.0, track="stage 0", parent=parent)
+    tracer.add_span("b", "cell", 1.0, 3.0, track="stage 0", parent=parent)
+    with pytest.raises(ValueError, match="partially overlaps sibling"):
+        validate_spans(tracer.spans)
+
+
+def test_validate_spans_allows_nested_and_abutting_siblings():
+    tracer = _closed_tracer()
+    parent = tracer.spans[0]
+    tracer.add_span("outer", "cell", 0.0, 3.0, track="stage 0", parent=parent)
+    tracer.add_span("inner", "cell", 1.0, 2.0, track="stage 0", parent=parent)
+    tracer.add_span("next", "cell", 3.0, 4.0, track="stage 0", parent=parent)
+    validate_spans(tracer.spans)  # nest + abut: fine
+
+
+def test_validate_spans_ignores_zero_duration_markers():
+    tracer = _closed_tracer()
+    parent = tracer.spans[0]
+    tracer.add_span("a", "cell", 0.0, 2.0, track="stage 0", parent=parent)
+    tracer.add_span("marker", "cell", 1.0, 1.0, track="stage 0", parent=parent)
+    validate_spans(tracer.spans)
+
+
+def test_validate_spans_allows_overlapping_roots():
+    # Concurrent serving queries overlap on a tenant track by design.
+    tracer = Tracer(VirtualClock())
+    tracer.add_span("q0", "serving-query", 0.0, 2.0, track="tenant a")
+    tracer.add_span("q1", "serving-query", 1.0, 3.0, track="tenant a")
+    validate_spans(tracer.spans)
+
+
+def test_jsonl_histograms_carry_percentiles(tmp_path):
+    tracer, metrics = _hand_built_tracer()
+    path = write_jsonl(tmp_path / "events.jsonl", tracer, metrics=metrics)
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    histograms = [line for line in lines if line["type"] == "histogram"]
+    assert histograms and all(
+        {"p50", "p95", "p99"} <= set(line) for line in histograms
+    )

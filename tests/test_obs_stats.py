@@ -1,0 +1,340 @@
+"""Tests for the trace-fed statistics store (learned operator priors)."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, OperatorPrior, StatisticsStore, Tracer
+from repro.obs.stats import STATS_VERSION
+
+
+def _observe(store, key="k1", records_in=10, records_out=5, **kwargs):
+    return store.observe(
+        key,
+        "SemFilterOp",
+        "gpt-mini",
+        "corpus-1",
+        "",
+        records_in=records_in,
+        records_out=records_out,
+        **kwargs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Construction and validation
+# ---------------------------------------------------------------------------
+
+
+class TestConstruction:
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError, match="decay"):
+            StatisticsStore(decay=0.0)
+        with pytest.raises(ValueError, match="decay"):
+            StatisticsStore(decay=1.5)
+
+    def test_rejects_bad_min_observations(self):
+        with pytest.raises(ValueError, match="min_observations"):
+            StatisticsStore(min_observations=0)
+
+    def test_rejects_bad_max_entries(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            StatisticsStore(max_entries=0)
+
+
+# ---------------------------------------------------------------------------
+# Decayed online updates
+# ---------------------------------------------------------------------------
+
+
+class TestObserve:
+    def test_first_observation_sets_fields_directly(self):
+        store = StatisticsStore()
+        prior = _observe(
+            store,
+            records_in=10,
+            records_out=4,
+            cost_usd=0.5,
+            time_s=2.0,
+            llm_calls=10,
+            cached_calls=5,
+            retried_calls=2,
+            failed_records=1,
+            tokens=300,
+        )
+        assert prior.observations == 1
+        assert prior.selectivity == pytest.approx(0.4)
+        assert prior.rows_in == 10.0
+        assert prior.rows_out == 4.0
+        assert prior.tokens_per_record == pytest.approx(30.0)
+        assert prior.cost_per_record == pytest.approx(0.05)
+        assert prior.latency_per_record == pytest.approx(0.2)
+        assert prior.latency_per_call == pytest.approx(0.2)
+        assert prior.retry_rate == pytest.approx(0.2)
+        assert prior.failure_rate == pytest.approx(0.1)
+        assert prior.cache_hit_ratio == pytest.approx(0.5)
+
+    def test_second_observation_blends_with_decay(self):
+        store = StatisticsStore(decay=0.3)
+        _observe(store, records_in=10, records_out=4)
+        prior = _observe(store, records_in=10, records_out=8)
+        # 0.4 + 0.3 * (0.8 - 0.4) = 0.52
+        assert prior.observations == 2
+        assert prior.selectivity == pytest.approx(0.52)
+
+    def test_zero_input_observation_is_dropped(self):
+        store = StatisticsStore()
+        assert _observe(store, records_in=0, records_out=0) is None
+        assert len(store) == 0
+        assert store.observations == 0
+
+    def test_no_llm_calls_means_zero_call_rates(self):
+        store = StatisticsStore()
+        prior = _observe(store, records_in=5, records_out=5, llm_calls=0)
+        assert prior.latency_per_call == 0.0
+        assert prior.retry_rate == 0.0
+        assert prior.cache_hit_ratio == 0.0
+
+    def test_lru_eviction_drops_least_recently_used(self):
+        store = StatisticsStore(max_entries=2)
+        _observe(store, key="a")
+        _observe(store, key="b")
+        store.prior("a")  # touch: "b" becomes the eviction candidate
+        _observe(store, key="c")
+        assert store.prior("a") is not None
+        assert store.prior("b") is None
+        assert store.prior("c") is not None
+        assert store.evictions == 1
+
+
+# ---------------------------------------------------------------------------
+# Lookups, the evidence floor, and metrics mirroring
+# ---------------------------------------------------------------------------
+
+
+class TestLookup:
+    def test_prior_counts_lookups_and_hits(self):
+        store = StatisticsStore()
+        _observe(store, key="k1")
+        assert store.prior("k1") is not None
+        assert store.prior("missing") is None
+        assert store.prior(None) is None  # unkeyed: not even a lookup
+        assert store.lookups == 2
+        assert store.hits == 1
+
+    def test_usable_prior_enforces_min_observations(self):
+        store = StatisticsStore(min_observations=2)
+        _observe(store, key="k1")
+        assert store.prior("k1") is not None
+        assert store.usable_prior("k1") is None
+        _observe(store, key="k1")
+        assert store.usable_prior("k1") is not None
+
+    def test_metrics_mirror_counts_observations_lookups_hits(self):
+        store = StatisticsStore()
+        metrics = MetricsRegistry()
+        store.metrics = metrics
+        _observe(store, key="k1")
+        store.prior("k1")
+        store.prior("missing")
+        counters = metrics.snapshot()["counters"]
+        assert counters["stats.observations"] == 1
+        assert counters["stats.lookups"] == 2
+        assert counters["stats.hits"] == 1
+
+    def test_stats_summary(self):
+        store = StatisticsStore()
+        _observe(store, key="k1")
+        store.prior("k1")
+        summary = store.stats()
+        assert summary["entries"] == 1
+        assert summary["observations"] == 1
+        assert summary["hits"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Ingestion paths
+# ---------------------------------------------------------------------------
+
+
+class _FakeStats:
+    def __init__(self, label, records_in=10, records_out=5):
+        self.label = label
+        self.records_in = records_in
+        self.records_out = records_out
+        self.cost_usd = 0.1
+        self.time_s = 1.0
+        self.llm_calls = records_in
+        self.cached_calls = 0
+        self.retried_calls = 0
+        self.failed_records = 0
+        self.input_tokens = 100
+        self.output_tokens = 20
+
+
+def _entry(key, label):
+    return {
+        "key": key,
+        "kind": "SemFilterOp",
+        "model": "gpt-mini",
+        "dataset": "corpus-1",
+        "scope": "",
+        "label": label,
+    }
+
+
+class TestIngestRun:
+    def test_ingests_aligned_positions(self):
+        store = StatisticsStore()
+        stats = [_FakeStats("SemFilter(a) [gpt-mini]"), _FakeStats("SemMap(b)")]
+        plan = [_entry("k1", "SemFilter(a)"), None]
+        assert store.ingest_run(stats, plan) == 1
+        assert store.prior("k1").selectivity == pytest.approx(0.5)
+
+    def test_label_mismatch_is_skipped(self):
+        store = StatisticsStore()
+        stats = [_FakeStats("SemFilter(other)")]
+        plan = [_entry("k1", "SemFilter(a)")]
+        assert store.ingest_run(stats, plan) == 0
+        assert len(store) == 0
+
+    def test_emits_stats_ingest_span_on_enabled_tracer(self):
+        store = StatisticsStore()
+        tracer = Tracer()
+        stats = [_FakeStats("SemFilter(a)")]
+        plan = [_entry("k1", "SemFilter(a)")]
+        store.ingest_run(stats, plan, tracer=tracer)
+        spans = tracer.by_kind("stats.ingest")
+        assert len(spans) == 1
+        assert spans[0].attributes["observations"] == 1
+        assert spans[0].attributes["store_size"] == 1
+        assert spans[0].end_s == spans[0].start_s  # zero-duration marker
+
+
+class TestIngestSpans:
+    def test_reingests_operator_spans(self):
+        from repro.utils.clock import VirtualClock
+
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        with tracer.span(
+            "SemFilter(a)",
+            kind="operator",
+            stats=_entry("k1", "SemFilter(a)"),
+            records_in=10,
+            records_out=3,
+            cost_usd=0.2,
+            llm_calls=10,
+            tokens=500,
+        ):
+            clock.advance(4.0)
+        store = StatisticsStore()
+        assert store.ingest_spans(tracer.spans) == 1
+        prior = store.prior("k1")
+        assert prior.selectivity == pytest.approx(0.3)
+        assert prior.latency_per_record == pytest.approx(0.4)
+
+    def test_reingests_pipeline_section_stage_stats(self):
+        tracer = Tracer()
+        with tracer.span(
+            "section",
+            kind="pipeline-section",
+            stage_stats=[
+                {
+                    "stats": _entry("k1", "SemFilter(a)"),
+                    "records_in": 8,
+                    "records_out": 2,
+                    "time_s": 1.0,
+                },
+                {
+                    "stats": _entry("k2", "SemFilter(b)"),
+                    "records_in": 2,
+                    "records_out": 2,
+                    "time_s": 0.5,
+                },
+            ],
+        ):
+            pass
+        store = StatisticsStore()
+        assert store.ingest_spans(tracer.spans) == 2
+        assert store.prior("k1").selectivity == pytest.approx(0.25)
+        assert store.prior("k2").selectivity == pytest.approx(1.0)
+
+    def test_ignores_unrelated_spans(self):
+        tracer = Tracer()
+        with tracer.span("query", kind="query"):
+            with tracer.span("SemFilter(a)", kind="operator"):  # no stats attr
+                pass
+        store = StatisticsStore()
+        assert store.ingest_spans(tracer.spans) == 0
+
+
+# ---------------------------------------------------------------------------
+# Persistence
+# ---------------------------------------------------------------------------
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        store = StatisticsStore()
+        _observe(store, key="k1", records_in=10, records_out=4, cost_usd=0.5)
+        _observe(store, key="k1", records_in=10, records_out=8)
+        _observe(store, key="k2", records_in=6, records_out=6)
+        path = tmp_path / "stats.json"
+        assert store.save(path) == 2
+
+        fresh = StatisticsStore()
+        assert fresh.load(path) == 2
+        for original, loaded in zip(store.priors(), fresh.priors()):
+            assert original.to_dict() == loaded.to_dict()
+
+    def test_version_mismatch_loads_nothing(self, tmp_path):
+        store = StatisticsStore()
+        _observe(store, key="k1")
+        path = tmp_path / "stats.json"
+        store.save(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["version"] = STATS_VERSION + 1
+        path.write_text(json.dumps(payload), encoding="utf-8")
+
+        fresh = StatisticsStore()
+        assert fresh.load(path) == 0
+        assert len(fresh) == 0
+
+    def test_load_enforces_max_entries(self, tmp_path):
+        store = StatisticsStore()
+        for index in range(5):
+            _observe(store, key=f"k{index}")
+        path = tmp_path / "stats.json"
+        store.save(path)
+
+        small = StatisticsStore(max_entries=2)
+        assert small.load(path) == 2
+        # Save order is LRU order: the newest two survive.
+        assert [p.key for p in small.priors()] == ["k3", "k4"]
+        assert small.evictions == 3
+
+    def test_clear_empties_the_store(self):
+        store = StatisticsStore()
+        _observe(store, key="k1")
+        store.clear()
+        assert len(store) == 0
+
+
+# ---------------------------------------------------------------------------
+# OperatorPrior serde
+# ---------------------------------------------------------------------------
+
+
+def test_operator_prior_dict_round_trip():
+    prior = OperatorPrior(
+        key="k",
+        kind="SemFilterOp",
+        model="m",
+        dataset="d",
+        scope="tenant-a",
+        observations=3,
+        selectivity=0.25,
+        cost_per_record=0.01,
+    )
+    assert OperatorPrior.from_dict(prior.to_dict()) == prior

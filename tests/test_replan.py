@@ -1,0 +1,488 @@
+"""Adaptive mid-query re-planning: statistics keys, triggers, bit-identity.
+
+The contract under test: a replan may change *which order* commuting
+filters run in mid-flight — never the records, their order, or their
+uids — and only fires when learned priors say the reorder is strictly
+cheaper.  A cold statistics store must behave exactly as if re-planning
+were disabled.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets.base import DatasetBundle
+from repro.data.corpus import FileCorpus
+from repro.data.records import DataRecord, reset_uid_counter
+from repro.data.schemas import Field, Schema
+from repro.errors import ConfigurationError
+from repro.llm.oracle import DIFFICULTY_PREFIX, IntentRegistry
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.oracle import SemanticOracle
+from repro.obs import StatisticsStore, Tracer, validate_spans
+from repro.sem import logical as L
+from repro.sem.config import QueryProcessorConfig
+from repro.sem.dataset import Dataset
+from repro.sem.optimizer.replan import plan_fingerprint, stats_key, stats_token
+
+# ---------------------------------------------------------------------------
+# Inline corpus: one common filter (~0.9 selectivity), one rare (~0.12),
+# one numeric extraction — low difficulty so outcomes are near-exact.
+# ---------------------------------------------------------------------------
+
+COMMON = "The order was confirmed by the warehouse."
+RARE = "The package was reported damaged."
+AMOUNT = "Extract the declared value in dollars."
+
+_INTENTS = {
+    "rp.flag_common": (("order", "confirmed", "warehouse"), COMMON),
+    "rp.flag_rare": (("package", "reported", "damaged"), RARE),
+    "rp.amount": (("declared", "value", "dollars"), AMOUNT),
+}
+
+
+def build_replan_corpus(seed: int = 7, n: int = 24) -> DatasetBundle:
+    registry = IntentRegistry()
+    for key, (keywords, description) in _INTENTS.items():
+        registry.register(key, keywords, description)
+    records = []
+    for index in range(n):
+        common = index % 10 != 0  # ~90% pass
+        rare = index % 8 == 0  # ~12% pass
+        amount = round(25.0 + 3.0 * index, 2)
+        annotations = {
+            "rp.flag_common": common,
+            "rp.flag_rare": rare,
+            "rp.amount": amount,
+        }
+        for intent in list(annotations):
+            annotations[DIFFICULTY_PREFIX + intent] = 0.05
+        records.append(
+            DataRecord(
+                fields={
+                    "title": f"parcel-{index}",
+                    "body": (
+                        f"Parcel {index}: declared value ${amount:.2f}, "
+                        f"priority routing slip attached."
+                    ),
+                    "priority": 1 + index % 3,
+                },
+                uid=f"rp-{index:04d}",
+                annotations=annotations,
+                source_id=f"rp-corpus-{seed}",
+            )
+        )
+    schema = Schema(
+        [
+            Field("title", str, "parcel label"),
+            Field("body", str, "full manifest text"),
+            Field("priority", int, "routing priority 1-3"),
+        ],
+        name="Parcel",
+        desc="synthetic parcel manifests for replan tests",
+    )
+    return DatasetBundle(
+        name=f"rp-corpus-{seed}",
+        corpus=FileCorpus(name=f"rp-corpus-{seed}"),
+        schema=schema,
+        registry=registry,
+        description="Parcel manifests with one common and one rare flag.",
+        record_list=records,
+    )
+
+
+@pytest.fixture(scope="module")
+def rp_bundle():
+    return build_replan_corpus()
+
+
+def _config(bundle, *, seed: int = 7, tracer=None, **kwargs) -> QueryProcessorConfig:
+    llm = SimulatedLLM(
+        oracle=SemanticOracle(bundle.registry),
+        seed=seed,
+        tracer=tracer if tracer is not None else None,
+    )
+    defaults = dict(pipeline=False, optimize=False)
+    defaults.update(kwargs)
+    return QueryProcessorConfig(llm=llm, seed=seed, **defaults)
+
+
+def _misestimate_plan(bundle):
+    """where() collapses into a SqlScan whose static estimate halves the
+    cardinality — every record passes, so divergence is a free 2.0x."""
+    return (
+        Dataset.from_source(bundle.source())
+        .where("priority >= 1")
+        .sem_filter(COMMON)
+        .sem_filter(RARE)
+        .sem_map(Field("declared_value", float, "declared value"), AMOUNT)
+    )
+
+
+def _plain_plan(bundle):
+    return (
+        Dataset.from_source(bundle.source())
+        .sem_filter(COMMON)
+        .sem_filter(RARE)
+        .sem_map(Field("declared_value", float, "declared value"), AMOUNT)
+    )
+
+
+def _normalized(result):
+    return [(r.uid, tuple(sorted(r.fields.items()))) for r in result.records]
+
+
+def _warm_store(bundle, plan_fn=_misestimate_plan, **store_kwargs) -> StatisticsStore:
+    """One full run with ingestion on — the priors later queries consult."""
+    store = StatisticsStore(**store_kwargs)
+    reset_uid_counter()
+    plan_fn(bundle).run(_config(bundle, stats_store=store))
+    assert len(store) > 0
+    return store
+
+
+def _run(bundle, plan_fn, **kwargs):
+    reset_uid_counter()
+    config = _config(bundle, **kwargs)
+    return plan_fn(bundle).run_with_report(config)
+
+
+# ---------------------------------------------------------------------------
+# Statistics keys
+# ---------------------------------------------------------------------------
+
+
+class TestStatsKeys:
+    def test_semantically_identical_filters_share_a_key(self):
+        a = L.SemFilterOp(child=None, instruction=COMMON)
+        b = L.SemFilterOp(child=None, instruction=COMMON)
+        assert stats_key(a, "m", "d", "", 7) == stats_key(b, "m", "d", "", 7)
+
+    def test_key_varies_with_model_dataset_scope_and_seed(self):
+        op = L.SemFilterOp(child=None, instruction=COMMON)
+        base = stats_key(op, "m", "d", "", 7)
+        assert stats_key(op, "m2", "d", "", 7) != base
+        assert stats_key(op, "m", "d2", "", 7) != base
+        assert stats_key(op, "m", "d", "tenant-a", 7) != base
+        assert stats_key(op, "m", "d", "", 8) != base
+
+    def test_missing_dataset_is_unkeyable(self):
+        op = L.SemFilterOp(child=None, instruction=COMMON)
+        assert stats_key(op, "m", "", "", 7) is None
+
+    def test_undescribed_python_filter_is_unkeyable(self):
+        op = L.PyFilterOp(child=None, fn=lambda r: True, description="")
+        assert stats_token(op, None) is None
+
+    def test_plan_fingerprint_tracks_order(self):
+        a = L.SemFilterOp(child=None, instruction=COMMON)
+        b = L.SemFilterOp(child=None, instruction=RARE)
+        assert plan_fingerprint([a, b], ["m", "m"]) != plan_fingerprint(
+            [b, a], ["m", "m"]
+        )
+
+
+# ---------------------------------------------------------------------------
+# Estimate sources (prior vs sampled vs static)
+# ---------------------------------------------------------------------------
+
+
+class TestEstimateSources:
+    def test_cold_store_estimates_are_static(self, rp_bundle):
+        _result, report = _run(
+            rp_bundle, _misestimate_plan, stats_store=StatisticsStore()
+        )
+        assert set(report.est_sources) == {"static"}
+
+    def test_warm_store_estimates_come_from_priors(self, rp_bundle):
+        store = _warm_store(rp_bundle)
+        _result, report = _run(rp_bundle, _misestimate_plan, stats_store=store)
+        assert "prior" in report.est_sources
+
+    def test_stats_estimates_off_keeps_static_sources(self, rp_bundle):
+        store = _warm_store(rp_bundle)
+        _result, report = _run(
+            rp_bundle,
+            _misestimate_plan,
+            stats_store=store,
+            stats_estimates=False,
+        )
+        assert "prior" not in report.est_sources
+
+
+# ---------------------------------------------------------------------------
+# The replan trigger
+# ---------------------------------------------------------------------------
+
+
+class TestReplanTrigger:
+    def test_cold_store_never_replans(self, rp_bundle):
+        baseline, _ = _run(rp_bundle, _misestimate_plan)
+        cold, report = _run(
+            rp_bundle,
+            _misestimate_plan,
+            stats_store=StatisticsStore(),
+            replan=True,
+        )
+        assert report.replans == []
+        assert _normalized(cold) == _normalized(baseline)
+
+    def test_misestimate_with_warm_store_replans_once(self, rp_bundle):
+        store = _warm_store(rp_bundle)
+        _result, report = _run(
+            rp_bundle,
+            _misestimate_plan,
+            stats_store=store,
+            stats_estimates=False,
+            replan=True,
+        )
+        assert len(report.replans) == 1
+        decision = report.replans[0]
+        assert "cardinality divergence" in decision["cause"]
+        assert decision["before_plan"] != decision["after_plan"]
+        assert decision["est_cost_after_usd"] < decision["est_cost_before_usd"]
+        # The rare filter moves ahead of the common one.
+        assert decision["after_order"][0] != decision["before_order"][0]
+
+    def test_replanned_records_are_bit_identical(self, rp_bundle):
+        store = _warm_store(rp_bundle)
+        baseline, _ = _run(rp_bundle, _misestimate_plan)
+        replanned, report = _run(
+            rp_bundle,
+            _misestimate_plan,
+            stats_store=store,
+            stats_estimates=False,
+            replan=True,
+        )
+        assert len(report.replans) == 1
+        assert _normalized(replanned) == _normalized(baseline)
+
+    def test_replan_respects_the_limit(self, rp_bundle):
+        store = _warm_store(rp_bundle)
+        _result, report = _run(
+            rp_bundle,
+            _misestimate_plan,
+            stats_store=store,
+            stats_estimates=False,
+            replan=True,
+            replan_limit=0,  # unlimited
+        )
+        # One reorder exhausts the improvement; later boundaries find
+        # nothing cheaper, so even "unlimited" stays at one.
+        assert len(report.replans) == 1
+
+    def test_min_rows_floor_suppresses_replanning(self, rp_bundle):
+        store = _warm_store(rp_bundle)
+        _result, report = _run(
+            rp_bundle,
+            _misestimate_plan,
+            stats_store=store,
+            stats_estimates=False,
+            replan=True,
+            replan_min_rows=1000,
+        )
+        assert report.replans == []
+
+    def test_accurate_estimates_do_not_trigger(self, rp_bundle):
+        store = _warm_store(rp_bundle, plan_fn=_plain_plan)
+        _result, report = _run(
+            rp_bundle,
+            _plain_plan,
+            stats_store=store,
+            replan=True,
+        )
+        assert "prior" in report.est_sources
+        assert report.replans == []
+
+    def test_high_threshold_suppresses_replanning(self, rp_bundle):
+        store = _warm_store(rp_bundle)
+        _result, report = _run(
+            rp_bundle,
+            _misestimate_plan,
+            stats_store=store,
+            stats_estimates=False,
+            replan=True,
+            replan_threshold=10.0,
+        )
+        assert report.replans == []
+
+    def test_report_views_stay_chain_aligned_after_replan(self, rp_bundle):
+        store = _warm_store(rp_bundle)
+        result, report = _run(
+            rp_bundle,
+            _misestimate_plan,
+            stats_store=store,
+            stats_estimates=False,
+            replan=True,
+        )
+        n = len(report.final_chain)
+        assert len(result.operator_stats) == n
+        assert len(report.stats_plan) == n
+        assert len(report.est_rows) == n
+        assert len(report.est_sources) == n
+        # Executed labels match the replanned chain, position for position.
+        for stats, op in zip(result.operator_stats, report.final_chain):
+            assert stats.label.split(" [")[0] == op.label()
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_same_seed_and_store_replan_identically_twice(
+        self, rp_bundle, tmp_path
+    ):
+        path = tmp_path / "stats.json"
+        _warm_store(rp_bundle).save(path)
+
+        outcomes = []
+        for _ in range(2):
+            store = StatisticsStore()
+            store.load(path)
+            result, report = _run(
+                rp_bundle,
+                _misestimate_plan,
+                stats_store=store,
+                stats_estimates=False,
+                replan=True,
+            )
+            outcomes.append((_normalized(result), report.replans))
+        assert outcomes[0] == outcomes[1]
+
+
+# ---------------------------------------------------------------------------
+# Observability of the decision
+# ---------------------------------------------------------------------------
+
+
+class TestReplanObservability:
+    def test_replan_span_is_emitted_and_trace_validates(self, rp_bundle):
+        store = _warm_store(rp_bundle)
+        tracer = Tracer()
+        reset_uid_counter()
+        config = _config(
+            rp_bundle,
+            tracer=tracer,
+            stats_store=store,
+            stats_estimates=False,
+            replan=True,
+        )
+        _result, report = _misestimate_plan(rp_bundle).run_with_report(config)
+        assert len(report.replans) == 1
+        validate_spans(tracer.spans)  # must not raise
+
+        spans = tracer.by_kind("replan")
+        assert len(spans) == 1
+        attrs = spans[0].attributes
+        assert attrs["cause"] == report.replans[0]["cause"]
+        assert attrs["before_plan"] == report.replans[0]["before_plan"]
+        assert attrs["after_plan"] == report.replans[0]["after_plan"]
+        ingests = tracer.by_kind("stats.ingest")
+        assert len(ingests) == 1  # the run fed its own measurements back
+
+    def test_explain_analyze_shows_sources_drift_and_replan(self, rp_bundle):
+        store = _warm_store(rp_bundle)
+        reset_uid_counter()
+        config = _config(
+            rp_bundle,
+            stats_store=store,
+            stats_estimates=False,
+            replan=True,
+        )
+        text = _misestimate_plan(rp_bundle).explain(analyze=True, config=config)
+        assert "Est src" in text
+        assert "Drift" in text
+        assert "replan: at boundary" in text
+        assert "cardinality divergence" in text
+
+    def test_explain_analyze_shows_prior_sources(self, rp_bundle):
+        store = _warm_store(rp_bundle)
+        reset_uid_counter()
+        config = _config(rp_bundle, stats_store=store)
+        text = _misestimate_plan(rp_bundle).explain(analyze=True, config=config)
+        assert "prior" in text
+
+    def test_replan_metrics_counters(self, rp_bundle):
+        from repro.obs import MetricsRegistry
+
+        store = _warm_store(rp_bundle)
+        metrics = MetricsRegistry()
+        reset_uid_counter()
+        llm = SimulatedLLM(
+            oracle=SemanticOracle(rp_bundle.registry), seed=7, metrics=metrics
+        )
+        config = QueryProcessorConfig(
+            llm=llm,
+            seed=7,
+            pipeline=False,
+            optimize=False,
+            stats_store=store,
+            stats_estimates=False,
+            replan=True,
+        )
+        _misestimate_plan(rp_bundle).run(config)
+        counters = metrics.snapshot()["counters"]
+        assert counters["replan.triggers"] >= 1
+        assert counters["replan.reorders"] == 1
+        assert counters["stats.lookups"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Config validation
+# ---------------------------------------------------------------------------
+
+
+class TestConfigValidation:
+    def test_threshold_must_exceed_one(self, rp_bundle):
+        with pytest.raises(ConfigurationError, match="replan_threshold"):
+            _config(rp_bundle, replan_threshold=1.0)
+
+    def test_min_rows_must_be_non_negative(self, rp_bundle):
+        with pytest.raises(ConfigurationError, match="replan_min_rows"):
+            _config(rp_bundle, replan_min_rows=-1)
+
+    def test_limit_must_be_non_negative(self, rp_bundle):
+        with pytest.raises(ConfigurationError, match="replan_limit"):
+            _config(rp_bundle, replan_limit=-1)
+
+
+# ---------------------------------------------------------------------------
+# Interplay with materialization
+# ---------------------------------------------------------------------------
+
+
+class TestReplanWithMaterialization:
+    def test_replanned_run_captures_and_second_run_reuses(self, rp_bundle):
+        from repro.sem.materialize import MaterializationStore
+
+        stats = _warm_store(rp_bundle)
+        mat = MaterializationStore()
+
+        first, first_report = _run(
+            rp_bundle,
+            _misestimate_plan,
+            stats_store=stats,
+            stats_estimates=False,
+            replan=True,
+            materialization_store=mat,
+        )
+        assert len(first_report.replans) == 1
+        assert first_report.capture is not None
+        assert len(mat) > 0
+
+        # Same query again: fingerprint canonicalization makes the
+        # replanned capture match the written plan, so the whole prefix
+        # replays and the (reuse-incompatible) replanner stays disarmed.
+        second, second_report = _run(
+            rp_bundle,
+            _misestimate_plan,
+            stats_store=stats,
+            stats_estimates=False,
+            replan=True,
+            materialization_store=mat,
+        )
+        assert second_report.reused_prefix > 0
+        assert second_report.replans == []
+        assert _normalized(second) == _normalized(first)
