@@ -1,0 +1,260 @@
+"""Scale-out sharded execution: makespan speedup curves and straggler skew.
+
+The sharding pass (``repro.sem.shard``) partitions the source across N
+simulated workers and runs record-local operator runs shard-parallel,
+charging only the slowest shard's makespan per exchange segment.  On a
+filter-heavy pipeline the speedup curve should approach the worker count
+— minus the pipeline-fill penalty and whatever imbalance the partitioner
+leaves — with *bit-identical records and dollars* at every shard count
+(the whole point of deterministic simulated scale-out).
+
+Two cases:
+
+- **speedup** — where -> sem_filter -> sem_map over the QA ticket corpus,
+  shard counts 1/2/4/8 under hash partitioning.  Contract: >= 2.5x
+  makespan speedup at 4 shards, identical records and cost everywhere.
+- **skew** — the same plan on a small corpus where hash partitioning
+  leaves visibly unequal shards; round-robin dealing balances them.  The
+  per-segment straggler gap (max - min shard makespan, straight from the
+  exchange diagnostics) must be larger under the skewed partitioner.
+
+Run standalone for a quick check::
+
+    PYTHONPATH=src python benchmarks/bench_sharding.py --smoke
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from conftest import RESULTS_DIR, save_report
+
+from repro.data.records import reset_uid_counter
+from repro.data.schemas import Field
+from repro.llm.oracle import SemanticOracle
+from repro.llm.simulated import SimulatedLLM
+from repro.qa.corpus import CorpusSpec, build_corpus, instruction_for
+from repro.sem.config import QueryProcessorConfig
+from repro.sem.dataset import Dataset
+from repro.utils.formatting import format_table
+
+SEEDS = (0, 1, 2)
+N_RECORDS = 128
+SKEW_RECORDS = 32
+PARALLELISM = 4
+SHARD_COUNTS = (1, 2, 4, 8)
+MIN_SPEEDUP_AT_4 = 2.5
+JSON_NAME = "BENCH_sharding.json"
+COST_EPS = 1e-9
+
+
+def _run(seed: int, n_records: int, shards: int, partitioner: str) -> dict:
+    # Derived-record uids seed the simulated noise; reset the global
+    # counter so every shard count replays the identical uid sequence.
+    reset_uid_counter()
+    bundle = build_corpus(CorpusSpec(seed=seed, n_records=n_records))
+    llm = SimulatedLLM(oracle=SemanticOracle(bundle.registry), seed=seed)
+    config = QueryProcessorConfig(
+        llm=llm,
+        optimize=False,
+        parallelism=PARALLELISM,
+        seed=seed,
+        shards=shards,
+        partitioner=partitioner,
+    )
+    dataset = (
+        Dataset.from_source(bundle.source())
+        .where("priority >= 1")
+        .sem_filter(instruction_for("qa.flag_urgent"))
+        .sem_map(Field("customer", str, "customer name"), instruction_for("qa.customer"))
+    )
+    result, report = dataset.run_with_report(config)
+    straggler_gap = 0.0
+    shard_rows: list[int] = []
+    if report.shard_plan is not None:
+        for segment in report.shard_plan.segments:
+            if segment.kind != "global" and segment.straggler_gap_s > straggler_gap:
+                straggler_gap = segment.straggler_gap_s
+                shard_rows = list(segment.shard_rows)
+    return {
+        "time_s": result.total_time_s,
+        "cost_usd": result.total_cost_usd,
+        "straggler_gap_s": straggler_gap,
+        "shard_rows": shard_rows,
+        "records": [(r.uid, tuple(sorted(r.fields.items()))) for r in result.records],
+    }
+
+
+def _sweep(seeds) -> dict:
+    """seed -> {shards, speedups, identical, cost_identical, skew}."""
+    results = {}
+    for seed in seeds:
+        by_count = {
+            count: _run(seed, N_RECORDS, count, "hash") for count in SHARD_COUNTS
+        }
+        base = by_count[1]
+        skew = {
+            "hash": _run(seed, SKEW_RECORDS, 4, "hash"),
+            "round_robin": _run(seed, SKEW_RECORDS, 4, "round_robin"),
+        }
+        results[seed] = {
+            "shards": by_count,
+            "speedups": {
+                count: base["time_s"] / max(1e-12, entry["time_s"])
+                for count, entry in by_count.items()
+            },
+            "identical": all(
+                entry["records"] == base["records"] for entry in by_count.values()
+            ),
+            "cost_identical": all(
+                abs(entry["cost_usd"] - base["cost_usd"]) <= COST_EPS
+                for entry in by_count.values()
+            ),
+            "skew": skew,
+            "skew_identical": skew["hash"]["records"] == skew["round_robin"]["records"],
+        }
+    return results
+
+
+def _render(results) -> str:
+    headers = ["Seed", "1 shard (s)"] + [
+        f"{count} shards" for count in SHARD_COUNTS if count > 1
+    ] + ["Identical", "Cost ==", "Skew gap hash", "Skew gap rr"]
+    rows = []
+    for seed, entry in sorted(results.items()):
+        rows.append(
+            [
+                str(seed),
+                f"{entry['shards'][1]['time_s']:.2f}",
+                *[
+                    f"{entry['speedups'][count]:.2f}x"
+                    for count in SHARD_COUNTS
+                    if count > 1
+                ],
+                "yes" if entry["identical"] else "NO",
+                "yes" if entry["cost_identical"] else "NO",
+                f"{entry['skew']['hash']['straggler_gap_s']:.2f}s",
+                f"{entry['skew']['round_robin']['straggler_gap_s']:.2f}s",
+            ]
+        )
+    return format_table(
+        headers,
+        rows,
+        title=(
+            f"Sharded execution (where->filter->map, {N_RECORDS} records, "
+            f"parallelism {PARALLELISM}, hash partitioner; skew case "
+            f"{SKEW_RECORDS} records at 4 shards)"
+        ),
+    )
+
+
+def _check_contract(results) -> None:
+    for seed, entry in results.items():
+        assert entry["identical"], (
+            f"seed {seed}: sharded records differ from shards=1"
+        )
+        assert entry["cost_identical"], (
+            f"seed {seed}: sharded cost differs from shards=1"
+        )
+        speedup = entry["speedups"][4]
+        assert speedup >= MIN_SPEEDUP_AT_4, (
+            f"seed {seed}: {speedup:.2f}x at 4 shards below the "
+            f"{MIN_SPEEDUP_AT_4}x floor"
+        )
+        assert entry["skew_identical"], (
+            f"seed {seed}: partitioner choice changed the records"
+        )
+        gap_hash = entry["skew"]["hash"]["straggler_gap_s"]
+        gap_rr = entry["skew"]["round_robin"]["straggler_gap_s"]
+        assert gap_hash > gap_rr, (
+            f"seed {seed}: hash straggler gap {gap_hash:.2f}s not larger "
+            f"than round-robin's {gap_rr:.2f}s"
+        )
+        assert gap_hash > 0.0, f"seed {seed}: no straggler gap measured"
+
+
+def _save_json(results_dir: Path, results) -> None:
+    payload = {
+        "plan": "qa where[priority >= 1]->sem_filter->sem_map(customer)",
+        "n_records": N_RECORDS,
+        "skew_records": SKEW_RECORDS,
+        "parallelism": PARALLELISM,
+        "shard_counts": list(SHARD_COUNTS),
+        "min_speedup_at_4": MIN_SPEEDUP_AT_4,
+        "seeds": {
+            str(seed): {
+                "shards": {
+                    str(count): {
+                        "time_s": shard["time_s"],
+                        "cost_usd": shard["cost_usd"],
+                        "straggler_gap_s": shard["straggler_gap_s"],
+                        "shard_rows": shard["shard_rows"],
+                    }
+                    for count, shard in entry["shards"].items()
+                },
+                "speedups": {
+                    str(count): value
+                    for count, value in entry["speedups"].items()
+                },
+                "identical_records": entry["identical"],
+                "identical_cost": entry["cost_identical"],
+                "skew": {
+                    name: {
+                        "straggler_gap_s": case["straggler_gap_s"],
+                        "shard_rows": case["shard_rows"],
+                        "time_s": case["time_s"],
+                    }
+                    for name, case in entry["skew"].items()
+                },
+            }
+            for seed, entry in results.items()
+        },
+    }
+    path = results_dir / JSON_NAME
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {path}")
+
+
+def bench_sharding(benchmark, results_dir):
+    results = benchmark.pedantic(_sweep, args=(SEEDS,), rounds=1, iterations=1)
+    report = _render(results)
+    save_report(results_dir, "sharding", report)
+    _save_json(results_dir, results)
+    benchmark.extra_info["measured"] = {
+        str(seed): {
+            "speedup_at_4": entry["speedups"][4],
+            "speedup_at_8": entry["speedups"][8],
+            "skew_gap_hash_s": entry["skew"]["hash"]["straggler_gap_s"],
+            "skew_gap_rr_s": entry["skew"]["round_robin"]["straggler_gap_s"],
+        }
+        for seed, entry in results.items()
+    }
+    _check_contract(results)
+
+
+def main(argv: list[str]) -> int:
+    unknown = [arg for arg in argv if arg != "--smoke"]
+    if unknown:
+        print(f"usage: bench_sharding.py [--smoke]  (unknown: {unknown})")
+        return 2
+    smoke = "--smoke" in argv
+    seeds = SEEDS[:1] if smoke else SEEDS
+    results = _sweep(seeds)
+    print(_render(results))
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    _save_json(RESULTS_DIR, results)
+    _check_contract(results)
+    worst = min(entry["speedups"][4] for entry in results.values())
+    print(
+        f"\n4 shards run >= {worst:.2f}x faster than one with bit-identical "
+        f"records and dollars at every shard count — contract holds"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -14,6 +14,9 @@ if [[ "${1:-}" == "--fast" ]]; then
     echo "== fast lane: tier-1 tests (-m 'not slow') =="
     python -m pytest -x -q -m "not slow"
     echo
+    echo "== fast lane: sharded-execution smoke =="
+    python benchmarks/bench_sharding.py --smoke
+    echo
     echo "check.sh --fast: all green"
     exit 0
 fi
@@ -44,6 +47,10 @@ python benchmarks/bench_pushdown.py --smoke
 echo
 echo "== mid-query replan smoke sweep =="
 python benchmarks/bench_replan.py --smoke
+
+echo
+echo "== sharded-execution smoke sweep =="
+python benchmarks/bench_sharding.py --smoke
 
 echo
 echo "== benchmark artifact placement guard =="

@@ -147,6 +147,8 @@ class AnalyticsRuntime:
         stats_store: "StatisticsStore | None" = None,
         replan: bool = False,
         replan_threshold: float = 1.5,
+        shards: int = 1,
+        partitioner: str = "hash",
     ) -> None:
         if llm is None:
             self.llm = SimulatedLLM(
@@ -187,6 +189,10 @@ class AnalyticsRuntime:
         self.stats_store = stats_store if stats_store is not None else StatisticsStore()
         self.replan = replan
         self.replan_threshold = replan_threshold
+        #: Simulated scale-out workers for semantic programs (1 = the
+        #: unsharded engine; see :mod:`repro.sem.shard`).
+        self.shards = shards
+        self.partitioner = partitioner
         self.db = Database()
         #: Execution result of the most recent optimized program (debugging).
         self.last_program_result = None
@@ -300,6 +306,8 @@ class AnalyticsRuntime:
             pipeline=self.pipeline,
             batch_size=self.batch_size,
             adaptive_parallelism=self.adaptive_parallelism,
+            shards=self.shards,
+            partitioner=self.partitioner,
             **kwargs,
         )
 

@@ -52,6 +52,7 @@ KNOWN_SPAN_KINDS = frozenset(
         "profile",
         "reuse",
         "replan",
+        "exchange",
         "stats.ingest",
         "operator",
         "pipeline-section",

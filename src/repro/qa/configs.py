@@ -34,6 +34,11 @@ the runtime promises produce the same answer:
   spec turns both off.  Contract: bit-identical records, and the
   pushed-down baseline never costs more than the row-at-a-time run —
   pushdown prunes records before LLM operators, it never adds calls.
+- ``sharded`` — the plan executed across N simulated workers via the
+  scale-out exchange planner (``repro.sem.shard``), sweeping shard count
+  and partitioner.  Contract: bit-identical records at every shard
+  count/partitioner — only makespan (and, on limit-bearing plans, the
+  per-shard overfetch cost) may change.
 """
 
 from __future__ import annotations
@@ -85,6 +90,10 @@ class ConfigSpec:
     fault: dict | None = None
     #: Retry policy override (``RetryPolicy.to_dict`` form).
     retry: dict | None = None
+    #: Simulated scale-out workers (sharded class; 1 = unsharded engine).
+    shards: int = 1
+    #: Shard-assignment strategy ("hash" | "range" | "round_robin").
+    partitioner: str = "hash"
 
     # -- serialization --------------------------------------------------
 
@@ -112,6 +121,8 @@ class ConfigSpec:
             "budget_fraction": self.budget_fraction,
             "fault": self.fault,
             "retry": self.retry,
+            "shards": self.shards,
+            "partitioner": self.partitioner,
         }
         return payload
 
@@ -165,6 +176,8 @@ class ConfigSpec:
             adaptive_parallelism=self.adaptive,
             pushdown=self.pushdown,
             columnar=self.columnar,
+            shards=self.shards,
+            partitioner=self.partitioner,
             **kwargs,
         )
 
@@ -206,6 +219,25 @@ def config_matrix(plan, case_seed: int = 0) -> list[ConfigSpec]:
             name="row-mode",
             answer_class="pushdown",
             columnar=False,
+        )
+    )
+
+    # sharded class: scale-out execution over simulated workers must be
+    # answer-invariant for every shard count and partitioner (joins run
+    # broadcast exchanges, group-bys shuffle — all plans qualify).
+    specs.append(
+        replace(BASELINE, name="sharded-4", answer_class="sharded", shards=4)
+    )
+    specs.append(
+        replace(
+            BASELINE, name="sharded-3-range", answer_class="sharded",
+            shards=3, partitioner="range",
+        )
+    )
+    specs.append(
+        replace(
+            BASELINE, name="sharded-8-rr", answer_class="sharded",
+            shards=8, partitioner="round_robin",
         )
     )
 

@@ -354,6 +354,40 @@ def check_pushdown_equivalence(run) -> list[Violation]:
     return violations
 
 
+def check_shard_equivalence(run) -> list[Violation]:
+    """Scale-out sharding changes makespan, never answers.
+
+    The sharded class re-runs the baseline spec across N simulated
+    workers, sweeping shard count and partitioner.  Contract:
+    bit-identical records at every point of the sweep.  Cost is
+    deliberately *not* asserted here: on limit-bearing plans each shard
+    may legally overfetch up to the limit before the global merge
+    truncates (the classic distributed limit-pushdown overfetch), so only
+    the answer itself is a cross-shard contract.
+    """
+    violations = []
+    baseline = run.first("baseline")
+    if baseline is None or baseline.error:
+        return violations
+    for observation in run.by_class("sharded"):
+        name = observation.spec.name
+        if observation.error:
+            continue
+        if observation.records != baseline.records:
+            detail = _first_diff(baseline.records, observation.records)
+            violations.append(
+                Violation(
+                    "shard-equivalence", name,
+                    f"sharded records differ from shards=1 baseline: {detail}",
+                )
+            )
+        if observation.truncated:
+            violations.append(
+                Violation("shard-equivalence", name, "truncated without a cap")
+            )
+    return violations
+
+
 def check_trace(run) -> list[Violation]:
     """The traced baseline run must export a structurally valid span tree."""
     from repro.obs.export import validate_spans
@@ -384,6 +418,7 @@ ORACLES = (
     check_reuse_equivalence,
     check_serve_equivalence,
     check_pushdown_equivalence,
+    check_shard_equivalence,
     check_trace,
 )
 

@@ -124,6 +124,20 @@ class QueryProcessorConfig:
     replan_min_rows: int = 4
     #: Maximum replans per query (0 = unlimited).
     replan_limit: int = 1
+    #: Simulated workers for scale-out execution (see
+    #: :mod:`repro.sem.shard`): the sharding pass partitions sources and
+    #: inserts scatter/shuffle/merge/broadcast exchanges, and the engine
+    #: simulates the shards deterministically on the virtual clock.
+    #: Records are bit-identical at every shard count; ``1`` (the
+    #: default) never constructs any sharding machinery and is byte-
+    #: identical to the unsharded engine.
+    shards: int = 1
+    #: How records are assigned to shards: "hash" keys on the lineage uid
+    #: (the only strategy stable under append-only source growth, so the
+    #: one that composes with per-shard delta execution), "range" cuts
+    #: contiguous position chunks, "round_robin" deals positions out
+    #: cyclically.
+    partitioner: str = "hash"
 
     def __post_init__(self) -> None:
         if self.sample_size < 1:
@@ -162,6 +176,15 @@ class QueryProcessorConfig:
         if self.replan_limit < 0:
             raise ConfigurationError(
                 f"replan_limit must be >= 0, got {self.replan_limit}"
+            )
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        from repro.sem.shard import PARTITIONERS
+
+        if self.partitioner not in PARTITIONERS:
+            raise ConfigurationError(
+                f"partitioner must be one of {PARTITIONERS}, "
+                f"got {self.partitioner!r}"
             )
 
     def resolved_batch_size(self) -> int:

@@ -290,6 +290,7 @@ class Dataset:
                 columnar=config.columnar and config.pipeline,
                 replanner=report.replanner,
                 stats_plan=report.stats_plan,
+                shard_plan=report.shard_plan,
             )
             result = engine.execute(operators)
             result.optimization_cost_usd = report.sampling_cost_usd
@@ -301,6 +302,10 @@ class Dataset:
                 and report.stats_plan
                 and not result.truncated
                 and not report.reused_prefix
+                and not (
+                    report.shard_plan is not None
+                    and report.shard_plan.reused_any
+                )
             ):
                 # Feed learned priors only with full, honestly measured
                 # runs: truncated executions under-count selectivity and a
@@ -315,6 +320,11 @@ class Dataset:
                 time_s=result.total_time_s,
                 truncated=result.truncated,
             )
+            if report.shard_plan is not None:
+                query_span.attributes.update(
+                    shards=report.shard_plan.n_shards,
+                    partitioner=report.shard_plan.partitioner,
+                )
             if report.reused_prefix:
                 query_span.attributes.update(
                     reused_prefix=report.reused_prefix,

@@ -72,6 +72,8 @@ class OperatorStats:
     sql_pushdown: bool = False
     #: Source records a pushed-down scan saw before pruning (0 elsewhere).
     records_scanned: int = 0
+    #: Simulated workers this operator ran across (1 = coordinator-only).
+    shards: int = 1
 
     @property
     def selectivity(self) -> float:
@@ -242,6 +244,8 @@ def _stats_attrs(stats: OperatorStats) -> dict:
     if stats.sql_pushdown:
         attrs["sql_pushdown"] = True
         attrs["records_scanned"] = stats.records_scanned
+    if stats.shards > 1:
+        attrs["shards"] = stats.shards
     return attrs
 
 
@@ -294,6 +298,7 @@ class Engine:
         columnar: bool = False,
         replanner=None,
         stats_plan=None,
+        shard_plan=None,
     ) -> None:
         self.ctx = ctx
         self.max_cost_usd = max_cost_usd
@@ -318,8 +323,16 @@ class Engine:
         #: (None entries = unkeyable); attached to operator spans so traces
         #: can be re-ingested into a StatisticsStore offline.
         self.stats_plan = stats_plan
+        #: Optional :class:`repro.sem.shard.ShardPlan`: when set, execution
+        #: is handed to the scale-out :class:`repro.sem.shard.ShardedExecutor`
+        #: (``shards=1`` never builds a plan, so this path stays untouched).
+        self.shard_plan = shard_plan
 
     def execute(self, operators: list[PhysicalOperator]) -> ExecutionResult:
+        if self.shard_plan is not None:
+            from repro.sem.shard import ShardedExecutor
+
+            return ShardedExecutor(self, self.shard_plan).execute(operators)
         llm = self.ctx.llm
         tracer = llm.tracer
         metrics = llm.metrics

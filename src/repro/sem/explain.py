@@ -72,13 +72,14 @@ def explain_analyze(result: ExecutionResult, report: OptimizationReport) -> str:
                 "yes" if stats.sql_pushdown else "-",
                 est_source,
                 drift,
+                stats.shards if stats.shards > 1 else "-",
             ]
         )
     table = format_table(
         [
             "Operator", "In", "Est. out", "Out", "Est. $", "Actual $",
             "Time (s)", "Calls", "Tokens", "Cache", "Retried", "Failed",
-            "Reused", "SQL", "Est src", "Drift",
+            "Reused", "SQL", "Est src", "Drift", "Shards",
         ],
         rows,
         title="EXPLAIN ANALYZE",
@@ -116,6 +117,10 @@ def explain_analyze(result: ExecutionResult, report: OptimizationReport) -> str:
             f"); store hits: {report.reuse_store_hits}, "
             f"est. saved ${report.reuse_saved_est_usd:.4f}"
         )
+    if report.shard_plan is not None:
+        from repro.sem.shard import exchange_footer
+
+        footer += exchange_footer(report.shard_plan)
     for decision in report.replans:
         footer += (
             f"\nreplan: at boundary {decision['boundary']} — {decision['cause']}; "

@@ -230,6 +230,26 @@ def prefix_fingerprints(
     return fingerprints
 
 
+def shard_fingerprint(
+    base_fingerprint: str, partitioner: str, n_shards: int, shard_index: int
+) -> str:
+    """Namespace a boundary fingerprint to one shard of a partitioning.
+
+    Per-shard entries are keyed by (boundary, partitioner, shard count,
+    shard index): a shard's output is only replayable by a run that
+    partitions the identical segment input the identical way.  Input
+    *content* drift is still caught by the store's source-uid prefix check
+    — e.g. a range-partitioned source that grew reassigns positions, the
+    stored uids stop being a prefix of the probe's, and the entry goes
+    stale — so no partitioner is unsound, hash is just the only one whose
+    assignments survive appends (and therefore the only one that ever
+    produces per-shard *delta* hits).
+    """
+    return stable_digest(
+        "shard-fp", base_fingerprint, partitioner, n_shards, shard_index
+    )
+
+
 def incremental_safe_prefix(chain: list[L.LogicalOperator]) -> list[bool]:
     """Whether ``chain[:p]`` can merge an appended delta, indexed ``p - 1``.
 
@@ -266,6 +286,10 @@ class MaterializedEntry:
     time_s: float = 0.0
     hits: int = 0
     delta_hits: int = 0
+    #: Records emitted per input, aligned with ``source_uids`` (None =
+    #: unknown).  Per-shard entries need this to re-place replayed records
+    #: at their global positions; whole-plan entries never use it.
+    emit_counts: tuple[int, ...] | None = None
 
 
 @dataclass
@@ -322,6 +346,7 @@ class MaterializationStore:
         source_id: str,
         cost_usd: float,
         time_s: float,
+        emit_counts: tuple[int, ...] | None = None,
     ) -> MaterializedEntry:
         previous = self._entries.pop(fingerprint, None)
         entry = MaterializedEntry(
@@ -333,6 +358,7 @@ class MaterializationStore:
             time_s=time_s,
             hits=previous.hits if previous else 0,
             delta_hits=previous.delta_hits if previous else 0,
+            emit_counts=tuple(emit_counts) if emit_counts is not None else None,
         )
         self._entries[fingerprint] = entry
         self.stores += 1
@@ -442,16 +468,17 @@ class MaterializationStore:
                 json.dumps(records)
             except (TypeError, ValueError):
                 continue
-            payload.append(
-                {
-                    "fingerprint": entry.fingerprint,
-                    "records": records,
-                    "source_uids": list(entry.source_uids),
-                    "source_id": entry.source_id,
-                    "cost_usd": entry.cost_usd,
-                    "time_s": entry.time_s,
-                }
-            )
+            item = {
+                "fingerprint": entry.fingerprint,
+                "records": records,
+                "source_uids": list(entry.source_uids),
+                "source_id": entry.source_id,
+                "cost_usd": entry.cost_usd,
+                "time_s": entry.time_s,
+            }
+            if entry.emit_counts is not None:
+                item["emit_counts"] = list(entry.emit_counts)
+            payload.append(item)
         Path(path).write_text(
             json.dumps({"version": FINGERPRINT_VERSION, "entries": payload}),
             encoding="utf-8",
@@ -477,6 +504,7 @@ class MaterializationStore:
             self._count("materialization.evictions", overflow)
         loaded = 0
         for raw in entries[overflow:]:
+            emit_counts = raw.get("emit_counts")
             self.put(
                 raw["fingerprint"],
                 [_record_from_dict(item) for item in raw["records"]],
@@ -484,6 +512,7 @@ class MaterializationStore:
                 raw["source_id"],
                 cost_usd=raw["cost_usd"],
                 time_s=raw["time_s"],
+                emit_counts=tuple(emit_counts) if emit_counts is not None else None,
             )
             loaded += 1
         return loaded

@@ -97,6 +97,10 @@ class OptimizationReport:
     replans: list = field(default_factory=list)
     #: Armed re-planner the engine consults at boundaries (None = off).
     replanner: "Replanner | None" = field(default=None, repr=False)
+    #: Exchange segmentation for scale-out execution (None = shards=1,
+    #: the unsharded engine path).  The executor updates the segments'
+    #: runtime diagnostics in place, so EXPLAIN footers see them.
+    shard_plan: object | None = field(default=None, repr=False)
 
 
 class Optimizer:
@@ -106,6 +110,21 @@ class Optimizer:
         self.config = config
 
     def optimize(self, plan: L.LogicalPlan) -> tuple[list[P.PhysicalOperator], OptimizationReport]:
+        bound, report = self._optimize(plan)
+        shards = getattr(self.config, "shards", 1)
+        if shards > 1:
+            # The sharding pass runs last, over the bound operators, so the
+            # exchange segments line up with whatever rewrites and model
+            # choices were made above.  shards=1 never reaches this —
+            # report.shard_plan stays None and the engine path is untouched.
+            from repro.sem.shard import plan_shards
+
+            report.shard_plan = plan_shards(
+                bound, shards, getattr(self.config, "partitioner", "hash")
+            )
+        return bound, report
+
+    def _optimize(self, plan: L.LogicalPlan) -> tuple[list[P.PhysicalOperator], OptimizationReport]:
         L.validate_plan(plan)
         if not plan.is_linear():
             note = (
@@ -388,6 +407,10 @@ class Optimizer:
             return
         if not report.final_chain or report.reused_prefix:
             return
+        if getattr(config, "shards", 1) > 1:
+            # The sharded executor runs exchange segments, not the engine's
+            # section walk, so it never reaches a replan boundary.
+            return
         report.replanner = Replanner(self, chosen, report)
 
     def _reuse_and_bind(
@@ -433,6 +456,13 @@ class Optimizer:
             fingerprints=list(fingerprints),
         )
         report.capture = capture
+
+        if getattr(config, "shards", 1) > 1:
+            # Reuse for sharded runs happens inside the sharded executor
+            # (whole-boundary replay + per-shard exact/delta probes keyed by
+            # shard fingerprints); splicing a PhysMaterializedScan here would
+            # desync the exchange segments from the capture fingerprints.
+            return bound
 
         safe = incremental_safe_prefix(chain)
         reuse = None

@@ -189,6 +189,17 @@ class PhysicalOperator(abc.ABC):
     #: per-record wave machinery (retries, adaptive width, budget cuts).
     vectorized = False
 
+    #: How the sharded executor (:mod:`repro.sem.shard`) may place this
+    #: operator: "source" leaves run once at the coordinator; "scatter"
+    #: ops run shard-parallel on any partition (record-local); "merge"
+    #: ops run shard-parallel with a global order-restoring merge (partial
+    #: top-k/limit per shard + global rerank); "shuffle" ops repartition
+    #: by their grouping key; "broadcast" ops replicate their right input
+    #: to every shard; "gather" ops need the whole input at the
+    #: coordinator.  ``None`` means undeclared — the sharding pass refuses
+    #: to plan around such an operator instead of guessing.
+    exchange: str | None = None
+
     def __init__(self, logical_op: L.LogicalOperator, model: str | None = None) -> None:
         self.logical_op = logical_op
         self.model = model
@@ -267,6 +278,7 @@ class StreamingOperator(PhysicalOperator):
 
 class PhysScan(PhysicalOperator):
     logical_op: L.ScanOp
+    exchange = "source"
 
     def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
         if records:
@@ -290,6 +302,7 @@ class PhysMaterializedScan(PhysicalOperator):
     reused = True
 
     logical_op: L.MaterializedScanOp
+    exchange = "source"
 
     def __init__(
         self,
@@ -326,6 +339,7 @@ class PhysRetrieve(PhysicalOperator):
     """
 
     logical_op: L.RetrieveOp
+    exchange = "gather"
 
     def __init__(
         self,
@@ -354,6 +368,7 @@ class PhysRetrieve(PhysicalOperator):
 
 class PhysSemFilter(StreamingOperator):
     logical_op: L.SemFilterOp
+    exchange = "scatter"
 
     def process_record(
         self, record: DataRecord, ctx: ExecutionContext, state: dict
@@ -374,6 +389,7 @@ class PhysSemFilter(StreamingOperator):
 
 class PhysSemMap(StreamingOperator):
     logical_op: L.SemMapOp
+    exchange = "scatter"
 
     def process_record(
         self, record: DataRecord, ctx: ExecutionContext, state: dict
@@ -401,6 +417,7 @@ class PhysSemMap(StreamingOperator):
 
 class PhysSemClassify(StreamingOperator):
     logical_op: L.SemClassifyOp
+    exchange = "scatter"
 
     def process_record(
         self, record: DataRecord, ctx: ExecutionContext, state: dict
@@ -420,61 +437,85 @@ class PhysSemClassify(StreamingOperator):
 
 
 class PhysSemGroupBy(PhysicalOperator):
-    """Classify-then-partition implementation of the semantic group-by."""
+    """Classify-then-partition implementation of the semantic group-by.
+
+    Split into two independently-callable phases so the sharded executor
+    can scatter :meth:`classify_label` across partitions and shuffle each
+    label's members to an owner shard for :meth:`build_group`; both phases
+    are pure functions of (record, substrate), so the split changes
+    nothing about the answers.
+    """
 
     logical_op: L.SemGroupByOp
+    exchange = "shuffle"
 
-    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+    def classify_label(
+        self, record: DataRecord, ctx: ExecutionContext
+    ) -> str | None:
+        """Assign ``record`` its group label; None means degraded."""
+        op = self.logical_op
+        model = self.model or op.model
+        result = ctx.guarded(
+            record.uid,
+            model,
+            lambda m: ctx.llm.classify(
+                op.instruction, list(op.groups), record,
+                model=m, tag=f"{ctx.tag}:groupby",
+            ),
+        )
+        if result is None:
+            return None
+        return str(result.value)
+
+    def build_group(
+        self, group: str, members: list[DataRecord], ctx: ExecutionContext
+    ) -> DataRecord:
+        """Mint the output record for one non-empty group."""
         from repro.sem.config import DEFAULT_FALLBACK_MODEL
 
         op = self.logical_op
         model = self.model or op.model
+        fields: dict = {"group": group, "count": len(members)}
+        if op.summarize:
+            joined_text = "\n---\n".join(
+                member.as_text() for member in members
+            )[:AGG_TEXT_BUDGET]
+            completion = ctx.guarded(
+                f"group:{group}",
+                model or DEFAULT_FALLBACK_MODEL,
+                lambda m, group=group, joined_text=joined_text: ctx.llm.complete(
+                    f"Summarize the records in group {group!r}: "
+                    f"{op.instruction}\n\n{joined_text}",
+                    model=m,
+                    tag=f"{ctx.tag}:groupby",
+                ),
+            )
+            fields["summary"] = completion.text if completion is not None else None
+        member_uids = tuple(member.uid for member in members)
+        return DataRecord(
+            fields=fields,
+            # Deterministic group-record uid: pure function of the
+            # label and membership, identical across execution modes.
+            uid=f"group:{group}:{stable_digest(member_uids)[:6]}",
+            parent_uids=member_uids,
+        )
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        op = self.logical_op
         groups: dict[str, list[DataRecord]] = {}
         with ctx.llm.parallel(ctx.parallelism):
             for record in records:
-                result = ctx.guarded(
-                    record.uid,
-                    model,
-                    lambda m, record=record: ctx.llm.classify(
-                        op.instruction, list(op.groups), record,
-                        model=m, tag=f"{ctx.tag}:groupby",
-                    ),
-                )
-                if result is None:
+                label = self.classify_label(record, ctx)
+                if label is None:
                     continue  # degraded: record is flagged and ungrouped
-                groups.setdefault(str(result.value), []).append(record)
+                groups.setdefault(label, []).append(record)
 
         output: list[DataRecord] = []
         for group in op.groups:
             members = groups.get(group, [])
             if not members:
                 continue
-            fields: dict = {"group": group, "count": len(members)}
-            if op.summarize:
-                joined_text = "\n---\n".join(
-                    member.as_text() for member in members
-                )[:AGG_TEXT_BUDGET]
-                completion = ctx.guarded(
-                    f"group:{group}",
-                    model or DEFAULT_FALLBACK_MODEL,
-                    lambda m, group=group, joined_text=joined_text: ctx.llm.complete(
-                        f"Summarize the records in group {group!r}: "
-                        f"{op.instruction}\n\n{joined_text}",
-                        model=m,
-                        tag=f"{ctx.tag}:groupby",
-                    ),
-                )
-                fields["summary"] = completion.text if completion is not None else None
-            member_uids = tuple(member.uid for member in members)
-            output.append(
-                DataRecord(
-                    fields=fields,
-                    # Deterministic group-record uid: pure function of the
-                    # label and membership, identical across execution modes.
-                    uid=f"group:{group}:{stable_digest(member_uids)[:6]}",
-                    parent_uids=member_uids,
-                )
-            )
+            output.append(self.build_group(group, members, ctx))
         return output
 
 
@@ -488,6 +529,7 @@ class PhysSemJoinBlocked(PhysicalOperator):
     """
 
     logical_op: L.SemJoinOp
+    exchange = "broadcast"
 
     def __init__(
         self,
@@ -505,17 +547,62 @@ class PhysSemJoinBlocked(PhysicalOperator):
     def label(self) -> str:
         return super().label() + " (blocked)"
 
-    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+    def prepare_right(self, ctx: ExecutionContext, have_left: bool = True) -> dict:
+        """Run the right subplan once; embed it when a probe side exists.
+
+        Coordinator-side in sharded mode: the right records (and their
+        embedding matrix) are broadcast to every shard rather than
+        recomputed per shard.
+        """
         right_records: list[DataRecord] = []
         for op in self.right_ops:
             right_records = op.execute(right_records, ctx)
-        if not records or not right_records:
-            return []
+        state: dict = {"right_records": right_records, "right_matrix": None}
+        if have_left and right_records:
+            state["right_matrix"] = np.stack(
+                _embed_texts(
+                    [record.as_text() for record in right_records],
+                    ctx, f"{ctx.tag}:join",
+                )
+            )
+        return state
+
+    def join_left(
+        self,
+        left: DataRecord,
+        ctx: ExecutionContext,
+        right_state: dict,
+        left_vec=None,
+    ) -> list[DataRecord]:
+        """Judge one left record against its blocked candidates."""
+        right_records = right_state["right_records"]
+        right_matrix = right_state["right_matrix"]
         model = self.model or self.logical_op.model
         tag = f"{ctx.tag}:join"
-        right_matrix = np.stack(
-            _embed_texts([record.as_text() for record in right_records], ctx, tag)
-        )
+        if left_vec is None:
+            left_vec = ctx.llm.embed(left.as_text(), tag=tag)
+        hits = top_k_similar(left_vec, right_matrix, self.max_candidates_per_left)
+        joined: list[DataRecord] = []
+        for index, similarity in hits:
+            if similarity < self.similarity_floor:
+                break  # hits are sorted descending
+            right = right_records[index]
+            judgment = ctx.guarded(
+                f"{left.uid}|{right.uid}",
+                model,
+                lambda m, left=left, right=right: ctx.llm.judge_join(
+                    self.logical_op.instruction, left, right, model=m, tag=tag
+                ),
+            )
+            if judgment is not None and judgment.answer:
+                joined.append(DataRecord.merge(left, right))
+        return joined
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        right_state = self.prepare_right(ctx, have_left=bool(records))
+        if not records or not right_state["right_records"]:
+            return []
+        tag = f"{ctx.tag}:join"
         # Vectorized path: one batched request for every left vector before
         # the judgment waves, instead of one embed call inside each slot.
         left_vectors = (
@@ -526,25 +613,16 @@ class PhysSemJoinBlocked(PhysicalOperator):
         joined: list[DataRecord] = []
         with ctx.llm.parallel(ctx.parallelism):
             for position, left in enumerate(records):
-                left_vec = (
-                    left_vectors[position]
-                    if left_vectors is not None
-                    else ctx.llm.embed(left.as_text(), tag=tag)
-                )
-                hits = top_k_similar(left_vec, right_matrix, self.max_candidates_per_left)
-                for index, similarity in hits:
-                    if similarity < self.similarity_floor:
-                        break  # hits are sorted descending
-                    right = right_records[index]
-                    judgment = ctx.guarded(
-                        f"{left.uid}|{right.uid}",
-                        model,
-                        lambda m, left=left, right=right: ctx.llm.judge_join(
-                            self.logical_op.instruction, left, right, model=m, tag=tag
+                joined.extend(
+                    self.join_left(
+                        left, ctx, right_state,
+                        left_vec=(
+                            left_vectors[position]
+                            if left_vectors is not None
+                            else None
                         ),
                     )
-                    if judgment is not None and judgment.answer:
-                        joined.append(DataRecord.merge(left, right))
+                )
         return joined
 
 
@@ -552,6 +630,7 @@ class PhysSemJoin(PhysicalOperator):
     """Nested-loop semantic join: one judgment per candidate pair."""
 
     logical_op: L.SemJoinOp
+    exchange = "broadcast"
 
     def __init__(
         self,
@@ -562,25 +641,38 @@ class PhysSemJoin(PhysicalOperator):
         super().__init__(logical_op, model)
         self.right_ops = right_ops
 
-    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+    def prepare_right(self, ctx: ExecutionContext, have_left: bool = True) -> dict:
+        """Run the right subplan once (broadcast side in sharded mode)."""
         right_records: list[DataRecord] = []
         for op in self.right_ops:
             right_records = op.execute(right_records, ctx)
+        return {"right_records": right_records}
+
+    def join_left(
+        self, left: DataRecord, ctx: ExecutionContext, right_state: dict
+    ) -> list[DataRecord]:
+        """Judge one left record against every right record."""
         model = self.model or self.logical_op.model
+        joined: list[DataRecord] = []
+        for right in right_state["right_records"]:
+            judgment = ctx.guarded(
+                f"{left.uid}|{right.uid}",
+                model,
+                lambda m, left=left, right=right: ctx.llm.judge_join(
+                    self.logical_op.instruction, left, right,
+                    model=m, tag=f"{ctx.tag}:join",
+                ),
+            )
+            if judgment is not None and judgment.answer:
+                joined.append(DataRecord.merge(left, right))
+        return joined
+
+    def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
+        right_state = self.prepare_right(ctx)
         joined: list[DataRecord] = []
         with ctx.llm.parallel(ctx.parallelism):
             for left in records:
-                for right in right_records:
-                    judgment = ctx.guarded(
-                        f"{left.uid}|{right.uid}",
-                        model,
-                        lambda m, left=left, right=right: ctx.llm.judge_join(
-                            self.logical_op.instruction, left, right,
-                            model=m, tag=f"{ctx.tag}:join",
-                        ),
-                    )
-                    if judgment is not None and judgment.answer:
-                        joined.append(DataRecord.merge(left, right))
+                joined.extend(self.join_left(left, ctx, right_state))
         return joined
 
 
@@ -590,6 +682,7 @@ AGG_TEXT_BUDGET = 24_000
 
 class PhysSemAgg(PhysicalOperator):
     logical_op: L.SemAggOp
+    exchange = "gather"
 
     def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
         from repro.sem.config import DEFAULT_FALLBACK_MODEL
@@ -629,6 +722,7 @@ class PhysSemTopK(StreamingOperator):
     """
 
     logical_op: L.SemTopKOp
+    exchange = "merge"
 
     def new_state(self, ctx: ExecutionContext) -> dict:
         return {"scored": {}, "sims": {}, "arrivals": 0}
@@ -687,6 +781,7 @@ class PhysSemTopK(StreamingOperator):
 class PhysPyFilter(StreamingOperator):
     logical_op: L.PyFilterOp
     vectorized = True
+    exchange = "scatter"
 
     def process_record(
         self, record: DataRecord, ctx: ExecutionContext, state: dict
@@ -705,6 +800,7 @@ class PhysPyFilter(StreamingOperator):
 
 class PhysPyMap(StreamingOperator):
     logical_op: L.PyMapOp
+    exchange = "scatter"
 
     def process_record(
         self, record: DataRecord, ctx: ExecutionContext, state: dict
@@ -737,6 +833,7 @@ class PhysPyMap(StreamingOperator):
 class PhysProject(StreamingOperator):
     logical_op: L.ProjectOp
     vectorized = True
+    exchange = "scatter"
 
     def process_record(
         self, record: DataRecord, ctx: ExecutionContext, state: dict
@@ -767,6 +864,7 @@ class PhysLimit(StreamingOperator):
     batches from upstream stages instead of truncating after the fact."""
 
     logical_op: L.LimitOp
+    exchange = "merge"
 
     def new_state(self, ctx: ExecutionContext) -> dict:
         return {"remaining": self.logical_op.n}
@@ -807,6 +905,7 @@ class PhysStructFilter(StreamingOperator):
 
     logical_op: L.StructFilterOp
     vectorized = True
+    exchange = "scatter"
 
     def __init__(self, logical_op: L.StructFilterOp, model: str | None = None) -> None:
         super().__init__(logical_op, model)
@@ -860,6 +959,7 @@ class PhysStructAgg(PhysicalOperator):
     """Structured GROUP BY / aggregation via the SQL engine (token-free)."""
 
     logical_op: L.StructAggOp
+    exchange = "gather"
 
     def execute(self, records: list[DataRecord], ctx: ExecutionContext) -> list[DataRecord]:
         return _struct_agg_records(records, self.logical_op)
@@ -908,6 +1008,7 @@ class PhysSqlScan(PhysicalOperator):
     """
 
     logical_op: L.SqlScanOp
+    exchange = "source"
 
     #: Surfaced in per-operator stats and the EXPLAIN "SQL" column.
     pushed_down = True

@@ -1,0 +1,1145 @@
+"""Scale-out sharded execution: partitioned sources + exchange operators.
+
+This module turns the single-worker engine into a deterministic simulation
+of an N-worker cluster.  A :func:`plan_shards` pass walks the bound
+physical operators, reads each operator's declared ``exchange``
+requirement (see :class:`~repro.sem.physical.PhysicalOperator.exchange`),
+and groups the chain into exchange segments:
+
+- **scatter** — maximal runs of record-local operators (filter / map /
+  classify / where / project) run shard-parallel on any partition of
+  their input; a trailing **merge** operator (limit, top-k) runs as a
+  per-shard partial pass plus a global order-restoring merge (partial
+  top-k per shard + global rerank, ties broken by lineage uid);
+- **shuffle** — the semantic group-by classifies shard-parallel, then
+  repartitions each label's members to an owner shard (``key_shard``)
+  for the summary phase;
+- **broadcast** — semantic joins replicate their (smaller) right side to
+  every shard and scatter only the probe side;
+- **global** — sources and whole-input aggregations run once at the
+  coordinator, exactly as in unsharded execution.
+
+Workers are *simulated*: each shard's work runs in a
+:meth:`~repro.llm.simulated.SimulatedLLM.measure` block on its own
+:class:`~repro.utils.clock.PipelineSchedule`, so no virtual time passes
+while a shard runs; after all shards of a segment finish, the clock is
+charged ``max(shard makespans)`` — N workers in parallel — and the gap
+``max - min`` is the segment's measurable straggler cost.  Under a
+serving sink the same charge is routed through
+``serve_sink.end_step(width, busy)`` so the shared clock is never touched
+directly (the serving invariant).
+
+Determinism and bit-identity: partitioners are pure functions of record
+uid / position; simulated answers are pure functions of (seed, model,
+instruction, record uid), never of call order; and derived-record uids
+are lineage-deterministic.  Scatter preserves each record's global input
+position, so the order-restoring merge reproduces the unsharded output
+order exactly — records are bit-identical at every shard count.  Dollars
+are identical too on fault-free runs *except* plans whose early-exit
+limit stops upstream work: each shard over-fetches up to its own limit
+before the global truncation (the classic distributed limit-pushdown
+overfetch), so such plans may spend more when sharded — never produce
+different records.
+
+Materialization composes with partitioning through per-shard
+fingerprints (:func:`~repro.sem.materialize.shard_fingerprint`): pure
+scatter segments capture one store entry per shard keyed by (boundary,
+partitioner, shard count, shard index), with per-input emit counts so a
+replay can re-place records at their global positions.  Hash
+partitioning keeps shard assignments stable under append-only source
+growth, so per-shard *delta* execution runs only each shard's appended
+tail; range/round-robin assignments shift on append and their stale
+entries are invalidated by the store's source-uid prefix check.
+
+``shards=1`` never constructs any of this — the config gates the pass,
+so the unsharded engine path is byte-identical to the pre-sharding
+engine in cost, latency, spans, and records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.records import DataRecord
+from repro.errors import BudgetExceededError, OptimizationError
+from repro.sem.execution import OperatorStats, _StageAccount
+from repro.sem.materialize import shard_fingerprint
+from repro.sem.physical import (
+    PhysicalOperator,
+    PhysLimit,
+    PhysSemJoinBlocked,
+    PhysSemTopK,
+    _embed_texts,
+)
+from repro.utils.clock import PipelineSchedule
+from repro.utils.hashing import stable_hash
+
+#: Supported partitioning strategies for scatter/shuffle exchanges.
+PARTITIONERS = ("hash", "range", "round_robin")
+
+
+def shard_of(
+    uid: str, position: int, total: int, n_shards: int, partitioner: str
+) -> int:
+    """Which shard one record lands on under ``partitioner``.
+
+    ``hash`` keys on the record uid (the only assignment stable under
+    append-only source growth); ``range`` cuts the input into contiguous
+    position chunks; ``round_robin`` deals positions out cyclically.
+    """
+    if partitioner == "hash":
+        return stable_hash("shard", uid) % n_shards
+    if partitioner == "range":
+        return position * n_shards // max(total, 1)
+    if partitioner == "round_robin":
+        return position % n_shards
+    raise OptimizationError(
+        f"unknown partitioner {partitioner!r}; expected one of {PARTITIONERS}"
+    )
+
+
+def partition_records(
+    items: list[tuple[int, DataRecord]], n_shards: int, partitioner: str
+) -> list[list[tuple[int, DataRecord]]]:
+    """Split ``(position, record)`` pairs into ``n_shards`` ordered lists.
+
+    Positions are global segment-input positions (what the merge restores
+    order by); the ``range``/``round_robin`` strategies key on the local
+    index within ``items`` so partitions stay balanced even when an
+    upstream filter left position gaps.
+    """
+    shards: list[list[tuple[int, DataRecord]]] = [[] for _ in range(n_shards)]
+    total = len(items)
+    for index, (position, record) in enumerate(items):
+        shards[shard_of(record.uid, index, total, n_shards, partitioner)].append(
+            (position, record)
+        )
+    return shards
+
+
+def key_shard(key, n_shards: int) -> int:
+    """Owner shard for one shuffle key (group label / join key).
+
+    NULL keys route deterministically to shard 0 so NULL-keyed records
+    still land *somewhere*, but routing is not matching: under SQL
+    three-valued semantics (see :func:`keys_match`, mirroring
+    ``structql``'s evaluator) NULL never equi-matches anything — not even
+    another NULL — so co-locating NULLs can never manufacture a match
+    that the unsharded evaluator would reject.
+    """
+    if key is None:
+        return 0
+    return stable_hash("shard-key", str(key)) % n_shards
+
+
+def keys_match(a, b) -> bool:
+    """Three-valued equi-match: NULL = anything is unknown, i.e. no match.
+
+    Matches ``structql``'s ``evaluate_predicate`` on ``a = b``: a NULL on
+    either side yields NULL, and only TRUE joins.
+    """
+    if a is None or b is None:
+        return False
+    return a == b
+
+
+@dataclass
+class ShardSegment:
+    """One exchange segment of a sharded plan: ``operators[start:end)``."""
+
+    kind: str  # "global" | "scatter" | "shuffle" | "broadcast"
+    start: int
+    end: int
+    #: Operator index of a trailing merge op (limit/top-k) run per-shard
+    #: with a global merge; None = plain segment.
+    finisher: int | None = None
+    #: Exchange strategy shown in EXPLAIN ("source"/"gather"/"scatter"/
+    #: "shuffle"/"broadcast").
+    strategy: str = ""
+    #: Rejected alternative strategy (exchange costing), "" = none.
+    alternative: str = ""
+    # -- runtime diagnostics, filled by the executor --------------------
+    shard_makespans: list[float] = field(default_factory=list)
+    shard_rows: list[int] = field(default_factory=list)
+    straggler_gap_s: float = 0.0
+    #: Record transfers the chosen strategy performed.
+    moved_records: int = 0
+    #: Record transfers the rejected alternative would have performed.
+    cost_alternative: int = 0
+    #: Shards served entirely from per-shard materialized entries.
+    replayed_shards: int = 0
+    #: Shards that ran only their appended delta tail.
+    delta_shards: int = 0
+
+
+@dataclass
+class ShardPlan:
+    """Output of the sharding pass; doubles as the run's diagnostics."""
+
+    n_shards: int
+    partitioner: str
+    segments: list[ShardSegment] = field(default_factory=list)
+    #: Operators skipped by the executor's whole-boundary replay (the
+    #: sharded counterpart of the optimizer's reuse splice).
+    reused_prefix: int = 0
+    #: True when *any* materialized replay (global or per-shard) fed this
+    #: run — gates statistics ingestion like ``report.reused_prefix``.
+    reused_any: bool = False
+
+    def describe(self) -> str:
+        parts = []
+        for segment in self.segments:
+            parts.append(f"{segment.strategy}[{segment.start}:{segment.end}]")
+        return (
+            f"shards={self.n_shards} partitioner={self.partitioner} "
+            + " -> ".join(parts)
+        )
+
+
+def plan_shards(
+    operators: list[PhysicalOperator], n_shards: int, partitioner: str
+) -> ShardPlan:
+    """Group bound operators into exchange segments for ``n_shards`` workers.
+
+    Raises :class:`~repro.errors.OptimizationError` when an operator has
+    not declared its exchange requirement — new operators must opt in
+    explicitly rather than being scattered on a guess — or when the
+    partitioner is unknown.
+    """
+    if partitioner not in PARTITIONERS:
+        raise OptimizationError(
+            f"unknown partitioner {partitioner!r}; expected one of {PARTITIONERS}"
+        )
+    if n_shards < 1:
+        raise OptimizationError(f"n_shards must be >= 1, got {n_shards}")
+    for operator in operators:
+        if operator.exchange is None:
+            raise OptimizationError(
+                f"operator {operator.label()} ({type(operator).__name__}) "
+                "declares no exchange requirement; set the class attribute "
+                "`exchange` to one of source/scatter/merge/shuffle/"
+                "broadcast/gather before it can run sharded"
+            )
+
+    plan = ShardPlan(n_shards=n_shards, partitioner=partitioner)
+    index = 0
+    while index < len(operators):
+        exchange = operators[index].exchange
+        if exchange in ("source", "gather"):
+            plan.segments.append(
+                ShardSegment("global", index, index + 1, strategy=exchange)
+            )
+            index += 1
+        elif exchange in ("scatter", "merge"):
+            start = index
+            while index < len(operators) and operators[index].exchange == "scatter":
+                index += 1
+            finisher = None
+            if index < len(operators) and operators[index].exchange == "merge":
+                finisher = index
+                index += 1
+            plan.segments.append(
+                ShardSegment(
+                    "scatter", start, index, finisher=finisher, strategy="scatter"
+                )
+            )
+        elif exchange == "shuffle":
+            # Group-by moves each record once (to its label's owner shard);
+            # broadcasting would move it n_shards times.
+            plan.segments.append(
+                ShardSegment(
+                    "shuffle", index, index + 1,
+                    strategy="shuffle", alternative="broadcast",
+                )
+            )
+            index += 1
+        elif exchange == "broadcast":
+            # Semantic joins have no equi-key to shuffle on (the predicate
+            # is a model judgment), so the right side is replicated; the
+            # rejected shuffle cost is still recorded for EXPLAIN.
+            plan.segments.append(
+                ShardSegment(
+                    "broadcast", index, index + 1,
+                    strategy="broadcast", alternative="shuffle",
+                )
+            )
+            index += 1
+        else:
+            raise OptimizationError(
+                f"operator {operators[index].label()} declares unknown "
+                f"exchange {exchange!r}"
+            )
+    return plan
+
+
+def exchange_footer(plan: ShardPlan) -> str:
+    """EXPLAIN ANALYZE footer lines for a sharded run's exchanges."""
+    lines = []
+    for segment in plan.segments:
+        if segment.kind == "global":
+            continue
+        line = (
+            f"\nexchange: {segment.strategy} over operators "
+            f"{segment.start}..{segment.end - 1}"
+        )
+        if segment.shard_makespans:
+            line += (
+                f" — {len(segment.shard_makespans)} shards, "
+                f"makespan {max(segment.shard_makespans):.1f}s, "
+                f"straggler gap {segment.straggler_gap_s:.1f}s"
+            )
+        line += f", {segment.moved_records} records moved"
+        if segment.alternative:
+            line += (
+                f" (rejected {segment.alternative}: "
+                f"{segment.cost_alternative} transfers)"
+            )
+        if segment.replayed_shards or segment.delta_shards:
+            line += (
+                f"; reuse: {segment.replayed_shards} shard(s) replayed, "
+                f"{segment.delta_shards} delta"
+            )
+        lines.append(line)
+    if plan.reused_prefix:
+        lines.append(
+            f"\nshard reuse: {plan.reused_prefix}-operator prefix replayed "
+            "from a materialized boundary"
+        )
+    return "".join(lines)
+
+
+class ShardedExecutor:
+    """Drives one plan across N simulated workers for the engine.
+
+    Constructed (and dispatched to) by :meth:`Engine.execute` when a
+    :class:`ShardPlan` is attached; shares the engine's context, budget,
+    capture plan, and batch size so everything except worker placement
+    behaves identically.
+    """
+
+    def __init__(self, engine, plan: ShardPlan) -> None:
+        self.engine = engine
+        self.plan = plan
+        self.ctx = engine.ctx
+        self.run_checkpoint = 0
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def execute(self, operators: list[PhysicalOperator]):
+        from repro.sem.execution import ExecutionResult
+
+        ctx = self.ctx
+        llm = ctx.llm
+        engine = self.engine
+        metrics = llm.metrics
+        run_start_cost = llm.tracker.spent_usd
+        run_start_time = llm.clock.elapsed
+        self.run_checkpoint = llm.tracker.checkpoint()
+        ctx.cost_baseline_usd = run_start_cost
+        if engine.max_cost_usd is not None and ctx.max_cost_usd is None:
+            ctx.max_cost_usd = engine.max_cost_usd
+        truncated = False
+
+        stats: list[OperatorStats] = []
+        start_segment, records = self._replay_prefix(operators, stats)
+
+        for segment in self.plan.segments[start_segment:]:
+            spent = llm.tracker.spent_usd - run_start_cost
+            if engine.max_cost_usd is not None and spent >= engine.max_cost_usd:
+                truncated = True
+                break
+            new_records, segment_stats, segment_truncated = self._run_segment(
+                segment, operators, records
+            )
+            stats.extend(segment_stats)
+            if segment_truncated:
+                truncated = True
+                break
+            records = new_records
+            engine._maybe_capture(
+                segment.end - 1, records, llm,
+                run_start_cost, run_start_time, self.run_checkpoint,
+            )
+
+        if metrics.enabled and truncated:
+            metrics.counter("engine.truncations").inc()
+        return ExecutionResult(
+            records=records,
+            operator_stats=stats,
+            total_cost_usd=llm.tracker.spent_usd - run_start_cost,
+            total_time_s=llm.clock.elapsed - run_start_time,
+            truncated=truncated,
+            retried_calls=sum(s.retried_calls for s in stats),
+            failed_records=sum(s.failed_records for s in stats),
+        )
+
+    def _replay_prefix(
+        self, operators: list[PhysicalOperator], stats: list[OperatorStats]
+    ) -> tuple[int, list[DataRecord]]:
+        """Swap the longest exact-hit segment boundary for a replay.
+
+        The sharded counterpart of the optimizer's reuse splice (which is
+        skipped when ``shards > 1`` so segment indices stay aligned with
+        the bound operator list).  Only exact matches replay here; delta
+        execution happens per shard inside scatter segments.
+        """
+        capture = self.engine.capture
+        plan = self.plan
+        if capture is None:
+            return 0, []
+        tracer = self.ctx.llm.tracer
+        for index in range(len(plan.segments) - 1, -1, -1):
+            segment = plan.segments[index]
+            position = segment.end - 1
+            if position >= len(capture.fingerprints):
+                continue
+            fingerprint = capture.fingerprints[position]
+            if fingerprint is None:
+                continue
+            kind, entry = capture.store.match(fingerprint, capture.source_uids)
+            if kind != "exact":
+                continue
+            capture.store.note_hit(entry, "exact")
+            capture.carried_cost_usd += entry.cost_usd
+            capture.carried_time_s += entry.time_s
+            plan.reused_prefix = segment.end
+            plan.reused_any = True
+            for operator in operators[: segment.end]:
+                stats.append(
+                    OperatorStats(
+                        label=operator.label(),
+                        model=operator.model,
+                        records_in=0,
+                        records_out=0,
+                        cost_usd=0.0,
+                        time_s=0.0,
+                        llm_calls=0,
+                        cached_calls=0,
+                        reused=True,
+                    )
+                )
+            stats[-1].records_out = len(entry.records)
+            if tracer.enabled:
+                with tracer.span(
+                    "materialization-reuse",
+                    kind="reuse",
+                    fingerprint=fingerprint[:12],
+                    prefix=segment.end,
+                    match="exact",
+                    delta_records=0,
+                ):
+                    pass
+            return index + 1, list(entry.records)
+        capture.store.note_miss()
+        return 0, []
+
+    # ------------------------------------------------------------------
+    # Segment dispatch
+    # ------------------------------------------------------------------
+
+    def _run_segment(
+        self,
+        segment: ShardSegment,
+        operators: list[PhysicalOperator],
+        records: list[DataRecord],
+    ):
+        tracer = self.ctx.llm.tracer
+        if segment.kind == "global":
+            return self._run_global(operators[segment.start], records)
+        label = " | ".join(
+            op.label() for op in operators[segment.start : segment.end]
+        )
+        with tracer.span(
+            f"exchange[{label}]", kind="exchange",
+            strategy=segment.strategy, shards=self.plan.n_shards,
+            partitioner=self.plan.partitioner,
+        ) as segment_span:
+            if segment.kind == "scatter":
+                out = self._run_scatter(segment, operators, records, segment_span)
+            elif segment.kind == "shuffle":
+                out = self._run_shuffle(
+                    segment, operators[segment.start], records, segment_span
+                )
+            else:
+                out = self._run_broadcast(
+                    segment, operators[segment.start], records, segment_span
+                )
+            merged, segment_stats, truncated = out
+            if tracer.enabled:
+                segment_span.attributes.update(
+                    records_in=len(records),
+                    records_out=len(merged),
+                    shard_rows=list(segment.shard_rows),
+                    shard_makespans=[
+                        round(s, 3) for s in segment.shard_makespans
+                    ],
+                    straggler_gap_s=round(segment.straggler_gap_s, 3),
+                    moved_records=segment.moved_records,
+                )
+        return merged, segment_stats, truncated
+
+    def _run_global(self, operator: PhysicalOperator, records: list[DataRecord]):
+        """One coordinator-side operator, exactly the engine's barrier path."""
+        from repro.sem.execution import _stats_attrs
+
+        ctx = self.ctx
+        llm = ctx.llm
+        tracer = llm.tracer
+        checkpoint = llm.tracker.checkpoint()
+        time_before = llm.clock.elapsed
+        failures_before = len(ctx.failures)
+        n_in = len(records)
+        truncated = False
+        with tracer.span(operator.label(), kind="operator") as op_span:
+            try:
+                records = operator.execute(records, ctx)
+                n_out = len(records)
+            except BudgetExceededError:
+                truncated = True
+                n_out = 0
+                records = []
+        usage = llm.tracker.since(checkpoint)
+        cached = sum(1 for event in llm.tracker.events[checkpoint:] if event.cached)
+        op_stats = OperatorStats(
+            label=operator.label(),
+            model=operator.model,
+            reused=getattr(operator, "reused", False),
+            sql_pushdown=getattr(operator, "pushed_down", False),
+            records_scanned=getattr(operator, "scanned", 0),
+            records_in=n_in,
+            records_out=n_out,
+            cost_usd=usage.cost_usd,
+            time_s=llm.clock.elapsed - time_before,
+            llm_calls=usage.calls,
+            cached_calls=cached,
+            retried_calls=llm.tracker.failed_calls(checkpoint),
+            failed_records=len(ctx.failures) - failures_before,
+            input_tokens=usage.input_tokens,
+            output_tokens=usage.output_tokens,
+        )
+        if tracer.enabled:
+            op_span.attributes.update(_stats_attrs(op_stats))
+        return records, [op_stats], truncated
+
+    # ------------------------------------------------------------------
+    # Scatter segments (with optional merge finisher)
+    # ------------------------------------------------------------------
+
+    def _run_scatter(
+        self,
+        segment: ShardSegment,
+        operators: list[PhysicalOperator],
+        records: list[DataRecord],
+        segment_span,
+    ):
+        ctx = self.ctx
+        llm = ctx.llm
+        tracer = llm.tracer
+        plan = self.plan
+        n = plan.n_shards
+        section = operators[segment.start : segment.end]
+        accounts = [_StageAccount(op) for op in section]
+        finisher = operators[segment.finisher] if segment.finisher is not None else None
+        stages = section[:-1] if finisher is not None else section
+
+        items = list(enumerate(records))
+        shards = partition_records(items, n, plan.partitioner)
+
+        capture = self.engine.capture
+        base_fingerprint = None
+        if (
+            finisher is None
+            and capture is not None
+            and segment.end - 1 < len(capture.fingerprints)
+        ):
+            base_fingerprint = capture.fingerprints[segment.end - 1]
+
+        out_by_pos: dict[int, list[DataRecord]] = {}
+        topk_candidates: list[tuple] = []
+        shard_seconds: list[float] = []
+        cells: list[tuple] = []
+        origin = llm.clock.elapsed
+        truncated = False
+        segment.replayed_shards = 0
+        segment.delta_shards = 0
+
+        for shard_index in range(n):
+            seconds, shard_truncated = self._run_one_shard(
+                shard_index, shards[shard_index], stages, finisher,
+                accounts, segment, out_by_pos, topk_candidates,
+                base_fingerprint, cells,
+            )
+            shard_seconds.append(seconds)
+            if shard_truncated:
+                truncated = True
+                break
+
+        self._charge(shard_seconds)
+        segment.shard_makespans = list(shard_seconds)
+        segment.shard_rows = [len(shard) for shard in shards]
+        segment.straggler_gap_s = (
+            max(shard_seconds) - min(shard_seconds) if shard_seconds else 0.0
+        )
+        segment.moved_records = len(items)
+
+        if tracer.enabled and llm.serve_sink is None:
+            ops_by_stage = stages + ([finisher] if finisher is not None else [])
+            for shard_index, stage, start_s, end_s, batch_no, n_records in cells:
+                tracer.add_span(
+                    f"{ops_by_stage[stage].label()} s{shard_index}b{batch_no}",
+                    "cell",
+                    origin + start_s,
+                    origin + end_s,
+                    track=f"shard {shard_index} stage {stage}",
+                    parent=segment_span,
+                    shard=shard_index, stage=stage,
+                    batch=batch_no, records=n_records,
+                )
+
+        if truncated:
+            return [], self._finish_stats(accounts, segment, None), True
+
+        merged = [
+            record for position in sorted(out_by_pos)
+            for record in out_by_pos[position]
+        ]
+        if finisher is not None:
+            if isinstance(finisher, PhysLimit):
+                merged = merged[: finisher.logical_op.n]
+            elif isinstance(finisher, PhysSemTopK):
+                # Global rerank of the per-shard partial top-k: position
+                # reproduces the unsharded arrival order; the lineage uid
+                # breaks (impossible-by-construction) residual ties.
+                topk_candidates.sort(
+                    key=lambda item: (-item[0], -item[1], item[2], item[3])
+                )
+                merged = [
+                    record
+                    for _, _, _, _, record in topk_candidates[: finisher.logical_op.k]
+                ]
+        return merged, self._finish_stats(accounts, segment, len(merged)), False
+
+    def _finish_stats(
+        self,
+        accounts: list[_StageAccount],
+        segment: ShardSegment,
+        merged_count: int | None,
+    ) -> list[OperatorStats]:
+        stats = []
+        for account in accounts:
+            op_stats = account.to_stats()
+            op_stats.shards = self.plan.n_shards
+            if (
+                segment.replayed_shards
+                and segment.replayed_shards == self.plan.n_shards
+            ):
+                op_stats.reused = True
+            stats.append(op_stats)
+        if segment.finisher is not None and merged_count is not None:
+            stats[-1].records_out = merged_count
+        return stats
+
+    def _run_one_shard(
+        self,
+        shard_index: int,
+        items: list[tuple[int, DataRecord]],
+        stages: list[PhysicalOperator],
+        finisher: PhysicalOperator | None,
+        accounts: list[_StageAccount],
+        segment: ShardSegment,
+        out_by_pos: dict[int, list[DataRecord]],
+        topk_candidates: list[tuple],
+        base_fingerprint: str | None,
+        cells: list[tuple],
+    ) -> tuple[float, bool]:
+        """One simulated worker: its partition through the segment's stages.
+
+        Returns (shard makespan, truncated).  Emitted records land in
+        ``out_by_pos`` under their global positions; a top-k finisher's
+        per-shard winners land in ``topk_candidates``.  When the segment
+        boundary is fingerprintable, an exact per-shard store hit replays
+        the whole shard for free, a delta hit runs only the shard's
+        appended tail, and a fault-free run captures the shard's output.
+        """
+        ctx = self.ctx
+        llm = ctx.llm
+        engine = self.engine
+        plan = self.plan
+        capture = engine.capture
+        input_uids = tuple(record.uid for _, record in items)
+
+        live_items = items
+        carried_cost = 0.0
+        carried_time = 0.0
+        fingerprint = None
+        if base_fingerprint is not None:
+            fingerprint = shard_fingerprint(
+                base_fingerprint, plan.partitioner, plan.n_shards, shard_index
+            )
+            kind, entry = capture.store.match(fingerprint, input_uids)
+            if kind == "exact" and entry.emit_counts is not None:
+                capture.store.note_hit(entry, "exact")
+                self._place_replayed(items, entry, out_by_pos)
+                plan.reused_any = True
+                segment.replayed_shards += 1
+                return 0.0, False
+            if kind == "delta" and entry.emit_counts is not None:
+                base = len(entry.source_uids)
+                capture.store.note_hit(
+                    entry, "delta", delta_records=len(items) - base
+                )
+                self._place_replayed(items[:base], entry, out_by_pos)
+                live_items = items[base:]
+                carried_cost = entry.cost_usd
+                carried_time = entry.time_s
+                plan.reused_any = True
+                segment.delta_shards += 1
+
+        schedule = PipelineSchedule()
+        states = [op.new_state(ctx) for op in stages]
+        finisher_state = finisher.new_state(ctx) if finisher is not None else None
+        all_ops = stages + ([finisher] if finisher is not None else [])
+        all_states = states + ([finisher_state] if finisher is not None else [])
+        position_of: dict[str, int] = {}
+        checkpoint = llm.tracker.checkpoint()
+        batch_size = (
+            engine.batch_size if engine.pipeline else max(len(live_items), 1)
+        )
+        batch_no = 0
+        truncated = False
+        stage = 0
+
+        try:
+            for start in range(0, len(live_items), batch_size):
+                if any(op.sated(st) for op, st in zip(all_ops, all_states)):
+                    break
+                current = live_items[start : start + batch_size]
+                schedule.start_batch()
+                batch_no += 1
+                for stage, operator in enumerate(all_ops):
+                    if not current:
+                        break
+                    n_records = len(current)
+                    if operator is finisher:
+                        for position, record in current:
+                            position_of[record.uid] = position
+                    current, seconds = self._cell(
+                        operator, current, all_states[stage], accounts[stage]
+                    )
+                    schedule.record(stage, seconds)
+                    cells.append(
+                        (shard_index, stage, *schedule.last_cell, batch_no, n_records)
+                    )
+                for position, record in current:
+                    out_by_pos.setdefault(position, []).append(record)
+        except BudgetExceededError as exc:
+            seconds = getattr(exc, "cell_seconds", 0.0)
+            schedule.record(stage, seconds)
+            cells.append(
+                (shard_index, stage, *schedule.last_cell, batch_no, 0)
+            )
+            truncated = True
+
+        if not truncated and finisher is not None and isinstance(finisher, PhysSemTopK):
+            entries = [
+                (relevant, similarity, position_of[uid], uid, record)
+                for uid, (relevant, similarity, _arrival, record)
+                in finisher_state["scored"].items()
+            ]
+            entries.sort(key=lambda item: (-item[0], -item[1], item[2], item[3]))
+            topk_candidates.extend(entries[: finisher.logical_op.k])
+
+        if (
+            not truncated
+            and fingerprint is not None
+            and not (ctx.failures or llm.tracker.failed_calls(self.run_checkpoint))
+        ):
+            emit_counts = tuple(
+                len(out_by_pos.get(position, ())) for position, _ in items
+            )
+            shard_records = [
+                record
+                for position, _ in items
+                for record in out_by_pos.get(position, ())
+            ]
+            usage = llm.tracker.since(checkpoint)
+            capture.store.put(
+                fingerprint,
+                shard_records,
+                source_uids=input_uids,
+                source_id=capture.source_id,
+                cost_usd=carried_cost + usage.cost_usd,
+                time_s=carried_time + schedule.makespan,
+                emit_counts=emit_counts,
+            )
+        return schedule.makespan, truncated
+
+    def _place_replayed(
+        self,
+        items: list[tuple[int, DataRecord]],
+        entry,
+        out_by_pos: dict[int, list[DataRecord]],
+    ) -> None:
+        """Re-place a shard entry's records at their global positions."""
+        cursor = 0
+        for (position, _), count in zip(items, entry.emit_counts):
+            if count:
+                out_by_pos.setdefault(position, []).extend(
+                    entry.records[cursor : cursor + count]
+                )
+            cursor += count
+
+    def _cell(
+        self,
+        operator: PhysicalOperator,
+        items: list[tuple[int, DataRecord]],
+        state: dict,
+        account: _StageAccount,
+    ) -> tuple[list[tuple[int, DataRecord]], float]:
+        """One shard-local (batch, stage) cell: measured, position-tagged.
+
+        The single wave runs at the configured width; the adaptive
+        controller and its throttled-record resubmission are deliberately
+        not consulted here — fault specs are per-query, not per-shard,
+        and fault-free runs never diverge from the static width anyway.
+        """
+        ctx = self.ctx
+        tracker = ctx.llm.tracker
+        checkpoint = tracker.checkpoint()
+        failures_before = len(ctx.failures)
+        account.records_in += len(items)
+        emitted: dict[int, list[DataRecord]] = {}
+        budget_error: BudgetExceededError | None = None
+
+        with ctx.llm.measure() as measured:
+            try:
+                operator.prepare_batch(
+                    [record for _, record in items], ctx, state
+                )
+                with ctx.llm.parallel(ctx.wave_width()):
+                    for position, record in items:
+                        emitted[position] = operator.process_record(
+                            record, ctx, state
+                        )
+            except BudgetExceededError as exc:
+                budget_error = exc
+
+        self._account_usage(account, checkpoint, failures_before, measured.seconds)
+        if ctx.llm.metrics.enabled:
+            ctx.llm.metrics.histogram("engine.cell_s").observe(measured.seconds)
+        if budget_error is not None:
+            budget_error.cell_seconds = measured.seconds
+            raise budget_error
+        results = [
+            (position, record)
+            for position in sorted(emitted)
+            for record in emitted[position]
+        ]
+        account.records_out += len(results)
+        return results, measured.seconds
+
+    def _account_usage(
+        self,
+        account: _StageAccount,
+        checkpoint: int,
+        failures_before: int,
+        seconds: float,
+    ) -> None:
+        tracker = self.ctx.llm.tracker
+        usage = tracker.since(checkpoint)
+        account.cost_usd += usage.cost_usd
+        account.llm_calls += usage.calls
+        account.input_tokens += usage.input_tokens
+        account.output_tokens += usage.output_tokens
+        account.cached_calls += sum(
+            1 for event in tracker.events[checkpoint:] if event.cached
+        )
+        account.retried_calls += tracker.failed_calls(checkpoint)
+        account.failed_records += len(self.ctx.failures) - failures_before
+        account.time_s += seconds
+
+    def _charge(self, shard_seconds: list[float]) -> None:
+        """Advance time as if the shards had run on N parallel workers.
+
+        Off serving, the clock moves by the slowest shard's makespan.
+        Under a serving sink the busy shards' makespans are handed to
+        ``end_step`` as one wave (its standalone makespan is the same
+        max), so the shared clock is never advanced during body execution
+        — the serving invariant the runtime asserts.
+        """
+        llm = self.ctx.llm
+        busy = [seconds for seconds in shard_seconds if seconds > 0]
+        if not busy:
+            return
+        if llm.serve_sink is not None:
+            llm.serve_sink.end_step(len(busy), busy)
+        else:
+            llm.clock.advance(max(shard_seconds))
+
+    # ------------------------------------------------------------------
+    # Shuffle segments (semantic group-by)
+    # ------------------------------------------------------------------
+
+    def _run_shuffle(
+        self,
+        segment: ShardSegment,
+        operator,
+        records: list[DataRecord],
+        segment_span,
+    ):
+        ctx = self.ctx
+        llm = ctx.llm
+        tracer = llm.tracer
+        plan = self.plan
+        n = plan.n_shards
+        account = _StageAccount(operator)
+        items = list(enumerate(records))
+        shards = partition_records(items, n, plan.partitioner)
+        origin = llm.clock.elapsed
+
+        # Phase A: classify shard-parallel (scatter by the partitioner).
+        labeled: dict[int, tuple[str, DataRecord]] = {}
+        classify_seconds: list[float] = []
+        truncated = False
+        for shard_index in range(n):
+            shard_items = shards[shard_index]
+            checkpoint = llm.tracker.checkpoint()
+            failures_before = len(ctx.failures)
+            account.records_in += len(shard_items)
+            budget_error = None
+            with llm.measure() as measured:
+                try:
+                    with llm.parallel(ctx.wave_width()):
+                        for position, record in shard_items:
+                            label = operator.classify_label(record, ctx)
+                            if label is not None:
+                                labeled[position] = (label, record)
+                except BudgetExceededError as exc:
+                    budget_error = exc
+            self._account_usage(
+                account, checkpoint, failures_before, measured.seconds
+            )
+            classify_seconds.append(measured.seconds)
+            if budget_error is not None:
+                truncated = True
+                break
+        self._charge(classify_seconds)
+        if tracer.enabled and llm.serve_sink is None:
+            for shard_index, seconds in enumerate(classify_seconds):
+                if seconds > 0:
+                    tracer.add_span(
+                        f"classify s{shard_index}", "cell",
+                        origin, origin + seconds,
+                        track=f"shard {shard_index} stage 0",
+                        parent=segment_span,
+                        shard=shard_index, stage=0,
+                        records=len(shards[shard_index]),
+                    )
+        if truncated:
+            stats = account.to_stats()
+            stats.shards = n
+            return [], [stats], True
+
+        # Shuffle: repartition by group label to each label's owner shard.
+        owners: list[dict[str, list[tuple[int, DataRecord]]]] = [
+            {} for _ in range(n)
+        ]
+        moved = 0
+        for position in sorted(labeled):
+            label, record = labeled[position]
+            owners[key_shard(label, n)].setdefault(label, []).append(
+                (position, record)
+            )
+            moved += 1
+
+        # Phase B: each owner shard builds its labels' group records.
+        #: Members arrive sorted by global position, so membership — and
+        #: therefore the lineage-deterministic group uid and the summary
+        #: prompt — matches the unsharded grouping exactly.
+        build_origin = llm.clock.elapsed
+        build_seconds: list[float] = []
+        built: dict[str, DataRecord] = {}
+        for shard_index in range(n):
+            shard_labels = owners[shard_index]
+            if not shard_labels:
+                build_seconds.append(0.0)
+                continue
+            checkpoint = llm.tracker.checkpoint()
+            failures_before = len(ctx.failures)
+            budget_error = None
+            with llm.measure() as measured:
+                try:
+                    for label in sorted(shard_labels):
+                        members = [
+                            record for _, record in shard_labels[label]
+                        ]
+                        built[label] = operator.build_group(label, members, ctx)
+                except BudgetExceededError as exc:
+                    budget_error = exc
+            self._account_usage(
+                account, checkpoint, failures_before, measured.seconds
+            )
+            build_seconds.append(measured.seconds)
+            if budget_error is not None:
+                truncated = True
+                break
+        self._charge(build_seconds)
+        if tracer.enabled and llm.serve_sink is None:
+            for shard_index, seconds in enumerate(build_seconds):
+                if seconds > 0:
+                    tracer.add_span(
+                        f"build s{shard_index}", "cell",
+                        build_origin, build_origin + seconds,
+                        track=f"shard {shard_index} stage 1",
+                        parent=segment_span,
+                        shard=shard_index, stage=1,
+                        records=len(owners[shard_index]),
+                    )
+
+        makespans = []
+        for shard_index in range(n):
+            classify = (
+                classify_seconds[shard_index]
+                if shard_index < len(classify_seconds) else 0.0
+            )
+            build = (
+                build_seconds[shard_index]
+                if shard_index < len(build_seconds) else 0.0
+            )
+            makespans.append(classify + build)
+        segment.shard_makespans = makespans
+        segment.shard_rows = [len(shard) for shard in shards]
+        segment.straggler_gap_s = (
+            max(makespans) - min(makespans) if makespans else 0.0
+        )
+        segment.moved_records = len(items) + moved
+        segment.cost_alternative = n * len(items)
+
+        if truncated:
+            stats = account.to_stats()
+            stats.shards = n
+            return [], [stats], True
+
+        output = [
+            built[group]
+            for group in operator.logical_op.groups
+            if group in built
+        ]
+        account.records_out = len(output)
+        stats = account.to_stats()
+        stats.shards = n
+        return output, [stats], False
+
+    # ------------------------------------------------------------------
+    # Broadcast segments (semantic joins)
+    # ------------------------------------------------------------------
+
+    def _run_broadcast(
+        self,
+        segment: ShardSegment,
+        operator,
+        records: list[DataRecord],
+        segment_span,
+    ):
+        ctx = self.ctx
+        llm = ctx.llm
+        tracer = llm.tracer
+        plan = self.plan
+        n = plan.n_shards
+        account = _StageAccount(operator)
+        account.records_in = len(records)
+        blocked = isinstance(operator, PhysSemJoinBlocked)
+
+        # Coordinator side: run (and for the blocked join, embed) the right
+        # subplan once; the result is broadcast to every shard by reference.
+        checkpoint = llm.tracker.checkpoint()
+        failures_before = len(ctx.failures)
+        time_before = llm.clock.elapsed
+        right_state = operator.prepare_right(ctx, have_left=bool(records))
+        self._account_usage(
+            account, checkpoint, failures_before,
+            llm.clock.elapsed - time_before,
+        )
+        right_count = len(right_state["right_records"])
+        segment.moved_records = n * right_count
+        segment.cost_alternative = len(records) + right_count
+
+        if blocked and (not records or not right_count):
+            stats = account.to_stats()
+            stats.shards = n
+            return [], [stats], False
+
+        items = list(enumerate(records))
+        shards = partition_records(items, n, plan.partitioner)
+        out_by_pos: dict[int, list[DataRecord]] = {}
+        shard_seconds: list[float] = []
+        origin = llm.clock.elapsed
+        truncated = False
+        tag = f"{ctx.tag}:join"
+        for shard_index in range(n):
+            shard_items = shards[shard_index]
+            shard_checkpoint = llm.tracker.checkpoint()
+            shard_failures = len(ctx.failures)
+            budget_error = None
+            with llm.measure() as measured:
+                try:
+                    left_vectors = None
+                    if blocked and ctx.embed_batch_size > 1 and shard_items:
+                        left_vectors = _embed_texts(
+                            [record.as_text() for _, record in shard_items],
+                            ctx, tag,
+                        )
+                    with llm.parallel(ctx.wave_width()):
+                        for index, (position, left) in enumerate(shard_items):
+                            if blocked:
+                                out_by_pos[position] = operator.join_left(
+                                    left, ctx, right_state,
+                                    left_vec=(
+                                        left_vectors[index]
+                                        if left_vectors is not None else None
+                                    ),
+                                )
+                            else:
+                                out_by_pos[position] = operator.join_left(
+                                    left, ctx, right_state
+                                )
+                except BudgetExceededError as exc:
+                    budget_error = exc
+            self._account_usage(
+                account, shard_checkpoint, shard_failures, measured.seconds
+            )
+            shard_seconds.append(measured.seconds)
+            if budget_error is not None:
+                truncated = True
+                break
+        self._charge(shard_seconds)
+        segment.shard_makespans = list(shard_seconds)
+        segment.shard_rows = [len(shard) for shard in shards]
+        segment.straggler_gap_s = (
+            max(shard_seconds) - min(shard_seconds) if shard_seconds else 0.0
+        )
+        if tracer.enabled and llm.serve_sink is None:
+            for shard_index, seconds in enumerate(shard_seconds):
+                if seconds > 0:
+                    tracer.add_span(
+                        f"join s{shard_index}", "cell",
+                        origin, origin + seconds,
+                        track=f"shard {shard_index} stage 0",
+                        parent=segment_span,
+                        shard=shard_index, stage=0,
+                        records=len(shards[shard_index]),
+                    )
+
+        stats = account.to_stats()
+        stats.shards = n
+        if truncated:
+            return [], [stats], True
+        merged = [
+            record
+            for position in sorted(out_by_pos)
+            for record in out_by_pos[position]
+        ]
+        stats.records_out = len(merged)
+        return merged, [stats], False

@@ -94,6 +94,8 @@ class ServingRuntime:
         parallelism: int = 4,
         optimize: bool = False,
         replan: bool = False,
+        shards: int = 1,
+        partitioner: str = "hash",
     ) -> None:
         self.runtime = runtime
         self.llm = runtime.llm
@@ -105,6 +107,13 @@ class ServingRuntime:
         #: are tenant-scoped either way: one tenant's observed
         #: selectivities never steer another tenant's plans.
         self.replan = replan
+        #: Simulated scale-out workers each served query spreads across
+        #: (see :mod:`repro.sem.shard`).  Shard time is routed through the
+        #: serving sink as parallel waves, so per-tenant attribution and
+        #: the shared-clock invariant survive; sharded queries do forfeit
+        #: overlap rebates (their call notes are charged as whole waves).
+        self.shards = shards
+        self.partitioner = partitioner
         self.tenants: dict[str, TenantState] = {}
         for spec in tenants or ():
             self.tenants[spec.name] = TenantState(spec=spec)
@@ -190,6 +199,8 @@ class ServingRuntime:
             stats_store=getattr(self.runtime, "stats_store", None),
             stats_scope=tenant,
             replan=self.replan,
+            shards=self.shards,
+            partitioner=self.partitioner,
         )
 
         timeline = CallTimeline()

@@ -18,7 +18,8 @@ from repro.utils.clock import VirtualClock
 
 def hand_built_tracer() -> tuple[Tracer, MetricsRegistry]:
     """A small deterministic span tree: query > operator > 2 wave calls,
-    plus a pipelined cell on its own track."""
+    plus a pipelined cell on its own track and a sharded exchange with
+    per-shard cells (the scale-out executor's span shape)."""
     clock = VirtualClock()
     tracer = Tracer(clock)
     metrics = MetricsRegistry()
@@ -35,6 +36,19 @@ def hand_built_tracer() -> tuple[Tracer, MetricsRegistry]:
             clock.advance(2.0)
         tracer.add_span("SemFilter('x') b0", "cell", 2.0, 3.0, track="stage 0")
         clock.advance(1.0)
+        with tracer.span(
+            "exchange[SemMap('y')]", kind="exchange",
+            strategy="scatter", shards=2, partitioner="hash",
+        ) as exchange_span:
+            tracer.add_span(
+                "SemMap('y') s0b1", "cell", 3.0, 4.0,
+                track="shard 0 stage 0", parent=exchange_span, shard=0,
+            )
+            tracer.add_span(
+                "SemMap('y') s1b1", "cell", 3.0, 3.5,
+                track="shard 1 stage 0", parent=exchange_span, shard=1,
+            )
+            clock.advance(1.0)
     return tracer, metrics
 
 
@@ -48,9 +62,11 @@ def build_explain_pushdown_golden() -> str:
     """The EXPLAIN ANALYZE text in ``goldens/explain_pushdown_golden.txt``.
 
     A pushdown-eligible plan (sem_filter -> where -> sem_map) over the
-    seeded QA corpus: the rendering must tag the ``SqlScan`` row in the
-    SQL column and emit both pushdown footers (records pruned before the
-    first LLM operator, and the compiled SQL text).
+    seeded QA corpus, executed on two shards: the rendering must tag the
+    ``SqlScan`` row in the SQL column, emit both pushdown footers
+    (records pruned before the first LLM operator, and the compiled SQL
+    text), fill the ``Shards`` column for shard-parallel operators, and
+    emit the exchange footer with its makespan/straggler diagnostics.
     """
     from repro.data.records import reset_uid_counter
     from repro.data.schemas import Field
@@ -63,7 +79,7 @@ def build_explain_pushdown_golden() -> str:
     reset_uid_counter()
     bundle = build_corpus(CorpusSpec(seed=5, n_records=18))
     llm = SimulatedLLM(oracle=SemanticOracle(bundle.registry), seed=5)
-    config = QueryProcessorConfig(llm=llm, optimize=False, seed=5)
+    config = QueryProcessorConfig(llm=llm, optimize=False, seed=5, shards=2)
     dataset = (
         Dataset.from_source(bundle.source())
         .sem_filter(instruction_for("qa.flag_urgent"))

@@ -52,25 +52,28 @@ def test_chrome_trace_structure():
     events = payload["traceEvents"]
     x_events = [e for e in events if e["ph"] == "X"]
     meta = [e for e in events if e["ph"] == "M"]
-    assert len(x_events) == 5
+    assert len(x_events) == 8
     track_names = {
         e["args"]["name"] for e in meta if e["name"] == "thread_name"
     }
-    assert track_names == {"runtime", "llm slot 0", "llm slot 1", "stage 0"}
-    assert payload["otherData"]["clock_elapsed_s"] == 3.0
+    assert track_names == {
+        "runtime", "llm slot 0", "llm slot 1", "stage 0",
+        "shard 0 stage 0", "shard 1 stage 0",
+    }
+    assert payload["otherData"]["clock_elapsed_s"] == 4.0
     assert payload["otherData"]["metrics"]["counters"]["llm.calls"] == 3
     # Times are microseconds.
     query = next(e for e in x_events if e["name"] == "query:test")
-    assert query["ts"] == 0.0 and query["dur"] == pytest.approx(3e6)
+    assert query["ts"] == 0.0 and query["dur"] == pytest.approx(4e6)
 
 
 def test_write_and_validate_chrome_trace(tmp_path):
     tracer, metrics = _hand_built_tracer()
     path = write_chrome_trace(tmp_path / "trace.json", tracer, metrics=metrics)
     summary = validate_chrome_trace(path)
-    assert summary["events"] == 5
-    assert summary["tracks"] == 4
-    assert summary["trace_end_s"] == pytest.approx(3.0)
+    assert summary["events"] == 8
+    assert summary["tracks"] == 6
+    assert summary["trace_end_s"] == pytest.approx(4.0)
     assert summary["drift"] == pytest.approx(0.0)
 
 

@@ -1,0 +1,680 @@
+"""Sharded execution: partitioners, exchange planning, and bit-identity.
+
+The tentpole contract: executing a plan across N simulated workers may
+change *where* and *when* work runs — scatter partitions, shuffles,
+broadcasts, per-shard merges — but never the records, their order, or
+their uids.  ``shards=1`` must be an exact no-op: the sharding machinery
+is never constructed and the engine behaves byte-identically to the
+unsharded path in records, cost, time, and spans.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.runtime import AnalyticsRuntime
+from repro.data.records import DataRecord, reset_uid_counter
+from repro.data.schemas import Field, Schema
+from repro.errors import ConfigurationError, OptimizationError
+from repro.llm.oracle import SemanticOracle
+from repro.llm.simulated import SimulatedLLM
+from repro.obs import Tracer, validate_spans
+from repro.qa.corpus import CorpusSpec, build_corpus, instruction_for
+from repro.sem import physical as P
+from repro.sem.config import QueryProcessorConfig
+from repro.sem.dataset import Dataset
+from repro.sem.materialize import MaterializationStore
+from repro.sem.shard import (
+    PARTITIONERS,
+    ShardPlan,
+    ShardSegment,
+    exchange_footer,
+    key_shard,
+    keys_match,
+    partition_records,
+    plan_shards,
+    shard_of,
+)
+from repro.utils.hashing import stable_hash
+
+
+@pytest.fixture(scope="module")
+def qa_bundle():
+    return build_corpus(CorpusSpec(seed=13, n_records=24))
+
+
+def _config(bundle, *, seed: int = 13, **kwargs) -> QueryProcessorConfig:
+    llm = SimulatedLLM(oracle=SemanticOracle(bundle.registry), seed=seed)
+    kwargs.setdefault("optimize", False)
+    return QueryProcessorConfig(llm=llm, seed=seed, **kwargs)
+
+
+def _normalized(result):
+    return [(r.uid, tuple(sorted(r.fields.items()))) for r in result.records]
+
+
+def _filter_map(bundle) -> Dataset:
+    return (
+        Dataset.from_source(bundle.source())
+        .where("priority >= 1")
+        .sem_filter(instruction_for("qa.flag_urgent"))
+        .sem_map(
+            Field("customer", str, "customer name"),
+            instruction_for("qa.customer"),
+        )
+    )
+
+
+def _records(n, prefix="u"):
+    return [
+        DataRecord({"text": f"text number {i}"}, uid=f"{prefix}{i}")
+        for i in range(n)
+    ]
+
+
+SCHEMA = Schema([Field("text", str)])
+
+
+# ---------------------------------------------------------------------------
+# Partitioners (unit level)
+# ---------------------------------------------------------------------------
+
+
+class TestPartitioners:
+    def test_hash_keys_on_uid_only(self):
+        # Position must not matter: hash is the strategy that stays
+        # stable when the source grows and positions shift.
+        assert shard_of("u1", 0, 10, 4, "hash") == shard_of("u1", 9, 99, 4, "hash")
+
+    def test_hash_matches_stable_hash(self):
+        assert shard_of("u7", 0, 1, 5, "hash") == stable_hash("shard", "u7") % 5
+
+    def test_range_cuts_contiguous_chunks(self):
+        assignments = [shard_of(f"u{i}", i, 8, 2, "range") for i in range(8)]
+        assert assignments == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_round_robin_deals_cyclically(self):
+        assignments = [shard_of(f"u{i}", i, 6, 3, "round_robin") for i in range(6)]
+        assert assignments == [0, 1, 2, 0, 1, 2]
+
+    def test_unknown_partitioner_raises(self):
+        with pytest.raises(OptimizationError, match="unknown partitioner"):
+            shard_of("u0", 0, 1, 2, "psychic")
+
+    def test_partition_preserves_multiset_and_order(self):
+        items = list(enumerate(_records(10)))
+        for partitioner in PARTITIONERS:
+            shards = partition_records(items, 3, partitioner)
+            assert len(shards) == 3
+            flattened = sorted(
+                (pos, rec) for shard in shards for pos, rec in shard
+            )
+            assert flattened == items
+            for shard in shards:
+                positions = [pos for pos, _ in shard]
+                assert positions == sorted(positions)
+
+    def test_partition_empty_input_yields_empty_shards(self):
+        assert partition_records([], 4, "hash") == [[], [], [], []]
+
+    def test_range_keys_on_local_index_despite_position_gaps(self):
+        # An upstream filter left only even positions; range must still
+        # split the *surviving* items in half, not by stale position.
+        records = _records(8)
+        items = [(i * 2, records[i]) for i in range(8)]
+        shards = partition_records(items, 2, "range")
+        assert [len(shard) for shard in shards] == [4, 4]
+
+    def test_more_shards_than_records(self):
+        items = list(enumerate(_records(3)))
+        shards = partition_records(items, 8, "round_robin")
+        assert [len(shard) for shard in shards] == [1, 1, 1, 0, 0, 0, 0, 0]
+
+    def test_all_records_can_land_on_one_shard(self):
+        # Craft uids that all hash to shard 0: empty shards downstream
+        # must be harmless.
+        picked = [uid for uid in (f"u{i}" for i in range(200))
+                  if stable_hash("shard", uid) % 4 == 0][:5]
+        items = list(enumerate(
+            DataRecord({"text": "t"}, uid=uid) for uid in picked
+        ))
+        shards = partition_records(items, 4, "hash")
+        assert [len(shard) for shard in shards] == [5, 0, 0, 0]
+
+
+class TestShuffleKeys:
+    def test_key_shard_is_deterministic(self):
+        assert key_shard("billing", 4) == key_shard("billing", 4)
+
+    def test_null_key_routes_to_shard_zero(self):
+        assert key_shard(None, 7) == 0
+
+    def test_keys_match_follows_three_valued_semantics(self):
+        # Mirrors structql: NULL = NULL is unknown, and unknown never
+        # joins — co-locating NULLs on shard 0 must not create matches.
+        assert keys_match("a", "a")
+        assert not keys_match("a", "b")
+        assert not keys_match(None, "a")
+        assert not keys_match("a", None)
+        assert not keys_match(None, None)
+
+
+# ---------------------------------------------------------------------------
+# The sharding pass
+# ---------------------------------------------------------------------------
+
+
+class _StubOp:
+    def __init__(self, exchange):
+        self.exchange = exchange
+
+    def label(self):
+        return f"Stub({self.exchange})"
+
+
+def _plan(*exchanges, n_shards=4, partitioner="hash"):
+    return plan_shards(
+        [_StubOp(x) for x in exchanges], n_shards, partitioner
+    )
+
+
+class TestPlanShards:
+    def test_scatter_run_groups_into_one_segment(self):
+        plan = _plan("source", "scatter", "scatter", "scatter")
+        assert [s.kind for s in plan.segments] == ["global", "scatter"]
+        assert (plan.segments[1].start, plan.segments[1].end) == (1, 4)
+        assert plan.segments[1].finisher is None
+
+    def test_trailing_merge_becomes_finisher(self):
+        plan = _plan("source", "scatter", "merge")
+        scatter = plan.segments[1]
+        assert scatter.kind == "scatter" and scatter.finisher == 2
+        assert scatter.end == 3
+
+    def test_bare_merge_gets_its_own_scatter_segment(self):
+        plan = _plan("source", "merge")
+        assert plan.segments[1].kind == "scatter"
+        assert plan.segments[1].finisher == 1
+
+    def test_source_and_gather_are_global(self):
+        plan = _plan("source", "scatter", "gather")
+        assert [s.kind for s in plan.segments] == ["global", "scatter", "global"]
+        assert plan.segments[2].strategy == "gather"
+
+    def test_shuffle_records_broadcast_as_rejected_alternative(self):
+        plan = _plan("source", "shuffle")
+        segment = plan.segments[1]
+        assert segment.kind == "shuffle" and segment.alternative == "broadcast"
+
+    def test_broadcast_records_shuffle_as_rejected_alternative(self):
+        plan = _plan("source", "broadcast")
+        segment = plan.segments[1]
+        assert segment.kind == "broadcast" and segment.alternative == "shuffle"
+
+    def test_undeclared_exchange_is_rejected(self):
+        with pytest.raises(OptimizationError, match="declares no exchange"):
+            _plan("source", None)
+
+    def test_unknown_exchange_value_is_rejected(self):
+        with pytest.raises(OptimizationError, match="unknown\\s+exchange"):
+            _plan("source", "teleport")
+
+    def test_unknown_partitioner_is_rejected(self):
+        with pytest.raises(OptimizationError, match="unknown partitioner"):
+            _plan("source", partitioner="psychic")
+
+    def test_zero_shards_is_rejected(self):
+        with pytest.raises(OptimizationError, match="n_shards"):
+            _plan("source", n_shards=0)
+
+    def test_describe_lists_segments(self):
+        plan = _plan("source", "scatter", "shuffle")
+        text = plan.describe()
+        assert "shards=4" in text and "scatter[1:2]" in text and "shuffle[2:3]" in text
+
+    def test_every_concrete_physical_operator_declares_exchange(self):
+        # New operators must opt into sharding explicitly: a missing
+        # declaration fails plan_shards, and this guard catches it at
+        # unit-test time rather than in the first sharded query.
+        valid = {"source", "gather", "scatter", "merge", "shuffle", "broadcast"}
+        missing = [
+            name
+            for name, cls in vars(P).items()
+            if inspect.isclass(cls)
+            and issubclass(cls, P.PhysicalOperator)
+            and not inspect.isabstract(cls)
+            and cls.exchange not in valid
+        ]
+        assert not missing, f"operators without exchange declarations: {missing}"
+
+
+class TestConfigValidation:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ConfigurationError, match="shards"):
+            QueryProcessorConfig(llm=SimulatedLLM(), shards=0)
+
+    def test_rejects_unknown_partitioner(self):
+        with pytest.raises(ConfigurationError, match="partitioner"):
+            QueryProcessorConfig(llm=SimulatedLLM(), partitioner="psychic")
+
+
+# ---------------------------------------------------------------------------
+# End-to-end bit-identity
+# ---------------------------------------------------------------------------
+
+
+class TestBitIdentity:
+    def test_filter_map_identical_across_shard_counts(self, qa_bundle):
+        baseline = _filter_map(qa_bundle).run(_config(qa_bundle))
+        expected = _normalized(baseline)
+        assert expected  # the plan keeps some records
+        for shards in (2, 3, 4, 8):
+            result = _filter_map(qa_bundle).run(_config(qa_bundle, shards=shards))
+            assert _normalized(result) == expected, f"{shards} shards diverged"
+            assert result.total_cost_usd == pytest.approx(baseline.total_cost_usd)
+
+    def test_partitioner_choice_never_changes_records(self, qa_bundle):
+        expected = _normalized(_filter_map(qa_bundle).run(_config(qa_bundle)))
+        for partitioner in PARTITIONERS:
+            result = _filter_map(qa_bundle).run(
+                _config(qa_bundle, shards=4, partitioner=partitioner)
+            )
+            assert _normalized(result) == expected, partitioner
+
+    def test_four_shards_finish_faster(self, qa_bundle):
+        base = _filter_map(qa_bundle).run(_config(qa_bundle))
+        sharded = _filter_map(qa_bundle).run(_config(qa_bundle, shards=4))
+        assert sharded.total_time_s < base.total_time_s
+
+    def test_groupby_shuffle_identical(self, qa_bundle):
+        def plan():
+            return Dataset.from_source(qa_bundle.source()).sem_groupby(
+                instruction_for("qa.department"),
+                ["billing", "engineering", "sales"],
+            )
+
+        expected = _normalized(plan().run(_config(qa_bundle)))
+        result = plan().run(_config(qa_bundle, shards=4))
+        assert _normalized(result) == expected
+        assert len(result.records) > 1  # groups actually formed
+
+    def test_nested_join_broadcast_identical(self, qa_bundle):
+        def plan():
+            left = Dataset.from_source(qa_bundle.source()).where("priority >= 4")
+            right = Dataset.from_source(qa_bundle.source()).where("priority <= 0")
+            return left.sem_join(right, instruction_for("qa.same_customer"))
+
+        expected = _normalized(plan().run(_config(qa_bundle)))
+        result = plan().run(_config(qa_bundle, shards=3))
+        assert _normalized(result) == expected
+
+    def test_blocked_join_broadcast_identical(self, qa_bundle):
+        def plan():
+            left = Dataset.from_source(qa_bundle.source()).where("priority >= 4")
+            right = Dataset.from_source(qa_bundle.source()).where("priority <= 0")
+            return left.sem_join(right, instruction_for("qa.same_customer"))
+
+        expected = _normalized(plan().run(_config(qa_bundle, join_method="blocked")))
+        result = plan().run(
+            _config(qa_bundle, join_method="blocked", shards=4)
+        )
+        assert _normalized(result) == expected
+
+    def test_topk_merge_identical(self, qa_bundle):
+        def plan():
+            return (
+                Dataset.from_source(qa_bundle.source())
+                .sem_filter(instruction_for("qa.flag_urgent"))
+                .sem_topk("tickets about billing problems", k=3)
+            )
+
+        expected = _normalized(plan().run(_config(qa_bundle)))
+        assert len(expected) == 3
+        for shards in (2, 4, 8):
+            result = plan().run(_config(qa_bundle, shards=shards))
+            assert _normalized(result) == expected, f"{shards} shards"
+
+    def test_limit_merge_identical_records(self, qa_bundle):
+        # Records (and order) must match; cost may legally differ — each
+        # shard over-fetches up to its own limit before the global
+        # truncation (distributed limit-pushdown overfetch).
+        def plan():
+            return (
+                Dataset.from_source(qa_bundle.source())
+                .sem_filter(instruction_for("qa.flag_urgent"))
+                .limit(4)
+            )
+
+        expected = _normalized(plan().run(_config(qa_bundle)))
+        result = plan().run(_config(qa_bundle, shards=4))
+        assert _normalized(result) == expected
+
+    def test_agg_runs_global_and_identical(self, qa_bundle):
+        def plan():
+            return (
+                Dataset.from_source(qa_bundle.source())
+                .where("priority >= 3")
+                .sem_agg("Summarize the overall customer mood.")
+            )
+
+        expected = _normalized(plan().run(_config(qa_bundle)))
+        result, report = plan().run_with_report(_config(qa_bundle, shards=4))
+        assert _normalized(result) == expected
+        assert report.shard_plan.segments[-1].kind == "global"
+
+    def test_retrieve_gather_identical(self, qa_bundle):
+        def plan():
+            return (
+                Dataset.from_source(qa_bundle.source())
+                .retrieve("urgent billing tickets", k=8)
+                .sem_filter(instruction_for("qa.flag_urgent"))
+            )
+
+        expected = _normalized(plan().run(_config(qa_bundle)))
+        result = plan().run(_config(qa_bundle, shards=4))
+        assert _normalized(result) == expected
+
+    def test_empty_input_to_sharded_segment(self, qa_bundle):
+        def plan():
+            return (
+                Dataset.from_source(qa_bundle.source())
+                .where("priority > 99")
+                .sem_map(Field("customer", str, "customer"),
+                         instruction_for("qa.customer"))
+            )
+
+        result = plan().run(_config(qa_bundle, shards=4))
+        assert result.records == []
+        assert result.total_cost_usd == 0.0
+
+    def test_shard_count_exceeding_record_count(self):
+        bundle = build_corpus(CorpusSpec(seed=3, n_records=4))
+        def plan():
+            return Dataset.from_source(bundle.source()).sem_filter(
+                instruction_for("qa.flag_urgent")
+            )
+
+        expected = _normalized(plan().run(_config(bundle, seed=3)))
+        result = plan().run(_config(bundle, seed=3, shards=16))
+        assert _normalized(result) == expected
+
+    def test_optimized_plan_runs_sharded(self, qa_bundle):
+        expected = _normalized(
+            _filter_map(qa_bundle).run(_config(qa_bundle, optimize=True))
+        )
+        result = _filter_map(qa_bundle).run(
+            _config(qa_bundle, optimize=True, shards=4)
+        )
+        assert _normalized(result) == expected
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    shards=st.integers(min_value=1, max_value=6),
+    partitioner=st.sampled_from(PARTITIONERS),
+)
+def test_property_sharding_preserves_output_multiset(shards, partitioner):
+    # Any (partitioner, shard count) must reproduce the unsharded answer
+    # exactly — the QA harness's check_shard_equivalence oracle, as a
+    # hypothesis property over the whole configuration space.
+    bundle = build_corpus(CorpusSpec(seed=11, n_records=12))
+    baseline = (
+        Dataset.from_source(bundle.source())
+        .sem_filter(instruction_for("qa.flag_urgent"))
+        .run(_config(bundle, seed=11))
+    )
+    result = (
+        Dataset.from_source(bundle.source())
+        .sem_filter(instruction_for("qa.flag_urgent"))
+        .run(_config(bundle, seed=11, shards=shards, partitioner=partitioner))
+    )
+    assert _normalized(result) == _normalized(baseline)
+
+
+# ---------------------------------------------------------------------------
+# shards=1 is an exact no-op
+# ---------------------------------------------------------------------------
+
+
+class TestShardsOneNoOp:
+    def test_no_shard_plan_is_attached(self, qa_bundle):
+        _, report = _filter_map(qa_bundle).run_with_report(
+            _config(qa_bundle, shards=1)
+        )
+        assert report.shard_plan is None
+
+    def test_identical_records_cost_time_and_spans(self, qa_bundle):
+        def traced_run(**kwargs):
+            tracer = Tracer()
+            llm = SimulatedLLM(
+                oracle=SemanticOracle(qa_bundle.registry), seed=13, tracer=tracer
+            )
+            config = QueryProcessorConfig(
+                llm=llm, seed=13, optimize=False, **kwargs
+            )
+            result = _filter_map(qa_bundle).run(config)
+            spans = [
+                (s.name, s.kind, s.start_s, s.end_s, s.track)
+                for s in tracer.spans
+            ]
+            return result, spans
+
+        plain, plain_spans = traced_run()
+        gated, gated_spans = traced_run(shards=1)
+        assert _normalized(gated) == _normalized(plain)
+        assert gated.total_cost_usd == plain.total_cost_usd
+        assert gated.total_time_s == plain.total_time_s
+        assert gated_spans == plain_spans
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN, spans, and diagnostics
+# ---------------------------------------------------------------------------
+
+
+class TestObservability:
+    def test_explain_analyze_fills_shards_column_and_footer(self, qa_bundle):
+        text = _filter_map(qa_bundle).explain(
+            analyze=True, config=_config(qa_bundle, shards=2)
+        )
+        assert "Shards" in text
+        assert "exchange: scatter over operators" in text
+        assert "straggler gap" in text
+
+    def test_unsharded_explain_has_no_exchange_footer(self, qa_bundle):
+        text = _filter_map(qa_bundle).explain(
+            analyze=True, config=_config(qa_bundle)
+        )
+        assert "exchange:" not in text
+
+    def test_exchange_footer_rendering(self):
+        plan = ShardPlan(n_shards=2, partitioner="hash")
+        segment = ShardSegment(
+            "shuffle", 1, 2, strategy="shuffle", alternative="broadcast",
+            shard_makespans=[2.0, 3.5], straggler_gap_s=1.5,
+            moved_records=12, cost_alternative=48,
+        )
+        plan.segments = [ShardSegment("global", 0, 1, strategy="source"), segment]
+        text = exchange_footer(plan)
+        assert "shuffle over operators 1..1" in text
+        assert "2 shards, makespan 3.5s, straggler gap 1.5s" in text
+        assert "12 records moved" in text
+        assert "(rejected broadcast: 48 transfers)" in text
+
+    def test_exchange_footer_reports_reuse(self):
+        plan = ShardPlan(n_shards=2, partitioner="hash", reused_prefix=2)
+        plan.segments = [
+            ShardSegment(
+                "scatter", 0, 2, strategy="scatter",
+                replayed_shards=1, delta_shards=1,
+            )
+        ]
+        text = exchange_footer(plan)
+        assert "1 shard(s) replayed, 1 delta" in text
+        assert "2-operator prefix replayed" in text
+
+    def test_sharded_trace_validates_with_exchange_spans(self, qa_bundle):
+        tracer = Tracer()
+        llm = SimulatedLLM(
+            oracle=SemanticOracle(qa_bundle.registry), seed=13, tracer=tracer
+        )
+        config = QueryProcessorConfig(llm=llm, seed=13, optimize=False, shards=3)
+        _filter_map(qa_bundle).run(config)
+        validate_spans(tracer.spans)  # must not raise
+        kinds = {s.kind for s in tracer.spans}
+        assert "exchange" in kinds
+        tracks = {s.track for s in tracer.spans}
+        assert any(t and t.startswith("shard ") for t in tracks)
+
+    def test_segment_diagnostics_are_populated(self, qa_bundle):
+        _, report = _filter_map(qa_bundle).run_with_report(
+            _config(qa_bundle, shards=4)
+        )
+        scatter = next(
+            s for s in report.shard_plan.segments if s.kind == "scatter"
+        )
+        assert len(scatter.shard_makespans) == 4
+        assert len(scatter.shard_rows) == 4
+        assert sum(scatter.shard_rows) > 0
+        assert scatter.straggler_gap_s == pytest.approx(
+            max(scatter.shard_makespans) - min(scatter.shard_makespans)
+        )
+
+    def test_operator_stats_carry_shard_count(self, qa_bundle):
+        result = _filter_map(qa_bundle).run(_config(qa_bundle, shards=4))
+        sharded = [s for s in result.operator_stats if s.shards == 4]
+        assert sharded  # the scatter stages ran shard-parallel
+
+
+# ---------------------------------------------------------------------------
+# Materialization composition
+# ---------------------------------------------------------------------------
+
+
+class TestReuseComposition:
+    def test_sharded_run_replays_sharded_capture_for_free(self, qa_bundle):
+        store = MaterializationStore()
+        cold = _filter_map(qa_bundle).run(
+            _config(qa_bundle, shards=4, materialization_store=store)
+        )
+        warm, report = _filter_map(qa_bundle).run_with_report(
+            _config(qa_bundle, shards=4, materialization_store=store)
+        )
+        assert _normalized(warm) == _normalized(cold)
+        assert warm.total_cost_usd == 0.0
+        assert report.shard_plan.reused_any
+        assert report.shard_plan.reused_prefix > 0
+
+    def test_unsharded_capture_replays_under_sharding(self, qa_bundle):
+        store = MaterializationStore()
+        cold = _filter_map(qa_bundle).run(
+            _config(qa_bundle, materialization_store=store)
+        )
+        warm, report = _filter_map(qa_bundle).run_with_report(
+            _config(qa_bundle, shards=4, materialization_store=store)
+        )
+        assert _normalized(warm) == _normalized(cold)
+        assert warm.total_cost_usd == 0.0
+        assert report.shard_plan.reused_any
+
+    def test_appended_source_runs_only_per_shard_deltas(self):
+        # Hash partitioning keeps shard assignments stable under append,
+        # so each shard replays its old prefix and runs only its tail.
+        store = MaterializationStore()
+        records = _records(18, prefix="d")
+        instruction = "The text mentions suspicious deals."
+
+        def run(n, with_store):
+            dataset = Dataset.from_records(
+                records[:n], SCHEMA, source_id="delta-src"
+            ).sem_filter(instruction)
+            config = QueryProcessorConfig(
+                llm=SimulatedLLM(seed=0), seed=0, optimize=False, shards=4,
+                materialization_store=store if with_store else None,
+            )
+            return dataset.run_with_report(config)
+
+        cold, _ = run(12, with_store=True)
+        warm, report = run(18, with_store=True)
+        fresh, _ = run(18, with_store=False)
+        assert _normalized(warm) == _normalized(fresh)
+        assert warm.total_cost_usd < fresh.total_cost_usd
+        scatter = next(
+            s for s in report.shard_plan.segments if s.kind == "scatter"
+        )
+        assert scatter.delta_shards > 0
+
+
+# ---------------------------------------------------------------------------
+# Serving integration
+# ---------------------------------------------------------------------------
+
+
+class TestServing:
+    def test_sharded_query_respects_serving_clock_invariant(self, qa_bundle):
+        runtime = AnalyticsRuntime.for_bundle(qa_bundle, seed=13)
+        serving = runtime.serving(shards=4)
+        job = serving.submit(
+            "tenant-a",
+            Dataset.from_source(qa_bundle.source()).sem_filter(
+                instruction_for("qa.flag_urgent")
+            ),
+        )
+        assert runtime.llm.clock.elapsed == 0.0  # submit never moves time
+        assert job.timeline.steps
+        report = serving.drain()
+        assert len(report.jobs) == 1
+
+    def test_served_sharded_records_match_standalone(self, qa_bundle):
+        expected = _normalized(
+            Dataset.from_source(qa_bundle.source())
+            .sem_filter(instruction_for("qa.flag_urgent"))
+            .run(_config(qa_bundle))
+        )
+        runtime = AnalyticsRuntime.for_bundle(qa_bundle, seed=13)
+        serving = runtime.serving(shards=4)
+        job = serving.submit(
+            "tenant-a",
+            Dataset.from_source(qa_bundle.source()).sem_filter(
+                instruction_for("qa.flag_urgent")
+            ),
+        )
+        serving.drain()
+        normalized = [
+            (r.uid, tuple(sorted(r.fields.items()))) for r in job.records
+        ]
+        assert normalized == expected
+
+
+# ---------------------------------------------------------------------------
+# QA harness wiring
+# ---------------------------------------------------------------------------
+
+
+class TestQaHarnessWiring:
+    def test_matrix_includes_sharded_specs_for_every_plan(self):
+        import random
+
+        from repro.qa.configs import config_matrix
+        from repro.qa.corpus import CorpusSpec
+        from repro.qa.fuzzer import PlanFuzzer
+
+        fuzzer = PlanFuzzer(seed=0)
+        plan = fuzzer.generate_plan(
+            random.Random(0), CorpusSpec(seed=0, n_records=12)
+        )
+        specs = [
+            s for s in config_matrix(plan) if s.answer_class == "sharded"
+        ]
+        assert len(specs) >= 3
+        assert {s.partitioner for s in specs} == set(PARTITIONERS)
+        assert all(s.shards > 1 for s in specs)
+
+    def test_shard_equivalence_oracle_is_registered(self):
+        from repro.qa.oracles import ORACLES, check_shard_equivalence
+
+        assert check_shard_equivalence in ORACLES
