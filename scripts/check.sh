@@ -17,6 +17,9 @@ if [[ "${1:-}" == "--fast" ]]; then
     echo "== fast lane: sharded-execution smoke =="
     python benchmarks/bench_sharding.py --smoke
     echo
+    echo "== fast lane: standing-query smoke =="
+    python benchmarks/bench_streaming.py --smoke
+    echo
     echo "check.sh --fast: all green"
     exit 0
 fi
@@ -51,6 +54,10 @@ python benchmarks/bench_replan.py --smoke
 echo
 echo "== sharded-execution smoke sweep =="
 python benchmarks/bench_sharding.py --smoke
+
+echo
+echo "== standing-query smoke sweep =="
+python benchmarks/bench_streaming.py --smoke
 
 echo
 echo "== benchmark artifact placement guard =="

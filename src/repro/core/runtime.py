@@ -390,6 +390,28 @@ class AnalyticsRuntime:
 
         return ServingRuntime(self, **kwargs)
 
+    # ------------------------------------------------------------------
+    # Standing queries
+    # ------------------------------------------------------------------
+
+    def standing(self, **kwargs: Any) -> Any:
+        """A :class:`~repro.sem.streaming.StandingQueryManager` on this runtime.
+
+        Standing queries registered through it share this runtime's clock,
+        tracer, metrics, materialization store (delta reuse across ticks),
+        statistics store (governor estimates + version-aware prior decay),
+        and context manager (update-event invalidation cascade).
+        """
+        from repro.sem.streaming import StandingQueryManager
+
+        kwargs.setdefault("clock", self.llm.clock)
+        kwargs.setdefault("tracer", self.llm.tracer)
+        kwargs.setdefault("metrics", self.llm.metrics)
+        kwargs.setdefault("store", self.materialization_store)
+        kwargs.setdefault("stats_store", self.stats_store)
+        kwargs.setdefault("context_manager", self.context_manager)
+        return StandingQueryManager(**kwargs)
+
 
 def _wire_explicit_llm(
     llm: SimulatedLLM,

@@ -2,17 +2,51 @@
 
 A :class:`DataSource` yields :class:`DataRecord` objects and reports its
 cardinality when known; the optimizer uses cardinalities for cost estimates.
+
+Sources are also the *change feed* for standing queries (see
+:mod:`repro.sem.streaming`): every mutation — an append of new records or
+an in-place update of an existing one — bumps the source's version
+counters, is logged as a :class:`SourceEvent`, and is pushed to any
+subscribed listeners.  Two counters make the distinction the
+materialization layer needs:
+
+- ``version`` counts *every* mutation (appends and updates);
+- ``content_version`` counts only in-place updates.  Appends grow the uid
+  sequence, so the :class:`~repro.sem.materialize.MaterializationStore`
+  catches them with its source-uid prefix check; updates keep the uids and
+  would silently replay stale records — the store compares
+  ``content_version`` to catch exactly that case.
 """
 
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.data.records import DataRecord
 from repro.data.schemas import TEXT_FILE_SCHEMA, Schema
 from repro.errors import DataSourceError
+
+
+@dataclass(frozen=True)
+class SourceEvent:
+    """One logged mutation of a :class:`DataSource`.
+
+    ``event_time_s`` is the *event time* the producer stamped on the
+    change (watermark triggers compare it against allowed lateness); None
+    means unstamped, which downstream triggers treat as immediately ripe.
+    """
+
+    kind: str  # "append" | "update"
+    source_id: str
+    uids: tuple[str, ...]
+    #: Source version *after* this event (monotonic, counts all mutations).
+    version: int
+    #: Update-generation after this event (bumped by updates only).
+    content_version: int
+    event_time_s: float | None = None
 
 
 class DataSource(abc.ABC):
@@ -21,6 +55,13 @@ class DataSource(abc.ABC):
     def __init__(self, source_id: str, schema: Schema) -> None:
         self.source_id = source_id
         self.schema = schema
+        #: Monotonic mutation counter (appends and updates).
+        self.version = 0
+        #: Monotonic in-place-update counter (see module docstring).
+        self.content_version = 0
+        #: Append/update event log, oldest first.
+        self.events: list[SourceEvent] = []
+        self._subscribers: list[Callable[[SourceEvent], None]] = []
 
     @abc.abstractmethod
     def iterate(self) -> Iterator[DataRecord]:
@@ -29,6 +70,16 @@ class DataSource(abc.ABC):
     def cardinality(self) -> int | None:
         """Number of records, or None if unknown without scanning."""
         return None
+
+    def subscribe(self, callback: Callable[[SourceEvent], None]) -> None:
+        """Register a listener invoked synchronously on every mutation."""
+        self._subscribers.append(callback)
+
+    def _publish(self, event: SourceEvent) -> SourceEvent:
+        self.events.append(event)
+        for callback in self._subscribers:
+            callback(event)
+        return event
 
     def __iter__(self) -> Iterator[DataRecord]:
         return self.iterate()
@@ -57,6 +108,68 @@ class MemorySource(DataSource):
 
     def records(self) -> list[DataRecord]:
         return list(self._records)
+
+    # -- mutations (the standing-query change feed) ---------------------
+
+    def append(
+        self,
+        records: Iterable[DataRecord],
+        event_time_s: float | None = None,
+    ) -> SourceEvent:
+        """Append records at the end of the source and publish the event.
+
+        Append-only growth preserves the existing uid prefix, so
+        materialized prefixes stay delta-reusable.
+        """
+        appended = list(records)
+        for record in appended:
+            if not record.source_id:
+                record.source_id = self.source_id
+        self._records.extend(appended)
+        self.version += 1
+        return self._publish(
+            SourceEvent(
+                kind="append",
+                source_id=self.source_id,
+                uids=tuple(record.uid for record in appended),
+                version=self.version,
+                content_version=self.content_version,
+                event_time_s=event_time_s,
+            )
+        )
+
+    def update(
+        self,
+        uid: str,
+        fields: dict,
+        event_time_s: float | None = None,
+    ) -> SourceEvent:
+        """Mutate an existing record's fields in place and publish the event.
+
+        Updates keep the record's uid, so prefix-matching alone cannot see
+        them — the bumped ``content_version`` is what invalidates
+        materialized entries built on the old contents.
+        """
+        for record in self._records:
+            if record.uid == uid:
+                record.fields.update(fields)
+                break
+        else:
+            raise DataSourceError(
+                f"source {self.source_id!r} has no record with uid {uid!r}"
+            )
+        self.version += 1
+        self.content_version += 1
+        return self._publish(
+            SourceEvent(
+                kind="update",
+                source_id=self.source_id,
+                uids=(uid,),
+                version=self.version,
+                content_version=self.content_version,
+                event_time_s=event_time_s,
+            )
+        )
 
 
 class DirectorySource(DataSource):

@@ -130,6 +130,11 @@ class ContextError(ReproError):
     """Raised for invalid Context operations (bad index, missing tool...)."""
 
 
+class StreamingError(ReproError):
+    """Raised for invalid standing-query operations (bad refresh policy,
+    unregisterable plan, source without a change feed)."""
+
+
 class ServingError(ReproError):
     """Base class for multi-tenant serving-layer errors."""
 

@@ -64,6 +64,9 @@ KNOWN_SPAN_KINDS = frozenset(
         "agent-step",
         "serving-query",
         "serving-wave",
+        "standing-query",
+        "standing-tick",
+        "changelog",
     }
 )
 

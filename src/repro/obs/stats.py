@@ -28,6 +28,14 @@ observation sets each statistic, later ones blend in with weight
 ``decay``, so priors track drift without unbounded state.  Counters mirror
 into an attached :class:`~repro.obs.metrics.MetricsRegistry` as
 ``stats.observations`` / ``stats.lookups`` / ``stats.hits``.
+
+Priors are also keyed to a ``dataset`` (source id), and sources version
+themselves on mutation (see :mod:`repro.data.sources`).  The standing
+query layer calls :meth:`note_dataset_version` on every source event:
+appends *decay* the affected priors (halved observation confidence — the
+distribution likely still holds, the cardinalities may not) while in-place
+updates *invalidate* them outright (the content the selectivities were
+learned on no longer exists).
 """
 
 from __future__ import annotations
@@ -116,10 +124,13 @@ class StatisticsStore:
         self.min_observations = min_observations
         self.max_entries = max_entries
         self._priors: "OrderedDict[str, OperatorPrior]" = OrderedDict()
+        self._dataset_versions: dict[str, int] = {}
         self.observations = 0
         self.lookups = 0
         self.hits = 0
         self.evictions = 0
+        self.dataset_decays = 0
+        self.dataset_invalidations = 0
         #: Optional :class:`repro.obs.metrics.MetricsRegistry` mirror.
         self.metrics = None
 
@@ -303,6 +314,58 @@ class StatisticsStore:
             **measured,
         )
 
+    # -- dataset versioning ---------------------------------------------
+
+    def note_dataset_version(
+        self, dataset: str, version: int, change: str = "append"
+    ) -> int:
+        """React to a source-version bump for ``dataset``.
+
+        Appends decay the dataset's priors; in-place updates invalidate
+        them.  Returns how many priors were touched.  Repeats of an
+        already-seen version are no-ops, so callers can forward every
+        source event without double-penalizing priors.
+        """
+        if not dataset:
+            return 0
+        previous = self._dataset_versions.get(dataset)
+        self._dataset_versions[dataset] = version
+        if previous is not None and version == previous:
+            return 0
+        if change == "update":
+            return self.invalidate_dataset(dataset)
+        return self.decay_dataset(dataset)
+
+    def decay_dataset(self, dataset: str) -> int:
+        """Halve the observation confidence of every prior on ``dataset``.
+
+        The learned per-record statistics stay (new rows from the same
+        source usually look like old rows) but consumers with a
+        ``min_observations`` floor above 1 stop trusting them until fresh
+        evidence re-accumulates.
+        """
+        touched = 0
+        for prior in self._priors.values():
+            if prior.dataset == dataset and prior.observations > 1:
+                prior.observations = max(1, prior.observations // 2)
+                touched += 1
+        self.dataset_decays += touched
+        self._count("stats.dataset_decays", touched)
+        return touched
+
+    def invalidate_dataset(self, dataset: str) -> int:
+        """Drop every prior learned on ``dataset`` (in-place rewrite)."""
+        stale = [
+            key
+            for key, prior in self._priors.items()
+            if prior.dataset == dataset
+        ]
+        for key in stale:
+            del self._priors[key]
+        self.dataset_invalidations += len(stale)
+        self._count("stats.dataset_invalidations", len(stale))
+        return len(stale)
+
     # -- maintenance ----------------------------------------------------
 
     def clear(self) -> None:
@@ -321,6 +384,8 @@ class StatisticsStore:
             "lookups": self.lookups,
             "hits": self.hits,
             "evictions": self.evictions,
+            "dataset_decays": self.dataset_decays,
+            "dataset_invalidations": self.dataset_invalidations,
         }
 
     # -- persistence ----------------------------------------------------

@@ -39,6 +39,12 @@ the runtime promises produce the same answer:
   and partitioner.  Contract: bit-identical records at every shard
   count/partitioner — only makespan (and, on limit-bearing plans, the
   per-shard overfetch cost) may change.
+- ``streaming`` — the plan registered as a standing query over a prefix
+  of the corpus, with the remainder appended in chunks and each append
+  refreshed incrementally (``repro.sem.streaming``).  Contract: the final
+  standing view is bit-identical to the baseline's one-shot run over the
+  full corpus, and the changelog folded from empty reproduces the live
+  view at every tick.
 """
 
 from __future__ import annotations
@@ -79,6 +85,9 @@ class ConfigSpec:
     #: one shared substrate, cross-query batching on); the first tenant's
     #: observation is recorded (serve class).
     serve: bool = False
+    #: Register as a standing query over a corpus prefix and append the
+    #: rest in chunks, refreshing incrementally (streaming class).
+    streaming: bool = False
     #: Compile structured filter/project/agg prefixes to SQL before LLM
     #: operators (pushdown class disables this to prove equivalence).
     pushdown: bool = True
@@ -116,6 +125,7 @@ class ConfigSpec:
             "llm_seed": self.llm_seed,
             "reuse": self.reuse,
             "serve": self.serve,
+            "streaming": self.streaming,
             "pushdown": self.pushdown,
             "columnar": self.columnar,
             "budget_fraction": self.budget_fraction,
@@ -266,6 +276,16 @@ def config_matrix(plan, case_seed: int = 0) -> list[ConfigSpec]:
                 answer_class="serve",
                 serve=True,
                 pipeline=False,
+            )
+        )
+        # streaming class: incremental standing-query maintenance over
+        # chunked appends must converge on the one-shot baseline answer.
+        specs.append(
+            replace(
+                BASELINE,
+                name="standing",
+                answer_class="streaming",
+                streaming=True,
             )
         )
         # probes: answer-changing policies, weak oracles only.

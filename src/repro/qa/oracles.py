@@ -388,6 +388,51 @@ def check_shard_equivalence(run) -> list[Violation]:
     return violations
 
 
+def check_streaming_equivalence(run) -> list[Violation]:
+    """Incremental view maintenance converges on the one-shot answer.
+
+    The streaming class registers the plan as a standing query over a
+    prefix of the corpus and appends the remainder in chunks, refreshing
+    incrementally off the materialization store.  Contract: after the last
+    append the standing view is bit-identical to the baseline's one-shot
+    run over the full corpus, and the changelog folded from empty
+    reproduced the live view at every tick.  Cost is deliberately not
+    asserted: plans with incremental-unsafe operators (group-by, top-k,
+    limit) legally recompute each tick.
+    """
+    violations = []
+    baseline = run.first("baseline")
+    for observation in run.by_class("streaming"):
+        name = observation.spec.name
+        if observation.error:
+            continue
+        if baseline is not None and not baseline.error:
+            if observation.records != baseline.records:
+                detail = _first_diff(baseline.records, observation.records)
+                violations.append(
+                    Violation(
+                        "streaming-equivalence", name,
+                        f"standing view differs from one-shot baseline: "
+                        f"{detail}",
+                    )
+                )
+        if observation.streaming_fold_identical is False:
+            violations.append(
+                Violation(
+                    "streaming-equivalence", name,
+                    "folded changelog diverged from the live standing view",
+                )
+            )
+        if observation.streaming_ticks < 1:
+            violations.append(
+                Violation(
+                    "streaming-equivalence", name,
+                    "standing query never evaluated a refresh tick",
+                )
+            )
+    return violations
+
+
 def check_trace(run) -> list[Violation]:
     """The traced baseline run must export a structurally valid span tree."""
     from repro.obs.export import validate_spans
@@ -419,6 +464,7 @@ ORACLES = (
     check_serve_equivalence,
     check_pushdown_equivalence,
     check_shard_equivalence,
+    check_streaming_equivalence,
     check_trace,
 )
 

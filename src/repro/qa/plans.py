@@ -115,9 +115,16 @@ class PlanSpec:
 
     # -- building -------------------------------------------------------
 
-    def build(self, bundle) -> Dataset:
-        """Materialize this spec as a Dataset over ``bundle``'s source."""
-        dataset = Dataset.from_source(bundle.source())
+    def build(self, bundle, source=None) -> Dataset:
+        """Materialize this spec as a Dataset over ``bundle``'s source.
+
+        ``source`` overrides the scan's data source (the streaming class
+        builds the plan over a live :class:`~repro.data.sources.MemorySource`
+        it appends to); join right-chains still read the full bundle.
+        """
+        dataset = Dataset.from_source(
+            source if source is not None else bundle.source()
+        )
         for op in self.ops:
             dataset = _apply(dataset, op, bundle)
         return dataset

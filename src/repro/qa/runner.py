@@ -64,6 +64,13 @@ class Observation:
     #: Second tenant's normalized records for the serve class (must match
     #: the recorded first tenant's and the baseline's).
     serve_peer_records: list | None = None
+    #: Streaming class: did the changelog folded from empty match the live
+    #: standing view at every refresh tick (None = not a streaming run).
+    streaming_fold_identical: bool | None = None
+    #: Streaming class: refresh ticks evaluated / ticks that took the
+    #: delta-reuse path.
+    streaming_ticks: int = 0
+    streaming_delta_ticks: int = 0
     #: Materialization reuse achieved by the warm run (0 = no reuse).
     reused_prefix: int = 0
     reuse_kind: str = ""
@@ -109,6 +116,58 @@ def run_spec(
         dataset = case.plan.build(bundle)
         guard = mutation.applied() if mutation is not None else contextlib.nullcontext()
         with guard:
+            if spec.streaming:
+                # Standing query over the first two-thirds of the corpus;
+                # the rest arrives as three append chunks, each refreshed
+                # incrementally.  Record objects are shared with the full
+                # corpus, so derived uids line up with the baseline's.
+                from repro.data.sources import MemorySource
+                from repro.sem.streaming import RefreshPolicy, StandingQueryManager
+
+                records = bundle.records()
+                split = max(1, (2 * len(records)) // 3)
+                base, rest = records[:split], records[split:]
+                source = MemorySource(
+                    base, bundle.schema, source_id=bundle.name
+                )
+                dataset = case.plan.build(bundle, source=source)
+                config.materialization_store = MaterializationStore()
+                manager = StandingQueryManager(
+                    store=config.materialization_store
+                )
+                query = manager.register(
+                    f"qa:{spec.name}",
+                    dataset,
+                    config,
+                    policy=RefreshPolicy(trigger="count", count=1),
+                )
+                fold_identical = normalized_records(
+                    query.folded()
+                ) == normalized_records(query.records)
+                chunk = max(1, (len(rest) + 2) // 3)
+                for start in range(0, len(rest), chunk):
+                    source.append(rest[start : start + chunk])
+                    manager.pump()
+                    if normalized_records(query.folded()) != (
+                        normalized_records(query.records)
+                    ):
+                        fold_identical = False
+                observation.records = normalized_records(query.records)
+                observation.total_cost_usd = query.cumulative_cost_usd
+                observation.streaming_fold_identical = fold_identical
+                observation.streaming_ticks = len(query.ticks)
+                observation.streaming_delta_ticks = sum(
+                    1 for tick in query.ticks if tick.reuse_kind == "delta"
+                )
+                last = query.ticks[-1]
+                observation.reused_prefix = last.reused_prefix
+                observation.reuse_kind = last.reuse_kind
+                observation.max_event_cost_usd = max(
+                    (event.cost_usd for event in llm.tracker.events),
+                    default=0.0,
+                )
+                observation.max_attempts = llm.retry.max_attempts
+                return observation
             if spec.serve:
                 # Two tenant sessions submit the same plan through the
                 # serving layer (shared substrate, cross-query batching);

@@ -26,9 +26,18 @@ from repro.sem.optimizer.policies import (
     MinCost,
     OptimizationPolicy,
 )
+from repro.sem.streaming import (
+    ChangeEntry,
+    RefreshPolicy,
+    StandingQuery,
+    StandingQueryManager,
+    TickResult,
+    fold_changelog,
+)
 
 __all__ = [
     "Balanced",
+    "ChangeEntry",
     "Dataset",
     "ExecutionResult",
     "MaxQuality",
@@ -36,5 +45,10 @@ __all__ = [
     "OperatorStats",
     "OptimizationPolicy",
     "QueryProcessorConfig",
+    "RefreshPolicy",
+    "StandingQuery",
+    "StandingQueryManager",
+    "TickResult",
     "explain_analyze",
+    "fold_changelog",
 ]

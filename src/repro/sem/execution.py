@@ -524,6 +524,7 @@ class Engine:
             source_id=plan.source_id,
             cost_usd=plan.carried_cost_usd + (llm.tracker.spent_usd - run_start_cost),
             time_s=plan.carried_time_s + (llm.clock.elapsed - run_start_time),
+            content_version=plan.content_version,
         )
 
     def _section_at(

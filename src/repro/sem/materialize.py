@@ -280,6 +280,10 @@ class MaterializedEntry:
     #: Source uids at capture time; delta detection compares prefixes.
     source_uids: tuple[str, ...]
     source_id: str
+    #: Source update-generation at capture time.  In-place updates keep
+    #: uids, so the prefix check alone would misclassify them as "exact";
+    #: a probe with a different content_version invalidates the entry.
+    content_version: int = 0
     #: Measured cumulative spend of producing these records (full-recompute
     #: equivalent: delta-merged updates carry the prior entry's cost).
     cost_usd: float = 0.0
@@ -309,6 +313,9 @@ class CapturePlan:
     fingerprints: list[str | None] = field(default_factory=list)
     carried_cost_usd: float = 0.0
     carried_time_s: float = 0.0
+    #: Source update-generation this run executed against (stamped onto
+    #: every captured entry; probes compare it to catch in-place updates).
+    content_version: int = 0
 
 
 class MaterializationStore:
@@ -332,6 +339,9 @@ class MaterializationStore:
         self.stores = 0
         self.evictions = 0
         self.invalidations = 0
+        #: Invalidations caused specifically by in-place source updates
+        #: (content_version drift); a subset of ``invalidations``.
+        self.update_invalidations = 0
         self.delta_records = 0
         #: Optional :class:`repro.obs.metrics.MetricsRegistry` mirror.
         self.metrics = None
@@ -347,6 +357,7 @@ class MaterializationStore:
         cost_usd: float,
         time_s: float,
         emit_counts: tuple[int, ...] | None = None,
+        content_version: int = 0,
     ) -> MaterializedEntry:
         previous = self._entries.pop(fingerprint, None)
         entry = MaterializedEntry(
@@ -354,6 +365,7 @@ class MaterializationStore:
             records=list(records),
             source_uids=tuple(source_uids),
             source_id=source_id,
+            content_version=content_version,
             cost_usd=cost_usd,
             time_s=time_s,
             hits=previous.hits if previous else 0,
@@ -372,17 +384,30 @@ class MaterializationStore:
     # -- reads ----------------------------------------------------------
 
     def match(
-        self, fingerprint: str, source_uids: tuple[str, ...]
+        self,
+        fingerprint: str,
+        source_uids: tuple[str, ...],
+        content_version: int = 0,
     ) -> tuple[str, MaterializedEntry | None]:
-        """Classify a probe: ``("exact"|"delta"|"stale"|"miss", entry)``.
+        """Classify a probe: ``("exact"|"delta"|"update"|"stale"|"miss", entry)``.
 
         Exact: the source is unchanged.  Delta: the stored uids are a
-        proper prefix of the current ones (append-only growth).  Anything
-        else — shrinkage, reordering, rewrites — invalidates the entry.
+        proper prefix of the current ones (append-only growth).  Update:
+        the source saw an in-place rewrite since capture (uids may still
+        match, but the contents don't) — the entry is evicted so standing
+        queries recompute instead of replaying stale records.  Anything
+        else — shrinkage, reordering — invalidates the entry as "stale".
         """
         entry = self._entries.get(fingerprint)
         if entry is None:
             return "miss", None
+        if entry.content_version != content_version:
+            del self._entries[fingerprint]
+            self.invalidations += 1
+            self.update_invalidations += 1
+            self._count("materialization.invalidations")
+            self._count("materialization.update_invalidations")
+            return "update", None
         if entry.source_uids == source_uids:
             return "exact", entry
         base = len(entry.source_uids)
@@ -414,8 +439,14 @@ class MaterializationStore:
 
     # -- maintenance ----------------------------------------------------
 
-    def invalidate_sources(self, source_ids) -> int:
-        """Evict every entry built on one of ``source_ids``; returns count."""
+    def invalidate_sources(self, source_ids, kind: str = "stale") -> int:
+        """Evict every entry built on one of ``source_ids``; returns count.
+
+        ``kind="update"`` marks the eviction as caused by an in-place
+        source rewrite (the standing-query cascade), mirroring what the
+        lazy ``content_version`` check in :meth:`match` would have
+        classified, so update provenance survives eager invalidation.
+        """
         names = set(source_ids)
         doomed = [
             fingerprint
@@ -426,6 +457,9 @@ class MaterializationStore:
             del self._entries[fingerprint]
         self.invalidations += len(doomed)
         self._count("materialization.invalidations", len(doomed))
+        if kind == "update":
+            self.update_invalidations += len(doomed)
+            self._count("materialization.update_invalidations", len(doomed))
         return len(doomed)
 
     def clear(self) -> None:
@@ -449,6 +483,7 @@ class MaterializationStore:
             "stores": self.stores,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "update_invalidations": self.update_invalidations,
             "delta_records": self.delta_records,
         }
 
@@ -473,6 +508,7 @@ class MaterializationStore:
                 "records": records,
                 "source_uids": list(entry.source_uids),
                 "source_id": entry.source_id,
+                "content_version": entry.content_version,
                 "cost_usd": entry.cost_usd,
                 "time_s": entry.time_s,
             }
@@ -513,6 +549,7 @@ class MaterializationStore:
                 cost_usd=raw["cost_usd"],
                 time_s=raw["time_s"],
                 emit_counts=tuple(emit_counts) if emit_counts is not None else None,
+                content_version=raw.get("content_version", 0),
             )
             loaded += 1
         return loaded

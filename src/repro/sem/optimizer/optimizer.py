@@ -442,6 +442,7 @@ class Optimizer:
             source_records = list(chain[0].source.iterate())
         source_uids = tuple(record.uid for record in source_records)
         source_id = chain[0].source.source_id
+        content_version = getattr(chain[0].source, "content_version", 0)
         models = [self._resolved_model(op, chosen) for op in chain]
         fingerprints = prefix_fingerprints(
             chain,
@@ -454,6 +455,7 @@ class Optimizer:
             source_id=source_id,
             source_uids=source_uids,
             fingerprints=list(fingerprints),
+            content_version=content_version,
         )
         report.capture = capture
 
@@ -470,7 +472,7 @@ class Optimizer:
             fingerprint = fingerprints[length - 1]
             if fingerprint is None:
                 continue
-            kind, entry = store.match(fingerprint, source_uids)
+            kind, entry = store.match(fingerprint, source_uids, content_version)
             if kind == "exact":
                 reuse = (length, kind, entry, [])
                 break

@@ -26,7 +26,12 @@ from repro.errors import BudgetExceededError, ExecutionError, TransientLLMError
 from repro.llm.embeddings import cosine_similarity, top_k_similar
 from repro.llm.simulated import SimulatedLLM
 from repro.sem import logical as L
-from repro.sem.batch import RecordBatch, struct_filter_mask
+from repro.sem.batch import (
+    RecordBatch,
+    project_batch,
+    py_map_batch,
+    struct_filter_mask,
+)
 from repro.sem.structql import (
     compile_predicate,
     evaluate_predicate,
@@ -824,10 +829,7 @@ class PhysPyMap(StreamingOperator):
     def process_batch(
         self, batch: RecordBatch, ctx: ExecutionContext, state: dict
     ) -> RecordBatch:
-        output = []
-        for record in batch.records:
-            output.extend(self.process_record(record, ctx, state))
-        return RecordBatch(output)
+        return py_map_batch(batch, self.logical_op.fn)
 
 
 class PhysProject(StreamingOperator):
@@ -851,12 +853,7 @@ class PhysProject(StreamingOperator):
     def process_batch(
         self, batch: RecordBatch, ctx: ExecutionContext, state: dict
     ) -> RecordBatch:
-        wanted = set(self.logical_op.fields)
-        output = []
-        for record in batch.records:
-            drop = [name for name in record.fields if name not in wanted]
-            output.append(record.derive({}, drop=drop))
-        return RecordBatch(output)
+        return project_batch(batch, self.logical_op.fields)
 
 
 class PhysLimit(StreamingOperator):

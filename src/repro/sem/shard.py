@@ -398,7 +398,9 @@ class ShardedExecutor:
             fingerprint = capture.fingerprints[position]
             if fingerprint is None:
                 continue
-            kind, entry = capture.store.match(fingerprint, capture.source_uids)
+            kind, entry = capture.store.match(
+                fingerprint, capture.source_uids, capture.content_version
+            )
             if kind != "exact":
                 continue
             capture.store.note_hit(entry, "exact")
@@ -678,7 +680,9 @@ class ShardedExecutor:
             fingerprint = shard_fingerprint(
                 base_fingerprint, plan.partitioner, plan.n_shards, shard_index
             )
-            kind, entry = capture.store.match(fingerprint, input_uids)
+            kind, entry = capture.store.match(
+                fingerprint, input_uids, capture.content_version
+            )
             if kind == "exact" and entry.emit_counts is not None:
                 capture.store.note_hit(entry, "exact")
                 self._place_replayed(items, entry, out_by_pos)
@@ -773,6 +777,7 @@ class ShardedExecutor:
                 cost_usd=carried_cost + usage.cost_usd,
                 time_s=carried_time + schedule.makespan,
                 emit_counts=emit_counts,
+                content_version=capture.content_version,
             )
         return schedule.makespan, truncated
 

@@ -1,0 +1,785 @@
+"""Standing queries: incremental view maintenance over delta execution.
+
+The paper's ContextManager envisions analytics that stay *live* as new
+evidence arrives.  This module turns the fingerprinted delta execution of
+:mod:`repro.sem.materialize` into continuous *standing queries*: a
+registered :class:`~repro.sem.dataset.Dataset` plan re-evaluates
+incrementally as its :class:`~repro.data.sources.DataSource`\\ s receive
+``append``/``update`` events, so repeated evaluation costs O(delta)
+instead of O(stream).
+
+How a tick works:
+
+1. Sources publish :class:`~repro.data.sources.SourceEvent`\\ s to the
+   :class:`StandingQueryManager`, which accumulates them as *pending* work
+   per standing query (updates additionally cascade an invalidation
+   through :meth:`~repro.core.context_manager.ContextManager.invalidate`
+   and the source's bumped ``content_version``).
+2. :meth:`StandingQueryManager.pump` evaluates each query's
+   :class:`RefreshPolicy` — count / interval / watermark triggers, or the
+   freshness-vs-cost *governor* that consults
+   :class:`~repro.obs.stats.StatisticsStore` priors to decide "refresh now
+   vs batch more appends".
+3. A due refresh re-runs the plan.  The shared
+   :class:`~repro.sem.materialize.MaterializationStore` classifies each
+   fingerprinted prefix as a delta hit, so only the appended records flow
+   through the delta-safe prefix; past unsafe boundaries (group-by, join,
+   top-k, limit) execution falls back to a scoped recompute over the
+   merged record set.  Because simulated answers and derived uids are pure
+   functions of lineage, the tick's result is bit-identical to a
+   from-scratch run.
+4. The tick emits a **changelog** of result deltas — insert/retract
+   entries carrying the affected records (and through them the lineage
+   uids) — computed as a minimal sequence diff against the previous view.
+   :func:`fold_changelog` replays a changelog onto any prior state and
+   reproduces the current view exactly.
+
+Empty-delta ticks are zero-cost no-ops: a trigger that fires with nothing
+pending records a skipped tick without touching the engine or the clock.
+
+Observability: ``standing-query`` (registration), ``standing-tick`` (one
+refresh) and ``changelog`` (the emitted deltas) span kinds, plus
+``streaming.*`` counters.  :meth:`StandingQuery.explain` appends a
+refresh-provenance footer to the usual EXPLAIN ANALYZE rendering.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from itertools import groupby
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.data.records import DataRecord
+from repro.data.sources import DataSource, SourceEvent
+from repro.errors import QuotaExceededError, StreamingError
+
+if TYPE_CHECKING:
+    from repro.sem.config import QueryProcessorConfig
+    from repro.sem.dataset import Dataset
+
+_TRIGGERS = ("count", "interval", "watermark", "governor")
+
+#: A pluggable refresh executor: ``(query, tag) -> (records, cost_usd,
+#: time_s, report_or_None)``.  The default runs the plan directly; the
+#: serving layer substitutes admission-controlled submission.
+RefreshRunner = Callable[["StandingQuery", str], tuple]
+
+
+@dataclass(frozen=True)
+class RefreshPolicy:
+    """When a standing query's pending events justify a refresh.
+
+    - ``count`` — refresh once ``count`` appended records are pending.
+    - ``interval`` — refresh every ``interval_s`` virtual seconds (fires
+      even with an empty delta; the tick is then a zero-cost no-op).
+    - ``watermark`` — refresh when a pending event's event time falls at
+      or below the watermark (max event time seen minus ``lateness_s``).
+      Events arriving already below the watermark are *late*: counted,
+      immediately ripe, never regressing the watermark.
+    - ``governor`` — the freshness-vs-cost budget governor: estimate the
+      pending delta's refresh cost from learned priors and batch more
+      appends until it clears ``min_batch_usd`` (amortizing per-refresh
+      overhead), unless ``max_staleness_s`` forces the issue first.
+
+    Update events always force a refresh at the next pump regardless of
+    the trigger — an in-place rewrite makes the standing view stale in a
+    way batching cannot excuse.
+    """
+
+    trigger: str = "count"
+    count: int = 1
+    interval_s: float = 60.0
+    lateness_s: float = 0.0
+    #: Governor: defer until the estimated refresh spend reaches this.
+    min_batch_usd: float = 0.0
+    #: Governor: refresh regardless once the view is this stale (None =
+    #: batch indefinitely while the estimate stays under the floor).
+    max_staleness_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.trigger not in _TRIGGERS:
+            raise StreamingError(
+                f"unknown refresh trigger {self.trigger!r}; "
+                f"expected one of {_TRIGGERS}"
+            )
+        if self.count < 1:
+            raise StreamingError(f"count must be >= 1, got {self.count}")
+        if self.interval_s < 0 or self.lateness_s < 0 or self.min_batch_usd < 0:
+            raise StreamingError("policy intervals and budgets must be >= 0")
+        if self.max_staleness_s is not None and self.max_staleness_s < 0:
+            raise StreamingError(
+                f"max_staleness_s must be >= 0, got {self.max_staleness_s}"
+            )
+
+
+@dataclass(frozen=True)
+class ChangeEntry:
+    """One result delta: a record inserted into or retracted from the view.
+
+    ``position`` indexes the *pre-tick* view for retracts and the
+    *post-tick* view for inserts, so applying a tick's retracts (by
+    descending position) and then its inserts (ascending) reconstructs the
+    new view exactly — see :func:`fold_changelog`.
+    """
+
+    kind: str  # "insert" | "retract"
+    tick: int
+    position: int
+    record: DataRecord
+
+    @property
+    def uid(self) -> str:
+        return self.record.uid
+
+    @property
+    def lineage(self) -> tuple[str, ...]:
+        """Parent uids of the affected record (provenance)."""
+        return self.record.parent_uids
+
+
+@dataclass
+class TickResult:
+    """What one evaluated trigger firing produced."""
+
+    name: str
+    tick: int
+    #: What fired: register|count|interval|watermark|governor|staleness|
+    #: update|forced (deferred quota rejections keep their firing cause).
+    fired: str
+    at_s: float
+    #: Empty-delta no-op: the trigger fired but nothing was pending, so no
+    #: execution happened (zero cost, zero clock).
+    skipped: bool = False
+    #: Admission control rejected the refresh; pending events are retained
+    #: and the next pump retries.
+    deferred: bool = False
+    pending_appends: int = 0
+    pending_updates: int = 0
+    #: Governor's prior-based spend estimate for this refresh (None = no
+    #: usable priors / non-governor trigger).
+    est_cost_usd: float | None = None
+    cost_usd: float = 0.0
+    time_s: float = 0.0
+    reused_prefix: int = 0
+    reuse_kind: str = ""
+    delta_records: int = 0
+    inserts: int = 0
+    retracts: int = 0
+    changelog: list[ChangeEntry] = field(default_factory=list)
+
+
+def _record_key(record: DataRecord) -> tuple[str, str]:
+    """Hashable identity for diffing: uid + a stable field rendering."""
+    return record.uid, repr(sorted(record.fields.items()))
+
+
+def diff_records(
+    before: list[DataRecord], after: list[DataRecord], tick: int
+) -> list[ChangeEntry]:
+    """Minimal insert/retract sequence edit turning ``before`` into ``after``."""
+    matcher = difflib.SequenceMatcher(
+        a=[_record_key(record) for record in before],
+        b=[_record_key(record) for record in after],
+        autojunk=False,
+    )
+    entries: list[ChangeEntry] = []
+    for tag, i1, i2, j1, j2 in matcher.get_opcodes():
+        if tag in ("delete", "replace"):
+            for position in range(i1, i2):
+                entries.append(
+                    ChangeEntry("retract", tick, position, before[position])
+                )
+        if tag in ("insert", "replace"):
+            for position in range(j1, j2):
+                entries.append(
+                    ChangeEntry("insert", tick, position, after[position])
+                )
+    return entries
+
+
+def fold_changelog(
+    base: list[DataRecord], entries: list[ChangeEntry]
+) -> list[DataRecord]:
+    """Replay a changelog onto ``base``, returning the resulting view.
+
+    Entries must be in emission order (grouped by tick); folding the full
+    changelog from an empty base reproduces the standing query's current
+    records bit-identically.
+    """
+    state = list(base)
+    for _tick, group in groupby(entries, key=lambda entry: entry.tick):
+        batch = list(group)
+        retracts = sorted(
+            (entry for entry in batch if entry.kind == "retract"),
+            key=lambda entry: entry.position,
+            reverse=True,
+        )
+        for entry in retracts:
+            if not 0 <= entry.position < len(state) or (
+                state[entry.position].uid != entry.record.uid
+            ):
+                raise StreamingError(
+                    f"changelog retract at position {entry.position} does "
+                    f"not match the folded state (tick {entry.tick})"
+                )
+            del state[entry.position]
+        inserts = sorted(
+            (entry for entry in batch if entry.kind == "insert"),
+            key=lambda entry: entry.position,
+        )
+        for entry in inserts:
+            if entry.position > len(state):
+                raise StreamingError(
+                    f"changelog insert at position {entry.position} is out "
+                    f"of range for the folded state (tick {entry.tick})"
+                )
+            state.insert(entry.position, entry.record)
+    return state
+
+
+class StandingQuery:
+    """One registered plan plus its live view and pending-event state."""
+
+    def __init__(
+        self,
+        name: str,
+        dataset: "Dataset",
+        config: "QueryProcessorConfig | None",
+        policy: RefreshPolicy,
+        sources: list[DataSource],
+        runner: RefreshRunner,
+        clock: Any,
+        tracer: Any,
+        metrics: Any,
+    ) -> None:
+        self.name = name
+        self.dataset = dataset
+        self.config = config
+        self.policy = policy
+        self.sources = sources
+        self.runner = runner
+        self.clock = clock
+        self.tracer = tracer
+        self.metrics = metrics
+        #: The current standing view (last refresh's result records).
+        self.records: list[DataRecord] = []
+        #: Full changelog across all ticks, in emission order.
+        self.changelog: list[ChangeEntry] = []
+        #: Every evaluated firing (refreshes, no-ops, and deferrals).
+        self.ticks: list[TickResult] = []
+        self.tick_count = 0
+        self.last_refresh_s = 0.0
+        self.cumulative_cost_usd = 0.0
+        # Pending-event accounting since the last completed refresh.
+        self.pending_appends = 0
+        self.pending_updates = 0
+        self.pending_event_times: list[float | None] = []
+        self.max_event_time_s: float | None = None
+        self.late_events = 0
+        self.governor_deferrals = 0
+        # Last completed run's artifacts (refresh provenance + governor).
+        self.last_result = None
+        self.last_report = None
+        self.last_stats_plan = None
+
+    @property
+    def watermark_s(self) -> float | None:
+        """Max event time seen minus allowed lateness (None = no events)."""
+        if self.max_event_time_s is None:
+            return None
+        return self.max_event_time_s - self.policy.lateness_s
+
+    def folded(self) -> list[DataRecord]:
+        """The changelog folded from empty — must equal :attr:`records`."""
+        return fold_changelog([], self.changelog)
+
+    # -- refresh provenance (EXPLAIN footer) ----------------------------
+
+    def refresh_footer(self) -> str:
+        """Render the refresh-provenance footer for EXPLAIN output."""
+        refreshes = sum(
+            1 for tick in self.ticks if not tick.skipped and not tick.deferred
+        )
+        skipped = sum(1 for tick in self.ticks if tick.skipped)
+        deferred = sum(1 for tick in self.ticks if tick.deferred)
+        lines = [
+            f"standing query {self.name!r}: {len(self.ticks)} ticks "
+            f"({refreshes} refreshes, {skipped} empty no-ops, "
+            f"{deferred} deferred), trigger={self.policy.trigger}, "
+            f"cumulative cost ${self.cumulative_cost_usd:.4f}"
+        ]
+        if self.ticks:
+            tick = self.ticks[-1]
+            line = (
+                f"last tick {tick.tick}: fired by {tick.fired} at "
+                f"{tick.at_s:.1f}s"
+            )
+            if tick.skipped:
+                line += ", empty delta (zero-cost no-op)"
+            elif tick.deferred:
+                line += ", deferred by admission control"
+            else:
+                reuse = (
+                    f"{tick.reuse_kind} prefix={tick.reused_prefix} "
+                    f"({tick.delta_records} delta records)"
+                    if tick.reused_prefix
+                    else "full recompute"
+                )
+                line += (
+                    f", {reuse}, changelog +{tick.inserts}/-{tick.retracts}, "
+                    f"cost ${tick.cost_usd:.4f}"
+                )
+            if tick.est_cost_usd is not None:
+                line += f", governor est ${tick.est_cost_usd:.4f}"
+            lines.append(line)
+        if self.policy.trigger == "watermark":
+            watermark = self.watermark_s
+            lines.append(
+                "watermark: "
+                + (f"{watermark:.1f}s" if watermark is not None else "unset")
+                + (
+                    f" (max event time {self.max_event_time_s:.1f}s, "
+                    if self.max_event_time_s is not None
+                    else " ("
+                )
+                + f"lateness {self.policy.lateness_s:.1f}s, "
+                f"{self.late_events} late events)"
+            )
+        return "\n".join(lines)
+
+    def explain(self) -> str:
+        """EXPLAIN ANALYZE of the last refresh plus the refresh footer."""
+        body = ""
+        if self.last_result is not None and self.last_report is not None:
+            from repro.sem.explain import explain_analyze
+
+            body = explain_analyze(self.last_result, self.last_report) + "\n\n"
+        return body + self.refresh_footer()
+
+
+class StandingQueryManager:
+    """Registers standing queries and drives their incremental refreshes.
+
+    One manager watches many queries over shared substrate components; all
+    of ``clock``/``tracer``/``metrics`` default per query to the
+    registered config's LLM.  ``store`` (a shared
+    :class:`~repro.sem.materialize.MaterializationStore`) is attached to
+    registered configs that lack one, so delta reuse works out of the box;
+    ``context_manager`` receives the invalidation cascade on update
+    events; ``stats_store`` feeds the governor's estimates and is told
+    about source-version changes so selectivity priors decay instead of
+    serving stale cardinalities.
+    """
+
+    def __init__(
+        self,
+        clock: Any = None,
+        tracer: Any = None,
+        metrics: Any = None,
+        store: Any = None,
+        stats_store: Any = None,
+        context_manager: Any = None,
+    ) -> None:
+        self.clock = clock
+        self.tracer = tracer
+        self.metrics = metrics
+        self.store = store
+        self.stats_store = stats_store
+        self.context_manager = context_manager
+        self.queries: dict[str, StandingQuery] = {}
+        self._watchers: dict[int, list[StandingQuery]] = {}
+        self._subscribed: set[int] = set()
+
+    # -- registration ---------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        dataset: "Dataset",
+        config: "QueryProcessorConfig | None" = None,
+        policy: RefreshPolicy | None = None,
+        runner: RefreshRunner | None = None,
+        prime: bool = True,
+    ) -> StandingQuery:
+        """Register ``dataset`` as a standing query named ``name``.
+
+        With ``prime=True`` (default) the plan runs once immediately
+        (tick 0, cause ``register``) to establish the base view and warm
+        the materialized prefixes that later ticks replay.
+        """
+        if name in self.queries:
+            raise StreamingError(f"standing query {name!r} already registered")
+        if config is None and runner is None:
+            raise StreamingError(
+                "register() needs a QueryProcessorConfig (default runner) "
+                "or an explicit runner"
+            )
+        if config is not None:
+            if (
+                getattr(config, "materialization_store", None) is None
+                and self.store is not None
+            ):
+                config.materialization_store = self.store
+            if (
+                getattr(config, "stats_store", None) is None
+                and self.stats_store is not None
+            ):
+                config.stats_store = self.stats_store
+        sources = [
+            op.source
+            for op in dataset.plan().source_ops()
+            if op.source is not None and hasattr(op.source, "subscribe")
+        ]
+        if not sources:
+            raise StreamingError(
+                f"standing query {name!r} has no subscribable DataSource; "
+                "standing queries need an event-publishing source "
+                "(e.g. MemorySource)"
+            )
+        clock = self.clock if self.clock is not None else config.llm.clock
+        tracer = self.tracer if self.tracer is not None else config.llm.tracer
+        metrics = (
+            self.metrics if self.metrics is not None else config.llm.metrics
+        )
+        query = StandingQuery(
+            name=name,
+            dataset=dataset,
+            config=config,
+            policy=policy or RefreshPolicy(),
+            sources=sources,
+            runner=runner or _default_runner,
+            clock=clock,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        query.last_refresh_s = clock.elapsed
+        self.queries[name] = query
+        for source in sources:
+            self._watchers.setdefault(id(source), []).append(query)
+            if id(source) not in self._subscribed:
+                self._subscribed.add(id(source))
+                source.subscribe(self._on_event)
+        if tracer.enabled:
+            with tracer.span(
+                f"standing:{name}",
+                kind="standing-query",
+                trigger=query.policy.trigger,
+                sources=[source.source_id for source in sources],
+            ):
+                pass
+        self._count(query, "streaming.queries")
+        if prime:
+            self._refresh(query, "register", clock.elapsed)
+        return query
+
+    # -- event intake ---------------------------------------------------
+
+    def _on_event(self, event: SourceEvent) -> None:
+        """Source callback: accumulate pending work, cascade invalidation."""
+        watchers = [
+            query
+            for queries in self._watchers.values()
+            for query in queries
+            if any(
+                source.source_id == event.source_id for source in query.sources
+            )
+        ]
+        # id()-keyed watcher lists can alias one query twice only if it
+        # reads the same source object twice; dedupe by name.
+        seen: dict[str, StandingQuery] = {}
+        for query in watchers:
+            seen.setdefault(query.name, query)
+        if self.stats_store is not None and hasattr(
+            self.stats_store, "note_dataset_version"
+        ):
+            self.stats_store.note_dataset_version(
+                event.source_id, event.version, change=event.kind
+            )
+        if event.kind == "update":
+            self._invalidate_for_update(event, seen.values())
+        for query in seen.values():
+            if event.kind == "append":
+                rows = len(event.uids)
+                query.pending_appends += rows
+                query.pending_event_times.append(event.event_time_s)
+                if event.event_time_s is not None:
+                    watermark = query.watermark_s
+                    if (
+                        watermark is not None
+                        and event.event_time_s <= watermark
+                    ):
+                        query.late_events += 1
+                        self._count(query, "streaming.late_events")
+                    if (
+                        query.max_event_time_s is None
+                        or event.event_time_s > query.max_event_time_s
+                    ):
+                        query.max_event_time_s = event.event_time_s
+                self._count(query, "streaming.appends")
+                self._count(query, "streaming.appended_records", rows)
+            else:
+                query.pending_updates += len(event.uids)
+                self._count(query, "streaming.updates")
+
+    def _invalidate_for_update(self, event: SourceEvent, queries) -> None:
+        """Cascade an in-place update into every reuse layer.
+
+        The bumped ``content_version`` already guarantees the next match
+        classifies stale entries as ``update``; the eager eviction here
+        (through :meth:`ContextManager.invalidate` when wired) keeps the
+        shared stores honest for *other* consumers between pumps.
+        """
+        stores = []
+        if self.store is not None:
+            stores.append(self.store)
+        if self.context_manager is not None:
+            attached = getattr(
+                self.context_manager, "materialization_store", None
+            )
+            if attached is not None:
+                stores.append(attached)
+        for query in queries:
+            store = getattr(query.config, "materialization_store", None)
+            if store is not None:
+                stores.append(store)
+        handled = set()
+        for store in stores:
+            if id(store) in handled:
+                continue
+            handled.add(id(store))
+            store.invalidate_sources([event.source_id], kind="update")
+        # Context-level cascade after the stores: evicted contexts built on
+        # the source go stale too (their own store pass is then a no-op).
+        if self.context_manager is not None:
+            self.context_manager.invalidate(event.source_id)
+
+    # -- trigger evaluation ---------------------------------------------
+
+    def pump(self, now_s: float | None = None) -> list[TickResult]:
+        """Evaluate every query's trigger; run the due refreshes."""
+        results = []
+        for query in list(self.queries.values()):
+            now = now_s if now_s is not None else query.clock.elapsed
+            cause = self._due(query, now)
+            if cause is None:
+                continue
+            results.append(self._refresh(query, cause, now))
+        return results
+
+    def refresh(self, name: str, cause: str = "forced") -> TickResult:
+        """Force one query's refresh regardless of its trigger."""
+        query = self.queries.get(name)
+        if query is None:
+            raise StreamingError(f"no standing query named {name!r}")
+        return self._refresh(query, cause, query.clock.elapsed)
+
+    def _due(self, query: StandingQuery, now: float) -> str | None:
+        """The cause firing ``query`` now, or None to keep batching."""
+        if query.pending_updates:
+            return "update"
+        policy = query.policy
+        pending = query.pending_appends
+        if policy.trigger == "count":
+            return "count" if pending >= policy.count else None
+        if policy.trigger == "interval":
+            due = now - query.last_refresh_s >= policy.interval_s
+            return "interval" if due else None
+        if policy.trigger == "watermark":
+            if not pending:
+                return None
+            watermark = query.watermark_s
+            ripe = any(
+                event_time is None
+                or (watermark is not None and event_time <= watermark)
+                for event_time in query.pending_event_times
+            )
+            return "watermark" if ripe else None
+        # governor: freshness vs cost.
+        if not pending:
+            return None
+        if (
+            policy.max_staleness_s is not None
+            and now - query.last_refresh_s >= policy.max_staleness_s
+        ):
+            return "staleness"
+        estimate = self._estimate_refresh_cost(query, pending)
+        if estimate is None or estimate >= policy.min_batch_usd:
+            return "governor"
+        query.governor_deferrals += 1
+        self._count(query, "streaming.governor_deferrals")
+        return None
+
+    def _estimate_refresh_cost(
+        self, query: StandingQuery, pending_rows: int
+    ) -> float | None:
+        """Prior-based spend estimate for refreshing the pending delta.
+
+        Composes learned per-operator cost-per-record and selectivity down
+        the plan's statistics keys; None (no usable priors yet) means the
+        governor cannot justify deferring and refreshes immediately.
+        """
+        stats_store = self.stats_store
+        if stats_store is None and query.config is not None:
+            stats_store = getattr(query.config, "stats_store", None)
+        if stats_store is None or not query.last_stats_plan:
+            return None
+        rows = float(pending_rows)
+        total = 0.0
+        informed = False
+        for entry in query.last_stats_plan:
+            if entry is None:
+                continue
+            prior = stats_store.usable_prior(entry.get("key"))
+            if prior is None:
+                continue
+            informed = True
+            total += rows * prior.cost_per_record
+            rows *= prior.selectivity
+        return total if informed else None
+
+    # -- refresh execution ----------------------------------------------
+
+    def _refresh(
+        self, query: StandingQuery, cause: str, now: float
+    ) -> TickResult:
+        tick_index = query.tick_count
+        pending_appends = query.pending_appends
+        pending_updates = query.pending_updates
+        estimate = (
+            self._estimate_refresh_cost(query, pending_appends)
+            if query.policy.trigger == "governor"
+            else None
+        )
+        tick = TickResult(
+            name=query.name,
+            tick=tick_index,
+            fired=cause,
+            at_s=now,
+            pending_appends=pending_appends,
+            pending_updates=pending_updates,
+            est_cost_usd=estimate,
+        )
+
+        # Empty-delta no-op: nothing pending, nothing to run, zero cost.
+        if cause != "register" and not pending_appends and not pending_updates:
+            tick.skipped = True
+            query.tick_count += 1
+            query.ticks.append(tick)
+            query.last_refresh_s = now
+            if query.tracer.enabled:
+                with query.tracer.span(
+                    f"standing:{query.name}:tick{tick_index}",
+                    kind="standing-tick",
+                    fired=cause,
+                    skipped=True,
+                ):
+                    pass
+            self._count(query, "streaming.ticks")
+            self._count(query, "streaming.empty_ticks")
+            return tick
+
+        tag = f"standing:{query.name}:t{tick_index}"
+        tracer = query.tracer
+        span_ctx = (
+            tracer.span(
+                f"standing:{query.name}:tick{tick_index}",
+                kind="standing-tick",
+                fired=cause,
+                pending_appends=pending_appends,
+                pending_updates=pending_updates,
+            )
+            if tracer.enabled
+            else _null_span()
+        )
+        with span_ctx as tick_span:
+            try:
+                records, cost_usd, time_s, report = query.runner(query, tag)
+            except QuotaExceededError:
+                tick.deferred = True
+                query.tick_count += 1
+                query.ticks.append(tick)
+                if tick_span is not None:
+                    tick_span.attributes["deferred"] = True
+                self._count(query, "streaming.ticks")
+                self._count(query, "streaming.deferred")
+                return tick
+
+            changelog = diff_records(query.records, records, tick_index)
+            tick.changelog = changelog
+            tick.inserts = sum(1 for e in changelog if e.kind == "insert")
+            tick.retracts = sum(1 for e in changelog if e.kind == "retract")
+            tick.cost_usd = cost_usd
+            tick.time_s = time_s
+            if report is not None:
+                tick.reused_prefix = report.reused_prefix
+                tick.reuse_kind = report.reuse_kind
+                tick.delta_records = report.reuse_delta_records
+                query.last_report = report
+                query.last_stats_plan = report.stats_plan
+            query.records = list(records)
+            query.changelog.extend(changelog)
+            query.cumulative_cost_usd += cost_usd
+            query.tick_count += 1
+            query.ticks.append(tick)
+            query.pending_appends = 0
+            query.pending_updates = 0
+            query.pending_event_times = []
+            query.last_refresh_s = query.clock.elapsed
+            if tick_span is not None:
+                tick_span.attributes.update(
+                    cost_usd=round(cost_usd, 6),
+                    inserts=tick.inserts,
+                    retracts=tick.retracts,
+                    reused_prefix=tick.reused_prefix,
+                    reuse_kind=tick.reuse_kind,
+                    records=len(records),
+                )
+                with tracer.span(
+                    f"standing:{query.name}:changelog",
+                    kind="changelog",
+                    tick=tick_index,
+                    inserts=tick.inserts,
+                    retracts=tick.retracts,
+                ):
+                    pass
+        self._count(query, "streaming.ticks")
+        self._count(query, "streaming.refreshes")
+        self._count(query, "streaming.inserts", tick.inserts)
+        self._count(query, "streaming.retracts", tick.retracts)
+        self._count(query, "streaming.delta_records", pending_appends)
+        return tick
+
+    # -- internals ------------------------------------------------------
+
+    def _count(self, query: StandingQuery, name: str, amount: float = 1) -> None:
+        metrics = query.metrics if query is not None else self.metrics
+        if metrics is not None and metrics.enabled and amount:
+            metrics.counter(name).inc(amount)
+
+
+def _default_runner(query: StandingQuery, tag: str) -> tuple:
+    """Run the plan directly on the registered config's substrate."""
+    config = query.config
+    llm = config.llm
+    previous_tag = config.tag
+    checkpoint = llm.tracker.checkpoint()
+    time_before = llm.clock.elapsed
+    config.tag = tag
+    try:
+        result, report = query.dataset.run_with_report(config)
+    finally:
+        config.tag = previous_tag
+    query.last_result = result
+    usage = llm.tracker.since(checkpoint)
+    return result.records, usage.cost_usd, llm.clock.elapsed - time_before, report
+
+
+class _null_span:
+    """Minimal no-op context manager for disabled tracers."""
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False

@@ -120,6 +120,7 @@ class ServingRuntime:
         self._pending: list[QueryJob] = []
         self._next_query_id = 0
         self.reports: list[ServingReport] = []
+        self._standing = None
 
     # -- admission ------------------------------------------------------
 
@@ -250,6 +251,66 @@ class ServingRuntime:
             job.materialization_hits,
         )
         return job
+
+    # -- standing queries -----------------------------------------------
+
+    def standing_manager(self):
+        """The lazily built standing-query manager over this serving layer.
+
+        Shares the serving runtime's substrate (clock, tracer, metrics,
+        materialization store, statistics store, context manager) so
+        standing-query ticks hit the same caches tenants do.
+        """
+        if self._standing is None:
+            from repro.sem.streaming import StandingQueryManager
+
+            runtime = self.runtime
+            self._standing = StandingQueryManager(
+                clock=self.llm.clock,
+                tracer=self.llm.tracer,
+                metrics=self.llm.metrics,
+                store=runtime.materialization_store,
+                stats_store=getattr(runtime, "stats_store", None),
+                context_manager=getattr(runtime, "context_manager", None),
+            )
+        return self._standing
+
+    def register_standing(
+        self,
+        tenant: str,
+        name: str,
+        dataset: "Dataset",
+        policy=None,
+        prime: bool = True,
+    ):
+        """Register ``dataset`` as a standing query served for ``tenant``.
+
+        Each refresh tick goes through :meth:`submit`, so admission
+        control applies (a quota rejection defers the tick, keeping the
+        pending delta queued for the next pump) and the tick's calls join
+        the pending drain window for cross-query batching.  The query is
+        namespaced ``tenant:name``.
+        """
+
+        def runner(query, tag):
+            job = self.submit(
+                tenant, query.dataset, arrival_s=query.clock.elapsed, tag=tag
+            )
+            return job.records, job.raw_cost_usd, 0.0, None
+
+        return self.standing_manager().register(
+            f"{tenant}:{name}",
+            dataset,
+            policy=policy,
+            runner=runner,
+            prime=prime,
+        )
+
+    def pump_standing(self, now_s: float | None = None):
+        """Evaluate standing-query triggers; due ticks submit as tenants."""
+        if self._standing is None:
+            return []
+        return self._standing.pump(now_s)
 
     # -- scheduling -----------------------------------------------------
 

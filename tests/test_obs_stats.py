@@ -338,3 +338,67 @@ def test_operator_prior_dict_round_trip():
         cost_per_record=0.01,
     )
     assert OperatorPrior.from_dict(prior.to_dict()) == prior
+
+
+# ---------------------------------------------------------------------------
+# Dataset-version maintenance (standing-query change feed)
+# ---------------------------------------------------------------------------
+
+
+class TestDatasetVersioning:
+    def test_append_decays_observation_confidence(self):
+        store = StatisticsStore()
+        for _ in range(8):
+            prior = _observe(store)
+        assert prior.observations == 8
+        touched = store.note_dataset_version("corpus-1", 1, change="append")
+        assert touched == 1
+        assert prior.observations == 4
+        assert store.dataset_decays == 1
+        # Learned statistics survive the decay; only confidence drops.
+        assert prior.selectivity == pytest.approx(0.5)
+
+    def test_update_invalidates_dataset_priors_only(self):
+        store = StatisticsStore()
+        _observe(store, key="mine")
+        store.observe(
+            "other", "SemFilterOp", "gpt-mini", "corpus-2", "",
+            records_in=10, records_out=5,
+        )
+        dropped = store.note_dataset_version("corpus-1", 2, change="update")
+        assert dropped == 1
+        assert store.usable_prior("mine") is None
+        assert store.usable_prior("other") is not None
+        assert store.dataset_invalidations == 1
+
+    def test_repeat_version_is_a_no_op(self):
+        store = StatisticsStore()
+        for _ in range(4):
+            prior = _observe(store)
+        assert store.note_dataset_version("corpus-1", 5) == 1
+        assert prior.observations == 2
+        # Forwarding the same event twice must not double-penalize.
+        assert store.note_dataset_version("corpus-1", 5) == 0
+        assert prior.observations == 2
+
+    def test_empty_dataset_name_is_ignored(self):
+        store = StatisticsStore()
+        _observe(store)
+        assert store.note_dataset_version("", 1) == 0
+
+    def test_singleton_priors_never_decay_below_one(self):
+        store = StatisticsStore()
+        prior = _observe(store)
+        assert prior.observations == 1
+        assert store.note_dataset_version("corpus-1", 3) == 0
+        assert prior.observations == 1
+
+    def test_stats_summary_exposes_maintenance_counters(self):
+        store = StatisticsStore()
+        for _ in range(2):
+            _observe(store)
+        store.note_dataset_version("corpus-1", 1, change="append")
+        store.note_dataset_version("corpus-1", 2, change="update")
+        summary = store.stats()
+        assert summary["dataset_decays"] == 1
+        assert summary["dataset_invalidations"] == 1

@@ -194,3 +194,100 @@ def test_columnar_escape_hatch_is_bit_identical():
     row_records, row_totals = _run_qa_plan(columnar=False)
     assert columnar_records == row_records
     assert columnar_totals == row_totals
+
+
+# ---------------------------------------------------------------------------
+# Vectorized project / py_map: bit-identical to row-mode derive
+# ---------------------------------------------------------------------------
+
+
+def _mixed_shape_records():
+    """Records with two distinct field shapes (exercises the shape cache)."""
+    records = []
+    for i in range(6):
+        fields = {"a": i, "b": f"s{i}", "c": float(i)}
+        if i % 2:
+            fields["extra"] = i * 10
+        record = DataRecord(fields, uid=f"r{i}")
+        record.annotations["tag"] = i
+        record.source_id = "mixed"
+        records.append(record)
+    return records
+
+
+def _identical(left: DataRecord, right: DataRecord) -> bool:
+    return (
+        left.uid == right.uid
+        and left.fields == right.fields
+        and left.annotations == right.annotations
+        and left.source_id == right.source_id
+        and left.parent_uids == right.parent_uids
+    )
+
+
+def test_project_batch_matches_row_mode_derive():
+    from repro.sem.batch import project_batch
+
+    records = _mixed_shape_records()
+    fields = ["a", "c"]
+    out = project_batch(RecordBatch(records), fields)
+    wanted = set(fields)
+    for record, got in zip(records, out.records):
+        drop = [name for name in record.fields if name not in wanted]
+        expected = record.derive({}, drop=drop)
+        assert _identical(expected, got)
+
+
+def test_project_batch_shares_projected_columns():
+    from repro.sem.batch import project_batch
+
+    batch = RecordBatch(_mixed_shape_records())
+    batch.column("a")  # warm the input cache
+    out = project_batch(batch, ["a", "b"])
+    # Projection never rewrites values: columns are shared, not copied.
+    assert out._columns["a"] is batch._columns["a"]
+    assert out._validity["b"] is batch._validity["b"]
+    assert list(out.column("a")) == [r.fields["a"] for r in out.records]
+
+
+def test_py_map_batch_matches_row_mode_derive():
+    from repro.sem.batch import py_map_batch
+
+    def fn(record):
+        new = {"doubled": record.fields["a"] * 2}
+        if "extra" in record.fields:
+            new["b"] = "overwritten"  # touch an existing field too
+        return new
+
+    records = _mixed_shape_records()
+    out = py_map_batch(RecordBatch(records), fn)
+    for record, got in zip(records, out.records):
+        expected = record.derive(fn(record))
+        assert _identical(expected, got)
+
+
+def test_py_map_batch_pre_seeded_columns_match_lazy():
+    from repro.sem.batch import py_map_batch
+
+    def fn(record):
+        return {"doubled": record.fields["a"] * 2}
+
+    batch = RecordBatch(_mixed_shape_records())
+    batch.column("b")  # warm an untouched input column
+    out = py_map_batch(batch, fn)
+    # Touched columns were materialized array-at-a-time...
+    assert "doubled" in out._columns
+    fresh = RecordBatch(list(out.records))
+    assert list(out.column("doubled")) == list(fresh.column("doubled"))
+    # ...while untouched ones are shared with the input batch's cache.
+    assert out._columns["b"] is batch._columns["b"]
+
+
+def test_py_map_batch_rejects_non_dict_with_row_mode_message():
+    from repro.errors import ExecutionError
+    from repro.sem.batch import py_map_batch
+
+    with pytest.raises(
+        ExecutionError, match="PyMap function must return a dict"
+    ):
+        py_map_batch(RecordBatch(_mixed_shape_records()), lambda r: 42)

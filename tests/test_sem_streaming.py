@@ -1,0 +1,616 @@
+"""Standing queries: triggers, changelogs, delta reuse, and invalidation.
+
+The tentpole contract: a registered standing query, refreshed tick by
+tick as its sources receive appends and updates, must always hold the
+exact view a from-scratch run over the full stream would produce — and
+its changelog, folded from empty, must reproduce that view at every
+tick.  Triggers (count / interval / watermark / governor) only decide
+*when* work happens, never *what* the answer is.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.records import DataRecord, reset_uid_counter
+from repro.data.schemas import Field
+from repro.data.sources import MemorySource
+from repro.errors import QuotaExceededError, StreamingError
+from repro.llm.oracle import SemanticOracle
+from repro.llm.simulated import SimulatedLLM
+from repro.obs import Tracer, validate_spans
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stats import StatisticsStore
+from repro.qa.corpus import CorpusSpec, build_corpus, instruction_for
+from repro.sem import (
+    Dataset,
+    QueryProcessorConfig,
+    RefreshPolicy,
+    StandingQueryManager,
+    fold_changelog,
+)
+from repro.sem.materialize import MaterializationStore
+from repro.sem.streaming import diff_records
+
+
+@pytest.fixture(scope="module")
+def qa_bundle():
+    return build_corpus(CorpusSpec(seed=19, n_records=18))
+
+
+def _config(bundle, *, seed: int = 19, **kwargs) -> QueryProcessorConfig:
+    llm = SimulatedLLM(oracle=SemanticOracle(bundle.registry), seed=seed)
+    kwargs.setdefault("optimize", False)
+    kwargs.setdefault("select_models", False)
+    return QueryProcessorConfig(llm=llm, seed=seed, **kwargs)
+
+
+def _normalized(records):
+    return [(r.uid, tuple(sorted(r.fields.items()))) for r in records]
+
+
+def _sem_plan(source) -> Dataset:
+    """A delta-safe semantic chain: filter -> map."""
+    return (
+        Dataset.from_source(source)
+        .sem_filter(instruction_for("qa.flag_urgent"))
+        .sem_map(
+            Field("customer", str, "customer name"),
+            instruction_for("qa.customer"),
+        )
+    )
+
+
+def _full_run(bundle, records, *, seed: int = 19):
+    """From-scratch evaluation over ``records`` on a fresh substrate."""
+    source = MemorySource(records, bundle.schema, source_id=bundle.name)
+    return _sem_plan(source).run(_config(bundle, seed=seed)).records
+
+
+def _standing(bundle, base, *, policy=None, store=None, **manager_kwargs):
+    """A registered standing query over ``base`` plus its live source."""
+    source = MemorySource(base, bundle.schema, source_id=bundle.name)
+    config = _config(bundle)
+    if store is not None:
+        config.materialization_store = store
+    manager = StandingQueryManager(store=store, **manager_kwargs)
+    query = manager.register(
+        "live", _sem_plan(source), config, policy=policy
+    )
+    return manager, query, source
+
+
+# ---------------------------------------------------------------------------
+# RefreshPolicy validation
+# ---------------------------------------------------------------------------
+
+
+def test_policy_rejects_unknown_trigger():
+    with pytest.raises(StreamingError, match="unknown refresh trigger"):
+        RefreshPolicy(trigger="cron")
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"count": 0},
+        {"interval_s": -1.0},
+        {"lateness_s": -0.5},
+        {"min_batch_usd": -0.01},
+        {"max_staleness_s": -1.0},
+    ],
+)
+def test_policy_rejects_negative_knobs(kwargs):
+    with pytest.raises(StreamingError):
+        RefreshPolicy(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# diff / fold changelog algebra
+# ---------------------------------------------------------------------------
+
+
+def _recs(uids):
+    return [DataRecord({"v": uid}, uid=uid) for uid in uids]
+
+
+def test_diff_then_fold_roundtrips_arbitrary_edits():
+    before = _recs(["a", "b", "c", "d"])
+    after = _recs(["b", "x", "c", "y"])
+    entries = diff_records(before, after, tick=3)
+    assert [r.uid for r in fold_changelog(before, entries)] == [
+        "b", "x", "c", "y",
+    ]
+
+
+def test_fold_rejects_mismatched_retract():
+    before = _recs(["a", "b"])
+    entries = diff_records(before, _recs(["b"]), tick=0)
+    with pytest.raises(StreamingError, match="retract at position"):
+        fold_changelog(_recs(["z", "b"]), entries)
+
+
+def test_changelog_entries_carry_lineage():
+    parent = DataRecord({"v": 1}, uid="p")
+    child = parent.derive(new_fields={"w": 2})
+    entries = diff_records([], [child], tick=0)
+    assert entries[0].kind == "insert"
+    assert entries[0].uid == child.uid
+    assert entries[0].lineage == ("p",)
+
+
+# ---------------------------------------------------------------------------
+# Registration
+# ---------------------------------------------------------------------------
+
+
+def test_register_requires_subscribable_source(qa_bundle):
+    from repro.sem import logical as L
+
+    dataset = Dataset(L.ScanOp(child=None, source=None))
+    manager = StandingQueryManager()
+    with pytest.raises(StreamingError, match="no subscribable"):
+        manager.register("dead", dataset, _config(qa_bundle))
+
+
+def test_register_requires_config_or_runner(qa_bundle):
+    source = MemorySource(qa_bundle.records(), qa_bundle.schema)
+    manager = StandingQueryManager()
+    with pytest.raises(StreamingError, match="needs a QueryProcessorConfig"):
+        manager.register("bare", Dataset.from_source(source))
+
+
+def test_register_rejects_duplicate_names(qa_bundle):
+    manager, _query, source = _standing(qa_bundle, qa_bundle.records()[:4])
+    with pytest.raises(StreamingError, match="already registered"):
+        manager.register(
+            "live", _sem_plan(source), _config(qa_bundle)
+        )
+
+
+def test_register_primes_a_base_view(qa_bundle):
+    records = qa_bundle.records()
+    _manager, query, _source = _standing(qa_bundle, records[:8])
+    assert query.tick_count == 1
+    assert query.ticks[0].fired == "register"
+    assert _normalized(query.records) == _normalized(
+        _full_run(qa_bundle, records[:8])
+    )
+
+
+# ---------------------------------------------------------------------------
+# Count trigger + incremental convergence
+# ---------------------------------------------------------------------------
+
+
+def test_count_trigger_batches_until_threshold(qa_bundle):
+    records = qa_bundle.records()
+    manager, query, source = _standing(
+        qa_bundle,
+        records[:10],
+        policy=RefreshPolicy(trigger="count", count=4),
+        store=MaterializationStore(),
+    )
+    source.append(records[10:12])
+    assert manager.pump() == []  # 2 pending < 4: keep batching
+    assert query.pending_appends == 2
+    source.append(records[12:14])
+    ticks = manager.pump()
+    assert [t.fired for t in ticks] == ["count"]
+    assert query.pending_appends == 0
+    assert _normalized(query.records) == _normalized(
+        _full_run(qa_bundle, records[:14])
+    )
+    assert _normalized(query.folded()) == _normalized(query.records)
+
+
+def test_ticks_take_the_delta_reuse_path(qa_bundle):
+    records = qa_bundle.records()
+    store = MaterializationStore()
+    manager, query, source = _standing(
+        qa_bundle, records[:10], store=store
+    )
+    primed_cost = query.cumulative_cost_usd
+    source.append(records[10:12])
+    (tick,) = manager.pump()
+    assert tick.reuse_kind == "delta"
+    assert tick.reused_prefix >= 1
+    assert tick.delta_records == 2
+    # O(delta), not O(stream): the tick costs less than re-priming.
+    assert tick.cost_usd < primed_cost
+    assert _normalized(query.records) == _normalized(
+        _full_run(qa_bundle, records[:12])
+    )
+
+
+# ---------------------------------------------------------------------------
+# Interval trigger + empty-delta no-ops
+# ---------------------------------------------------------------------------
+
+
+def test_interval_trigger_and_empty_ticks_are_zero_cost(qa_bundle):
+    records = qa_bundle.records()
+    manager, query, _source = _standing(
+        qa_bundle,
+        records[:6],
+        policy=RefreshPolicy(trigger="interval", interval_s=30.0),
+    )
+    usage_before = query.config.llm.tracker.checkpoint()
+    cost_before = query.cumulative_cost_usd
+    view_before = _normalized(query.records)
+
+    assert manager.pump(now_s=query.last_refresh_s + 10.0) == []
+    (tick,) = manager.pump(now_s=query.last_refresh_s + 30.5)
+    assert tick.fired == "interval"
+    assert tick.skipped is True
+    assert tick.cost_usd == 0.0
+    assert tick.changelog == []
+    # Nothing touched the engine: no usage events, no view change.
+    assert query.config.llm.tracker.since(usage_before).calls == 0
+    assert query.cumulative_cost_usd == cost_before
+    assert _normalized(query.records) == view_before
+    assert query.folded() is not None  # changelog untouched and foldable
+
+
+# ---------------------------------------------------------------------------
+# Watermark trigger: out-of-order event times
+# ---------------------------------------------------------------------------
+
+
+def test_watermark_holds_back_in_order_events(qa_bundle):
+    records = qa_bundle.records()
+    manager, query, source = _standing(
+        qa_bundle,
+        records[:8],
+        policy=RefreshPolicy(trigger="watermark", lateness_s=10.0),
+    )
+    source.append(records[8:9], event_time_s=100.0)
+    # Watermark = 100 - 10 = 90; the only pending event sits above it.
+    assert query.watermark_s == 90.0
+    assert manager.pump() == []
+
+    # A later event advances the watermark past the first event's stamp.
+    source.append(records[9:10], event_time_s=115.0)
+    assert query.watermark_s == 105.0
+    (tick,) = manager.pump()
+    assert tick.fired == "watermark"
+    assert tick.pending_appends == 2
+    assert _normalized(query.records) == _normalized(
+        _full_run(qa_bundle, records[:10])
+    )
+
+
+def test_watermark_counts_late_events_and_fires_immediately(qa_bundle):
+    records = qa_bundle.records()
+    manager, query, source = _standing(
+        qa_bundle,
+        records[:8],
+        policy=RefreshPolicy(trigger="watermark", lateness_s=5.0),
+    )
+    source.append(records[8:9], event_time_s=200.0)
+    source.append(records[9:10], event_time_s=100.0)  # far below watermark
+    assert query.late_events == 1
+    assert query.max_event_time_s == 200.0  # late data never regresses it
+    (tick,) = manager.pump()
+    assert tick.fired == "watermark"
+    assert "late events" in query.refresh_footer()
+
+
+def test_watermark_treats_unstamped_events_as_ripe(qa_bundle):
+    records = qa_bundle.records()
+    manager, query, source = _standing(
+        qa_bundle,
+        records[:8],
+        policy=RefreshPolicy(trigger="watermark", lateness_s=60.0),
+    )
+    source.append(records[8:10])  # no event_time_s
+    (tick,) = manager.pump()
+    assert tick.fired == "watermark"
+    assert query.watermark_s is None
+
+
+# ---------------------------------------------------------------------------
+# Governor trigger: freshness vs cost
+# ---------------------------------------------------------------------------
+
+
+class _Prior:
+    def __init__(self, cost_per_record, selectivity):
+        self.cost_per_record = cost_per_record
+        self.selectivity = selectivity
+
+
+class _FakeStats:
+    """Minimal stand-in for StatisticsStore.usable_prior."""
+
+    def __init__(self, priors):
+        self.priors = priors
+
+    def usable_prior(self, key):
+        return self.priors.get(key)
+
+    def note_dataset_version(self, dataset, version, change="append"):
+        pass
+
+    def ingest_run(self, *args, **kwargs):
+        return 0
+
+
+def test_governor_defers_until_the_batch_is_worth_it(qa_bundle):
+    records = qa_bundle.records()
+    stats = _FakeStats({"op": _Prior(cost_per_record=0.01, selectivity=1.0)})
+    manager, query, source = _standing(
+        qa_bundle,
+        records[:8],
+        policy=RefreshPolicy(trigger="governor", min_batch_usd=0.03),
+        stats_store=stats,
+    )
+    query.last_stats_plan = [{"key": "op"}]
+    source.append(records[8:10])  # estimate 2 * 0.01 = 0.02 < 0.03
+    assert manager.pump() == []
+    assert query.governor_deferrals == 1
+    source.append(records[10:11])  # estimate 3 * 0.01 = 0.03 >= 0.03
+    (tick,) = manager.pump()
+    assert tick.fired == "governor"
+    assert tick.est_cost_usd == pytest.approx(0.03)
+    assert _normalized(query.records) == _normalized(
+        _full_run(qa_bundle, records[:11])
+    )
+
+
+def test_governor_without_priors_refreshes_immediately(qa_bundle):
+    records = qa_bundle.records()
+    manager, query, source = _standing(
+        qa_bundle,
+        records[:8],
+        policy=RefreshPolicy(trigger="governor", min_batch_usd=100.0),
+    )
+    source.append(records[8:9])
+    (tick,) = manager.pump()
+    # No usable priors: the governor cannot justify deferring.
+    assert tick.fired == "governor"
+    assert tick.est_cost_usd is None
+
+
+def test_governor_staleness_floor_forces_a_refresh(qa_bundle):
+    records = qa_bundle.records()
+    stats = _FakeStats({"op": _Prior(cost_per_record=0.001, selectivity=1.0)})
+    manager, query, source = _standing(
+        qa_bundle,
+        records[:8],
+        policy=RefreshPolicy(
+            trigger="governor", min_batch_usd=50.0, max_staleness_s=20.0
+        ),
+        stats_store=stats,
+    )
+    query.last_stats_plan = [{"key": "op"}]
+    source.append(records[8:9])
+    assert manager.pump(now_s=query.last_refresh_s + 5.0) == []
+    (tick,) = manager.pump(now_s=query.last_refresh_s + 20.0)
+    assert tick.fired == "staleness"
+
+
+# ---------------------------------------------------------------------------
+# Update events: forced invalidation past delta-safe prefixes
+# ---------------------------------------------------------------------------
+
+
+def test_update_event_invalidates_and_converges(qa_bundle):
+    records = qa_bundle.records()
+    store = MaterializationStore()
+    manager, query, source = _standing(
+        qa_bundle,
+        records[:10],
+        policy=RefreshPolicy(trigger="count", count=100),  # never by count
+        store=store,
+    )
+    victim = records[0]
+    source.update(
+        victim.uid, {"body": victim.fields["body"] + " URGENT escalation"}
+    )
+    (tick,) = manager.pump()
+    # Updates force the refresh regardless of the count trigger...
+    assert tick.fired == "update"
+    assert tick.pending_updates == 1
+    # ...the eager cascade recorded update provenance on the store...
+    assert store.stats()["update_invalidations"] >= 1
+    # ...and the rewritten record's judgments were re-derived, not reused.
+    assert _normalized(query.records) == _normalized(
+        _full_run_current(qa_bundle, source)
+    )
+    assert _normalized(query.folded()) == _normalized(query.records)
+
+
+def _full_run_current(bundle, source):
+    """From-scratch evaluation over the source's *current* records."""
+    return _full_run(bundle, source.records())
+
+
+def test_update_event_cascades_to_context_manager(qa_bundle):
+    class _Recorder:
+        def __init__(self):
+            self.invalidated = []
+
+        def invalidate(self, source_id):
+            self.invalidated.append(source_id)
+
+    recorder = _Recorder()
+    records = qa_bundle.records()
+    _manager, query, source = _standing(
+        qa_bundle, records[:6], context_manager=recorder
+    )
+    source.update(records[0].uid, {"priority": 4})
+    assert recorder.invalidated == [source.source_id]
+    assert query.pending_updates == 1
+
+
+def test_update_decays_statistics_priors(qa_bundle):
+    records = qa_bundle.records()
+    stats = StatisticsStore()
+    manager, query, source = _standing(
+        qa_bundle, records[:8], stats_store=stats
+    )
+    # Seed a well-observed prior keyed to this dataset.
+    for _ in range(8):
+        prior = stats.observe(
+            "k1", "sem_filter", "m", source.source_id, "run",
+            records_in=10, records_out=5, cost_usd=0.01,
+        )
+    assert prior.observations == 8
+    source.append(records[8:9])  # append: halve confidence
+    assert stats.usable_prior("k1").observations == 4
+    source.update(records[0].uid, {"priority": 1})  # update: drop priors
+    assert stats.usable_prior("k1") is None
+    assert stats.dataset_invalidations >= 1
+
+
+# ---------------------------------------------------------------------------
+# Deferral under admission control
+# ---------------------------------------------------------------------------
+
+
+def test_quota_rejection_defers_and_retains_pending(qa_bundle):
+    records = qa_bundle.records()
+    attempts = []
+
+    def flaky_runner(query, tag):
+        attempts.append(tag)
+        if len(attempts) == 1:
+            raise QuotaExceededError("budget spent", tenant="t", reason="budget")
+        return list(records[:3]), 0.01, 0.1, None
+
+    source = MemorySource(records[:6], qa_bundle.schema)
+    manager = StandingQueryManager()
+    config = _config(qa_bundle)
+    query = manager.register(
+        "guarded",
+        Dataset.from_source(source),
+        config,
+        runner=flaky_runner,
+        prime=False,
+    )
+    source.append(records[6:8])
+    (tick,) = manager.pump()
+    assert tick.deferred is True
+    assert query.pending_appends == 2  # retained for the retry
+    (tick,) = manager.pump()
+    assert tick.deferred is False
+    assert query.pending_appends == 0
+    assert len(attempts) == 2
+
+
+# ---------------------------------------------------------------------------
+# Observability: spans, metrics, EXPLAIN footer
+# ---------------------------------------------------------------------------
+
+
+def test_standing_spans_validate_and_carry_tick_attributes(qa_bundle):
+    records = qa_bundle.records()
+    tracer = Tracer()
+    source = MemorySource(records[:8], qa_bundle.schema, source_id=qa_bundle.name)
+    llm = SimulatedLLM(
+        oracle=SemanticOracle(qa_bundle.registry), seed=19, tracer=tracer
+    )
+    config = QueryProcessorConfig(
+        llm=llm, seed=19, optimize=False, select_models=False
+    )
+    manager = StandingQueryManager(tracer=tracer)
+    manager.register("traced", _sem_plan(source), config)
+    source.append(records[8:10])
+    manager.pump()
+    validate_spans(tracer.spans)
+    kinds = [span.kind for span in tracer.spans]
+    assert "standing-query" in kinds
+    assert kinds.count("standing-tick") == 2  # prime + append tick
+    assert "changelog" in kinds
+    tick_span = [s for s in tracer.spans if s.kind == "standing-tick"][-1]
+    assert tick_span.attributes["fired"] == "count"
+    assert "inserts" in tick_span.attributes
+
+
+def test_streaming_metrics_counters(qa_bundle):
+    records = qa_bundle.records()
+    metrics = MetricsRegistry()
+    manager, _query, source = _standing(
+        qa_bundle, records[:8], metrics=metrics
+    )
+    source.append(records[8:10])
+    manager.pump()
+    assert metrics.counters["streaming.queries"].value == 1
+    assert metrics.counters["streaming.appends"].value == 1
+    assert metrics.counters["streaming.appended_records"].value == 2
+    assert metrics.counters["streaming.ticks"].value == 2
+    assert metrics.counters["streaming.refreshes"].value == 2
+
+
+def test_explain_appends_refresh_provenance_footer(qa_bundle):
+    records = qa_bundle.records()
+    manager, query, source = _standing(
+        qa_bundle, records[:8], store=MaterializationStore()
+    )
+    source.append(records[8:10])
+    manager.pump()
+    rendered = query.explain()
+    assert "standing query 'live'" in rendered
+    assert "2 ticks (2 refreshes" in rendered
+    assert "fired by count" in rendered
+    assert "delta prefix=" in rendered
+
+
+def test_forced_refresh_by_name(qa_bundle):
+    records = qa_bundle.records()
+    manager, _query, _source = _standing(qa_bundle, records[:6])
+    tick = manager.refresh("live")
+    assert tick.fired == "forced"
+    assert tick.skipped is True  # nothing pending
+    with pytest.raises(StreamingError, match="no standing query"):
+        manager.refresh("ghost")
+
+
+# ---------------------------------------------------------------------------
+# Property: folded changelog == full recompute on random append schedules
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+@settings(max_examples=12, deadline=None)
+@given(
+    split=st.integers(min_value=1, max_value=12),
+    chunks=st.lists(st.integers(min_value=1, max_value=4), max_size=5),
+    update_at=st.integers(min_value=-1, max_value=4),
+)
+def test_property_folded_state_matches_full_recompute(split, chunks, update_at):
+    """Any append/update schedule: view == from-scratch, fold == view."""
+    reset_uid_counter()
+    bundle = build_corpus(CorpusSpec(seed=29, n_records=16))
+    records = bundle.records()
+    manager, query, source = _standing(
+        bundle, records[:split], store=MaterializationStore()
+    )
+    cursor = split
+    for index, chunk in enumerate(chunks):
+        if index == update_at and query.records:
+            target = records[0]
+            source.update(
+                target.uid, {"body": target.fields["body"] + " amended"}
+            )
+            manager.pump()
+        batch = records[cursor : cursor + chunk]
+        cursor += len(batch)
+        if not batch:
+            break
+        source.append(batch)
+        manager.pump()
+        assert _normalized(query.folded()) == _normalized(query.records)
+    assert _normalized(query.records) == _normalized(
+        _full_run_from(bundle, source)
+    )
+
+
+def _full_run_from(bundle, source):
+    fresh = MemorySource(
+        source.records(), bundle.schema, source_id=bundle.name
+    )
+    return _sem_plan(fresh).run(_config(bundle, seed=19)).records

@@ -378,3 +378,57 @@ def test_workload_trace_is_deterministic():
     assert per_tenant["tenant-00"] > per_tenant["tenant-02"]
     # Heavy-tailed template mix: more than one template shows up.
     assert len({arrival.template for arrival in first}) > 1
+
+
+# ---------------------------------------------------------------------------
+# Standing queries served through admission control
+# ---------------------------------------------------------------------------
+
+
+def _live_feed(qa_bundle, n_base: int):
+    from repro.data.sources import MemorySource
+
+    records = qa_bundle.records()
+    source = MemorySource(
+        records[:n_base], qa_bundle.schema, source_id=qa_bundle.name
+    )
+    dataset = Dataset.from_source(source).sem_filter(
+        instruction_for("qa.flag_urgent")
+    )
+    return records, source, dataset
+
+
+def test_standing_query_refreshes_through_serving_layer(qa_bundle):
+    runtime = make_runtime(qa_bundle)
+    serving = runtime.serving(tenants=[TenantSpec("live")])
+    records, source, dataset = _live_feed(qa_bundle, 8)
+    query = serving.register_standing("live", "feed", dataset)
+    assert query.name == "live:feed"
+    source.append(records[8:12])
+    (tick,) = serving.pump_standing()
+    assert tick.fired == "count"
+    assert not tick.deferred
+    # The served standing view matches a from-scratch run over the full set.
+    fresh = make_runtime(qa_bundle)
+    baseline = fresh.serving(tenants=[TenantSpec("solo")]).submit(
+        "solo", _live_feed(qa_bundle, 12)[2], arrival_s=0.0
+    )
+    assert normalized_records(query.records) == normalized_records(
+        baseline.records
+    )
+
+
+def test_standing_tick_deferred_by_tenant_quota(qa_bundle):
+    runtime = make_runtime(qa_bundle)
+    serving = runtime.serving(
+        tenants=[TenantSpec("broke", max_per_window=1, window_s=100.0)]
+    )
+    records, source, dataset = _live_feed(qa_bundle, 8)
+    query = serving.register_standing("broke", "feed", dataset, prime=False)
+    # An interactive query burns the tenant's admission window first.
+    serving.submit("broke", _live_feed(qa_bundle, 8)[2], arrival_s=0.0)
+    source.append(records[8:10])
+    (tick,) = serving.pump_standing()
+    assert tick.deferred is True
+    # The pending delta survives the rejection for the next pump.
+    assert query.pending_appends == 2
